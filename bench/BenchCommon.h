@@ -1,0 +1,84 @@
+//===- bench/BenchCommon.h - Shared harness helpers -------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure harnesses: exact ind. set sizes,
+/// the paper's %-difference metric, and repeat-run timing in the paper's
+/// median ± semi-interquartile protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_BENCH_BENCHCOMMON_H
+#define ANOSY_BENCH_BENCHCOMMON_H
+
+#include "benchlib/Problems.h"
+#include "solver/ModelCounter.h"
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// Exact ind. set sizes (True/False) of a problem, via model counting.
+struct ExactSizes {
+  BigCount TrueSize;
+  BigCount FalseSize;
+};
+
+inline ExactSizes exactIndSetSizes(const BenchmarkProblem &P) {
+  Box Top = Box::top(P.M.schema());
+  PredicateRef Q = exprPredicate(P.query().Body);
+  return {countSatExact(*Q, Top), countSatExact(*notPredicate(Q), Top)};
+}
+
+/// The paper's "% diff." column: percentage difference between the
+/// approximated and the exact ind. set size (lower is better; 0 = exact).
+inline std::string percentDiff(const BigCount &Approx,
+                               const BigCount &Exact) {
+  if (Exact.isZero())
+    return Approx.isZero() ? "0" : "inf";
+  double D = (Approx.toDouble() - Exact.toDouble()) / Exact.toDouble();
+  if (D < 0)
+    D = -D;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.0f", D * 100.0);
+  return Buf;
+}
+
+/// "x / y" cell in the paper's scientific notation.
+inline std::string sizePair(const BigCount &T, const BigCount &F) {
+  return T.sci() + " / " + F.sci();
+}
+
+/// Runs \p Body \p Runs times and reports median ± SIQR seconds.
+inline std::string timeRepeated(unsigned Runs,
+                                const std::function<void()> &Body) {
+  std::vector<double> Samples;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Stopwatch W;
+    Body();
+    Samples.push_back(W.seconds());
+  }
+  return medianPlusMinus(Samples, 3);
+}
+
+/// Parses a "--runs N" override (the paper uses 11; smaller values make
+/// quick local runs cheaper).
+inline unsigned parseRuns(int Argc, char **Argv, unsigned Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--runs") == 0)
+      return static_cast<unsigned>(std::atoi(Argv[I + 1]));
+  return Default;
+}
+
+} // namespace anosy
+
+#endif // ANOSY_BENCH_BENCHCOMMON_H

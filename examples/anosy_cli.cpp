@@ -1,0 +1,282 @@
+//===- examples/anosy_cli.cpp - The ANOSY compiler driver -----------------===//
+//
+// The command-line face of the pipeline — what the paper's GHC plugin
+// does to a Haskell module, as a standalone tool over query-DSL files:
+//
+//   anosy_cli <file.anosy> [--domain interval|powerset] [--k N]
+//             [--kind under|over] [--objective volume|balanced|pareto]
+//             [--emit-smtlib] [--no-verify] [--export <kb-file>]
+//
+// For each query in the module it prints the refinement-type spec, the
+// sketch, the synthesized (hole-filled) program, the verification
+// certificates, and optionally the SMT-LIB constraint system SYNTH
+// solved. `classify` declarations get one ind. set per feasible output
+// (§5.1 extension). --export writes the verified under-approximations to
+// a knowledge base loadable without re-synthesis (core/ArtifactIO.h).
+// With no file argument it runs on the built-in §2 module.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ArtifactIO.h"
+#include "expr/Parser.h"
+#include "expr/SmtLib.h"
+#include "support/Stats.h"
+#include "synth/ClassifierSynth.h"
+#include "synth/Synthesizer.h"
+#include "verify/RefinementChecker.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace anosy;
+
+namespace {
+
+struct CliOptions {
+  std::string Path;
+  bool Powerset = false;
+  unsigned K = 3;
+  ApproxKind Kind = ApproxKind::Under;
+  GrowObjective Objective = GrowObjective::Balanced;
+  bool EmitSmtLib = false;
+  bool Verify = true;
+  std::string ExportPath;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [file.anosy] [--domain interval|powerset] [--k N]\n"
+      "          [--kind under|over] [--objective volume|balanced|pareto]\n"
+      "          [--emit-smtlib] [--no-verify] [--export <kb-file>]\n",
+      Argv0);
+  return 2;
+}
+
+const char *builtinModule() {
+  return R"(secret UserLoc { x: int[0, 400], y: int[0, 400] }
+def nearby(ox: int, oy: int): bool = abs(x - ox) + abs(y - oy) <= 100
+query nearby200 = nearby(200, 200)
+)";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opt;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--domain") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.Powerset = std::strcmp(V, "powerset") == 0;
+    } else if (Arg == "--k") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.K = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--kind") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.Kind =
+          std::strcmp(V, "over") == 0 ? ApproxKind::Over : ApproxKind::Under;
+    } else if (Arg == "--objective") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      if (std::strcmp(V, "volume") == 0)
+        Opt.Objective = GrowObjective::Volume;
+      else if (std::strcmp(V, "pareto") == 0)
+        Opt.Objective = GrowObjective::ParetoWidth;
+      else
+        Opt.Objective = GrowObjective::Balanced;
+    } else if (Arg == "--export") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.ExportPath = V;
+    } else if (Arg == "--emit-smtlib") {
+      Opt.EmitSmtLib = true;
+    } else if (Arg == "--no-verify") {
+      Opt.Verify = false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      return usage(Argv[0]);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", Arg.c_str());
+      return usage(Argv[0]);
+    } else {
+      Opt.Path = Arg;
+    }
+  }
+
+  std::string Source;
+  if (Opt.Path.empty()) {
+    Source = builtinModule();
+    std::printf("(no input file: using the built-in §2 module)\n\n");
+  } else {
+    std::ifstream In(Opt.Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Opt.Path.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  auto M = parseModule(Source);
+  if (!M) {
+    std::fprintf(stderr, "%s\n", M.error().str().c_str());
+    return 1;
+  }
+  const Schema &S = M->schema();
+  std::printf("secret schema: %s  (%s possible secrets)\n\n",
+              S.str().c_str(), S.totalSize().sci().c_str());
+
+  SynthOptions SOpt;
+  SOpt.Objective = Opt.Objective;
+  for (const QueryDef &Q : M->queries()) {
+    std::printf("=== query %s ===\n", Q.Name.c_str());
+    std::printf("    %s\n\n", Q.Body->str(S).c_str());
+
+    if (Opt.EmitSmtLib) {
+      std::printf("--- SYNTH constraints (SMT-LIB2, True hole) ---\n%s\n",
+                  toSynthConstraintScript(*Q.Body, S, /*Polarity=*/true,
+                                          Opt.Kind == ApproxKind::Under)
+                      .c_str());
+    }
+
+    auto Sy = Synthesizer::create(S, Q.Body, SOpt);
+    if (!Sy) {
+      std::printf("rejected: %s\n\n", Sy.error().str().c_str());
+      continue;
+    }
+    IndSetSketch Sketch(Q.Name, S, Opt.Kind);
+    std::printf("--- sketch ---\n%s\n\n", Sketch.renderTemplate().c_str());
+
+    Stopwatch W;
+    SynthStats Stats;
+    std::string Filled;
+    CertificateBundle Certs;
+    if (Opt.Powerset) {
+      auto Sets = Sy->synthesizePowerset(Opt.Kind, Opt.K, &Stats);
+      if (!Sets) {
+        std::printf("synthesis failed: %s\n\n", Sets.error().str().c_str());
+        continue;
+      }
+      Filled = Sketch.renderFilled(Sets->TrueSet, Sets->FalseSet);
+      if (Opt.Verify)
+        Certs = RefinementChecker(S, Q.Body).checkIndSets(*Sets, Opt.Kind);
+    } else {
+      auto Sets = Sy->synthesizeInterval(Opt.Kind, &Stats);
+      if (!Sets) {
+        std::printf("synthesis failed: %s\n\n", Sets.error().str().c_str());
+        continue;
+      }
+      Filled = Sketch.renderFilled(Sets->TrueSet, Sets->FalseSet);
+      if (Opt.Verify)
+        Certs = RefinementChecker(S, Q.Body).checkIndSets(*Sets, Opt.Kind);
+    }
+    double Secs = W.seconds();
+
+    std::printf("--- synthesized (%s, %s domain%s) in %.3fs, "
+                "%llu solver nodes ---\n%s\n\n",
+                approxKindName(Opt.Kind),
+                Opt.Powerset ? "powerset" : "interval",
+                Opt.Powerset ? (", k=" + std::to_string(Opt.K)).c_str() : "",
+                Secs, static_cast<unsigned long long>(Stats.SolverNodes),
+                Filled.c_str());
+    if (Opt.Verify) {
+      std::printf("--- verification ---\n%s\n", Certs.str().c_str());
+      if (!Certs.valid())
+        return 1;
+    }
+  }
+
+  // §5.1 extension: classifiers get one ind. set per feasible output.
+  for (const ClassifierDef &C : M->classifiers()) {
+    std::printf("=== classifier %s ===\n    %s\n\n", C.Name.c_str(),
+                C.Body->str(S).c_str());
+    auto Cs = ClassifierSynthesizer::create(S, C.Body, SOpt);
+    if (!Cs) {
+      std::printf("rejected: %s\n\n", Cs.error().str().c_str());
+      continue;
+    }
+    Stopwatch W;
+    if (Opt.Powerset) {
+      auto Sets = Cs->synthesizePowerset(Opt.Kind, Opt.K);
+      if (!Sets) {
+        std::printf("synthesis failed: %s\n\n", Sets.error().str().c_str());
+        continue;
+      }
+      for (const OutputIndSet<PowerBox> &O : *Sets)
+        std::printf("  output %lld: %s\n", static_cast<long long>(O.Value),
+                    O.Set.str().c_str());
+    } else {
+      auto Sets = Cs->synthesizeInterval(Opt.Kind);
+      if (!Sets) {
+        std::printf("synthesis failed: %s\n\n", Sets.error().str().c_str());
+        continue;
+      }
+      for (const OutputIndSet<Box> &O : *Sets)
+        std::printf("  output %lld: %s\n", static_cast<long long>(O.Value),
+                    O.Set.str().c_str());
+    }
+    std::printf("  (synthesized in %.3fs)\n\n", W.seconds());
+  }
+
+  // Export the under-approximation knowledge base for deployment.
+  if (!Opt.ExportPath.empty()) {
+    if (Opt.Kind != ApproxKind::Under) {
+      std::fprintf(stderr, "--export stores enforcement (under) "
+                           "artifacts; rerun with --kind under\n");
+      return 1;
+    }
+    std::string Text;
+    if (Opt.Powerset) {
+      std::vector<QueryInfo<PowerBox>> Infos;
+      for (const QueryDef &Q : M->queries()) {
+        auto Sy = Synthesizer::create(S, Q.Body, SOpt);
+        auto Sets = Sy->synthesizePowerset(ApproxKind::Under, Opt.K);
+        if (!Sets) {
+          std::fprintf(stderr, "%s\n", Sets.error().str().c_str());
+          return 1;
+        }
+        Infos.push_back({Q.Name, Q.Body, Sets.takeValue(),
+                         ApproxKind::Under});
+      }
+      Text = serializeKnowledgeBase(S, Infos);
+    } else {
+      std::vector<QueryInfo<Box>> Infos;
+      for (const QueryDef &Q : M->queries()) {
+        auto Sy = Synthesizer::create(S, Q.Body, SOpt);
+        auto Sets = Sy->synthesizeInterval(ApproxKind::Under);
+        if (!Sets) {
+          std::fprintf(stderr, "%s\n", Sets.error().str().c_str());
+          return 1;
+        }
+        Infos.push_back({Q.Name, Q.Body, Sets.takeValue(),
+                         ApproxKind::Under});
+      }
+      Text = serializeKnowledgeBase(S, Infos);
+    }
+    std::ofstream Out(Opt.ExportPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Opt.ExportPath.c_str());
+      return 1;
+    }
+    Out << Text;
+    std::printf("exported knowledge base to %s (%zu bytes)\n",
+                Opt.ExportPath.c_str(), Text.size());
+  }
+  return 0;
+}

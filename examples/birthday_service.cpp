@@ -1,0 +1,103 @@
+//===- examples/birthday_service.cpp - B1 as an application ---------------===//
+//
+// A "birthday week" widget: a social app wants to know, day after day,
+// whether a user's birthday falls in the coming week — without ever
+// pinning down the birthday (or the birth year) itself. This is exactly
+// Mardziel et al.'s Birthday problem (the paper's B1), run as a sequence
+// of sliding-window downgrades against one secret.
+//
+// The example also shows the two abstract domains side by side: the
+// interval domain authorizes fewer sliding windows than the powerset
+// domain because each non-window answer carves a stripe the interval
+// domain cannot represent (it must keep the convex hull).
+//
+// Build & run:  ./build/examples/birthday_service
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnosySession.h"
+#include "expr/Parser.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace anosy;
+
+namespace {
+
+/// Builds the module with one window query per week start.
+Module buildModule(unsigned NumWeeks) {
+  std::string Source =
+      "secret Birthday { bday: int[0, 364], byear: int[1956, 1992] }\n"
+      "def in_week(start: int): bool = bday >= start && bday < start + 7\n";
+  for (unsigned W = 0; W != NumWeeks; ++W)
+    Source += "query week" + std::to_string(W) + " = in_week(" +
+              std::to_string(W * 7) + ")\n";
+  auto M = parseModule(Source);
+  if (!M) {
+    std::fprintf(stderr, "%s\n", M.error().str().c_str());
+    std::exit(1);
+  }
+  return M.takeValue();
+}
+
+template <AbstractDomain D>
+unsigned runService(const Module &M, const char *DomainName, unsigned K,
+                    const Point &Secret) {
+  SessionOptions Options;
+  Options.PowersetSize = K;
+  auto Session =
+      AnosySession<D>::create(M, minSizePolicy<D>(200), Options);
+  if (!Session) {
+    std::fprintf(stderr, "%s\n", Session.error().str().c_str());
+    std::exit(1);
+  }
+  std::printf("-- %s domain (policy: keep > 200 candidates) --\n",
+              DomainName);
+  // The widget probes weeks in a scattered order (as real usage would:
+  // holiday weeks first), which is what separates the domains — each
+  // negative answer carves a stripe out of the year, and a single
+  // interval cannot represent a year with holes in it.
+  const unsigned Order[] = {6, 2, 9, 0, 4, 8, 1, 11, 3, 7, 5, 10};
+  unsigned Answered = 0;
+  for (unsigned Idx : Order) {
+    const QueryDef &Q = M.queries()[Idx];
+    auto R = Session->downgrade(Secret, Q.Name);
+    if (!R) {
+      std::printf("  %-7s REFUSED: %s\n", Q.Name.c_str(),
+                  errorCodeName(R.error().code()));
+      break;
+    }
+    ++Answered;
+    BigCount Left =
+        DomainTraits<D>::size(Session->tracker().knowledgeFor(Secret));
+    std::printf("  %-7s -> %-5s (%s candidate birthdays remain)\n",
+                Q.Name.c_str(), *R ? "true" : "false", Left.str().c_str());
+    if (*R)
+      break; // found the birthday week; the widget stops asking
+  }
+  std::printf("  answered %u window queries\n\n", Answered);
+  return Answered;
+}
+
+} // namespace
+
+int main() {
+  Module M = buildModule(/*NumWeeks=*/12);
+  Point Secret{61, 1984}; // March 2nd, 1984 — in week 8 ([56, 63))
+
+  std::printf("secret birthday: day %lld of year %lld "
+              "(the service never sees this)\n\n",
+              static_cast<long long>(Secret[0]),
+              static_cast<long long>(Secret[1]));
+
+  unsigned IntervalAnswered = runService<Box>(M, "interval", 1, Secret);
+  unsigned PowersetAnswered =
+      runService<PowerBox>(M, "powerset k=4", 4, Secret);
+
+  std::printf("summary: interval answered %u, powerset answered %u — the\n"
+              "powerset tracks the carved-out weeks exactly, so it stays\n"
+              "permissive for longer (the Fig. 6 effect on B1's domain).\n",
+              IntervalAnswered, PowersetAnswered);
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- baselines/Exhaustive.cpp - Brute-force ground truth -----------------===//
+
+#include "baselines/Exhaustive.h"
+
+#include "expr/Eval.h"
+
+using namespace anosy;
+
+void anosy::forEachPoint(const Box &B,
+                         const std::function<bool(const Point &)> &Visit,
+                         int64_t Limit) {
+  if (B.isEmpty())
+    return;
+  assert(B.volume() <= Limit && "box too large for enumeration");
+  (void)Limit;
+
+  size_t N = B.arity();
+  Point P;
+  P.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    P.push_back(B.dim(I).Lo);
+
+  while (true) {
+    if (!Visit(P))
+      return;
+    // Odometer increment.
+    size_t D = N;
+    while (D != 0) {
+      --D;
+      if (P[D] < B.dim(D).Hi) {
+        ++P[D];
+        for (size_t J = D + 1; J != N; ++J)
+          P[J] = B.dim(J).Lo;
+        break;
+      }
+      if (D == 0)
+        return;
+    }
+  }
+}
+
+std::vector<Point> anosy::enumeratePoints(const Box &B, int64_t Limit) {
+  std::vector<Point> Points;
+  forEachPoint(
+      B,
+      [&Points](const Point &P) {
+        Points.push_back(P);
+        return true;
+      },
+      Limit);
+  return Points;
+}
+
+int64_t anosy::countByEnumeration(const Expr &E, const Box &B, int64_t Limit) {
+  int64_t Count = 0;
+  forEachPoint(
+      B,
+      [&Count, &E](const Point &P) {
+        if (evalBool(E, P))
+          ++Count;
+        return true;
+      },
+      Limit);
+  return Count;
+}

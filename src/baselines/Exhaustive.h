@@ -1,0 +1,39 @@
+//===- baselines/Exhaustive.h - Brute-force ground truth --------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive enumeration over small secret spaces: the ground truth the
+/// property tests compare every abstract component against (domain
+/// membership, solver verdicts, model counts, posterior evolution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_BASELINES_EXHAUSTIVE_H
+#define ANOSY_BASELINES_EXHAUSTIVE_H
+
+#include "domains/Box.h"
+#include "expr/Expr.h"
+
+#include <functional>
+#include <vector>
+
+namespace anosy {
+
+/// Calls \p Visit for every point of \p B (lexicographic order). Asserts
+/// the box holds at most \p Limit points. Return false to stop early.
+void forEachPoint(const Box &B, const std::function<bool(const Point &)> &Visit,
+                  int64_t Limit = 20'000'000);
+
+/// All points of \p B (asserts the volume is at most \p Limit).
+std::vector<Point> enumeratePoints(const Box &B, int64_t Limit = 1'000'000);
+
+/// Brute-force count of points in \p B satisfying boolean query \p E.
+int64_t countByEnumeration(const Expr &E, const Box &B,
+                           int64_t Limit = 20'000'000);
+
+} // namespace anosy
+
+#endif // ANOSY_BASELINES_EXHAUSTIVE_H

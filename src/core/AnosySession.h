@@ -1,0 +1,204 @@
+//===- core/AnosySession.h - End-to-end ANOSY facade ------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AnosySession: the role the paper's GHC plugin plays, as a library
+/// facade. Creating a session from a parsed query Module performs, per
+/// query, the four steps of §2.3:
+///
+///   I.   derive the refinement-type specification (IndSetSketch::spec),
+///   II.  generate the sketch with typed holes,
+///   III. fill the holes with SYNTH / ITERSYNTH,
+///   IV.  machine-check the result with the refinement checker —
+///        artifacts failing verification abort session creation.
+///
+/// The session then owns a KnowledgeTracker preloaded with the verified
+/// QueryInfos; `downgrade` is Fig. 2's bounded downgrade. Registration is
+/// the one-time cost, downgrades are intersections — the Prob-comparison
+/// economics of §6.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_CORE_ANOSYSESSION_H
+#define ANOSY_CORE_ANOSYSESSION_H
+
+#include "core/KnowledgeTracker.h"
+#include "expr/Module.h"
+#include "synth/Sketch.h"
+#include "verify/RefinementChecker.h"
+
+#include <map>
+#include <memory>
+
+namespace anosy {
+
+/// Per-query artifacts a session keeps for inspection.
+template <AbstractDomain D> struct QueryArtifacts {
+  IndSets<D> Ind;
+  CertificateBundle Certificates;
+  /// The completed sketch, rendered as source (what the plugin would
+  /// splice into the program).
+  std::string SynthesizedSource;
+  SynthStats Stats;
+};
+
+/// Session options.
+struct SessionOptions {
+  /// Powerset size k for ITERSYNTH (ignored by the interval domain).
+  unsigned PowersetSize = 3;
+  SynthOptions Synth;
+  /// Run the refinement checker on every synthesized artifact. Disable
+  /// only for timing experiments that measure synthesis alone.
+  bool Verify = true;
+  /// Knowledge-representation cap (see KnowledgeTracker).
+  size_t MaxKnowledgeBoxes = 256;
+};
+
+template <AbstractDomain D> class AnosySession {
+public:
+  /// Synthesizes and verifies ind. sets for every query in \p M, then
+  /// builds the knowledge tracker. Fails with the offending query's error
+  /// if any step rejects.
+  static Result<AnosySession> create(Module M, KnowledgePolicy<D> Policy,
+                                     SessionOptions Options = {}) {
+    AnosySession Session(std::move(M), std::move(Policy), Options);
+    for (const QueryDef &Q : Session.M.queries())
+      if (auto R = Session.registerQuery(Q); !R)
+        return R.error();
+    for (const ClassifierDef &C : Session.M.classifiers())
+      if (auto R = Session.registerClassifier(C); !R)
+        return R.error();
+    return Session;
+  }
+
+  /// Fig. 2 bounded downgrade on a raw secret value.
+  Result<bool> downgrade(const Point &Secret, const std::string &QueryName) {
+    return Tracker->downgrade(Secret, QueryName);
+  }
+
+  /// Bounded downgrade of a multi-output classifier (§5.1 extension).
+  Result<int64_t> downgradeClassifier(const Point &Secret,
+                                      const std::string &Name) {
+    return Tracker->downgradeClassifier(Secret, Name);
+  }
+
+  const Module &module() const { return M; }
+  KnowledgeTracker<D> &tracker() { return *Tracker; }
+  const KnowledgeTracker<D> &tracker() const { return *Tracker; }
+
+  /// Artifacts for a registered query; nullptr when unknown.
+  const QueryArtifacts<D> *artifacts(const std::string &Name) const {
+    auto It = Artifacts.find(Name);
+    return It == Artifacts.end() ? nullptr : &It->second;
+  }
+
+private:
+  AnosySession(Module M, KnowledgePolicy<D> Policy, SessionOptions Options)
+      : M(std::move(M)), Options(Options),
+        Tracker(std::make_unique<KnowledgeTracker<D>>(
+            this->M.schema(), std::move(Policy), Options.MaxKnowledgeBoxes)) {}
+
+  Result<void> registerQuery(const QueryDef &Q) {
+    const Schema &S = M.schema();
+    auto Synth = Synthesizer::create(S, Q.Body, Options.Synth);
+    if (!Synth)
+      return Synth.error();
+
+    QueryArtifacts<D> Art;
+    // Steps II+III: sketch and hole filling. Policy enforcement uses the
+    // under-approximation (§3).
+    if constexpr (std::is_same_v<D, Box>) {
+      auto Sets = Synth->synthesizeInterval(ApproxKind::Under, &Art.Stats);
+      if (!Sets)
+        return Sets.error();
+      Art.Ind = Sets.takeValue();
+    } else {
+      auto Sets = Synth->synthesizePowerset(ApproxKind::Under,
+                                            Options.PowersetSize, &Art.Stats);
+      if (!Sets)
+        return Sets.error();
+      Art.Ind = Sets.takeValue();
+    }
+
+    IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
+    Art.SynthesizedSource =
+        Sketch.renderFilled(Art.Ind.TrueSet, Art.Ind.FalseSet);
+
+    // Step IV: machine-check the artifact before trusting it.
+    if (Options.Verify) {
+      RefinementChecker Checker(S, Q.Body);
+      Art.Certificates = Checker.checkIndSets(Art.Ind, ApproxKind::Under);
+      if (!Art.Certificates.valid())
+        return Error(ErrorCode::VerificationFailure,
+                     "synthesized ind. sets for '" + Q.Name +
+                         "' failed verification:\n" +
+                         Art.Certificates.firstFailure()->str());
+    }
+
+    QueryInfo<D> Info;
+    Info.Name = Q.Name;
+    Info.QueryExpr = Q.Body;
+    Info.Ind = Art.Ind;
+    Info.Kind = ApproxKind::Under;
+    Tracker->registerQuery(std::move(Info));
+    Artifacts.emplace(Q.Name, std::move(Art));
+    return Result<void>();
+  }
+
+  /// Registers one `classify` declaration: synthesizes one under ind. set
+  /// per feasible output, verifies each against the Fig. 4 spec of its
+  /// "body == value" reduction, and installs the ClassifierInfo.
+  Result<void> registerClassifier(const ClassifierDef &C) {
+    const Schema &S = M.schema();
+    auto Synth = ClassifierSynthesizer::create(S, C.Body, Options.Synth);
+    if (!Synth)
+      return Synth.error();
+
+    ClassifierInfo<D> Info;
+    Info.Name = C.Name;
+    Info.Body = C.Body;
+    Info.Kind = ApproxKind::Under;
+    SynthStats Stats;
+    if constexpr (std::is_same_v<D, Box>) {
+      auto Sets = Synth->synthesizeInterval(ApproxKind::Under, &Stats);
+      if (!Sets)
+        return Sets.error();
+      Info.Ind = Sets.takeValue();
+    } else {
+      auto Sets = Synth->synthesizePowerset(ApproxKind::Under,
+                                            Options.PowersetSize, &Stats);
+      if (!Sets)
+        return Sets.error();
+      Info.Ind = Sets.takeValue();
+    }
+
+    if (Options.Verify) {
+      for (const OutputIndSet<D> &O : Info.Ind) {
+        RefinementChecker Checker(S, Synth->outputQuery(O.Value));
+        // Per-output obligation: every member of the set maps to O.Value.
+        IndSets<D> AsPair{O.Set, DomainTraits<D>::bottom(S)};
+        CertificateBundle B = Checker.checkIndSets(AsPair, ApproxKind::Under);
+        if (!B.valid())
+          return Error(ErrorCode::VerificationFailure,
+                       "classifier '" + C.Name + "' output " +
+                           std::to_string(O.Value) +
+                           " failed verification:\n" +
+                           B.firstFailure()->str());
+      }
+    }
+    Tracker->registerClassifier(std::move(Info));
+    return Result<void>();
+  }
+
+  Module M;
+  SessionOptions Options;
+  std::unique_ptr<KnowledgeTracker<D>> Tracker;
+  std::map<std::string, QueryArtifacts<D>> Artifacts;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_CORE_ANOSYSESSION_H

@@ -1,0 +1,67 @@
+//===- core/AnosyT.h - The AnosyT monad transformer -------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AnosyT: the knowledge-tracking layer staged *on top of* an IFC secure
+/// context, mirroring the paper's `AnosyT a s m = StateT (AState a s) m`
+/// monad transformer (§3). Computations of the underlying context remain
+/// available (`underlying()` is the transformer's `lift`), while
+/// `downgrade` is the only route from a protected secret to an unprotected
+/// boolean — and it runs the quantitative-policy check first.
+///
+/// Following Fig. 2, the secret is unprotected (via the trusted
+/// declassifyTCB hook, the paper's Unprotectable.unprotect) *inside* the
+/// trusted downgrade implementation; the policy decision itself never
+/// depends on the query's answer, so the boolean returned to untrusted
+/// code is the only information released, and only when both posteriors
+/// satisfy the policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_CORE_ANOSYT_H
+#define ANOSY_CORE_ANOSYT_H
+
+#include "core/KnowledgeTracker.h"
+#include "ifc/SecureContext.h"
+
+namespace anosy {
+
+/// The AnosyT transformer over a SecureContext<Point, L>.
+template <AbstractDomain D, LabelLattice L> class AnosyT {
+public:
+  AnosyT(KnowledgeTracker<D> &Tracker, SecureContext<Point, L> &Underlying)
+      : Tracker(Tracker), Ctx(Underlying) {}
+
+  /// The transformer's `lift`: direct access to the underlying monad.
+  SecureContext<Point, L> &underlying() { return Ctx; }
+
+  const KnowledgeTracker<D> &tracker() const { return Tracker; }
+
+  /// Bounded downgrade of a *protected* secret (Fig. 2). On success the
+  /// returned boolean is public (it survived the policy check); on
+  /// failure nothing about the secret has been released.
+  Result<bool> downgrade(const Labeled<Point, L> &Secret,
+                         const std::string &QueryName) {
+    // Trusted projection, as in Fig. 2's `unprotect secret'`. The audit
+    // log records that this query consumed the secret.
+    const Point &Value =
+        Ctx.declassifyTCB(Secret, "bounded downgrade: " + QueryName);
+    return Tracker.downgrade(Value, QueryName);
+  }
+
+  /// Knowledge currently tracked for a protected secret.
+  D knowledgeFor(const Labeled<Point, L> &Secret) const {
+    return Tracker.knowledgeFor(Secret.unprotectTCB());
+  }
+
+private:
+  KnowledgeTracker<D> &Tracker;
+  SecureContext<Point, L> &Ctx;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_CORE_ANOSYT_H

@@ -1,0 +1,263 @@
+//===- core/ArtifactIO.cpp - Persisting synthesized knowledge -------------===//
+
+#include "core/ArtifactIO.h"
+
+#include "expr/Parser.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace anosy;
+
+namespace {
+
+/// Domain-shape adapters: a knowledge base stores include/exclude box
+/// lists uniformly; the two domains project to/from that shape.
+std::vector<Box> includesOf(const Box &B) {
+  if (B.isEmpty())
+    return {};
+  return {B};
+}
+std::vector<Box> excludesOf(const Box &) { return {}; }
+std::vector<Box> includesOf(const PowerBox &P) { return P.includes(); }
+std::vector<Box> excludesOf(const PowerBox &P) { return P.excludes(); }
+
+Result<Box> domainFromLists(std::vector<Box> Inc, std::vector<Box> Exc,
+                            size_t Arity, const Box *) {
+  if (!Exc.empty())
+    return Error(ErrorCode::ParseError,
+                 "interval knowledge bases cannot carry exclude boxes");
+  if (Inc.size() > 1)
+    return Error(ErrorCode::ParseError,
+                 "interval knowledge bases carry at most one include box");
+  if (Inc.empty())
+    return Box::bottom(Arity);
+  return Inc.front();
+}
+
+Result<PowerBox> domainFromLists(std::vector<Box> Inc, std::vector<Box> Exc,
+                                 size_t Arity, const PowerBox *) {
+  return PowerBox(Arity, std::move(Inc), std::move(Exc));
+}
+
+template <AbstractDomain D> const char *domainTag();
+template <> [[maybe_unused]] const char *domainTag<Box>() {
+  return "interval";
+}
+template <> [[maybe_unused]] const char *domainTag<PowerBox>() {
+  return "powerset";
+}
+
+std::string renderBoxList(const std::vector<Box> &Boxes) {
+  std::string Out;
+  for (size_t I = 0, E = Boxes.size(); I != E; ++I) {
+    if (I != 0)
+      Out += " ;";
+    for (size_t Dim = 0, N = Boxes[I].arity(); Dim != N; ++Dim) {
+      const Interval &IV = Boxes[I].dim(Dim);
+      Out += " [" + std::to_string(IV.Lo) + ", " + std::to_string(IV.Hi) +
+             "]";
+    }
+  }
+  return Out;
+}
+
+/// Parses "[lo, hi] [lo, hi] ; [lo, hi] ..." into boxes of \p Arity.
+Result<std::vector<Box>> parseBoxList(const std::string &Text,
+                                      size_t Arity) {
+  std::vector<Box> Boxes;
+  std::vector<Interval> Dims;
+  size_t Pos = 0;
+  auto SkipWs = [&]() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  };
+  auto ParseInt = [&]() -> Result<int64_t> {
+    SkipWs();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return Error(ErrorCode::ParseError,
+                   "expected an integer in box list: " + Text);
+    return static_cast<int64_t>(
+        std::stoll(Text.substr(Start, Pos - Start)));
+  };
+
+  while (true) {
+    SkipWs();
+    if (Pos >= Text.size())
+      break;
+    if (Text[Pos] == ';') {
+      if (Dims.size() != Arity)
+        return Error(ErrorCode::ParseError,
+                     "box with wrong arity in knowledge base");
+      Boxes.push_back(Box(Dims));
+      Dims.clear();
+      ++Pos;
+      continue;
+    }
+    if (Text[Pos] != '[')
+      return Error(ErrorCode::ParseError,
+                   "expected '[' in box list: " + Text);
+    ++Pos;
+    auto Lo = ParseInt();
+    if (!Lo)
+      return Lo.error();
+    SkipWs();
+    if (Pos >= Text.size() || Text[Pos] != ',')
+      return Error(ErrorCode::ParseError, "expected ',' in interval");
+    ++Pos;
+    auto Hi = ParseInt();
+    if (!Hi)
+      return Hi.error();
+    SkipWs();
+    if (Pos >= Text.size() || Text[Pos] != ']')
+      return Error(ErrorCode::ParseError, "expected ']' in interval");
+    ++Pos;
+    Dims.push_back({Lo.value(), Hi.value()});
+    if (Dims.size() > Arity)
+      return Error(ErrorCode::ParseError,
+                   "box with too many dimensions in knowledge base");
+  }
+  if (!Dims.empty()) {
+    if (Dims.size() != Arity)
+      return Error(ErrorCode::ParseError,
+                   "box with wrong arity in knowledge base");
+    Boxes.push_back(Box(Dims));
+  }
+  return Boxes;
+}
+
+/// Strips a fixed prefix; returns false when absent.
+bool consumePrefix(std::string &Line, const std::string &Prefix) {
+  if (Line.rfind(Prefix, 0) != 0)
+    return false;
+  Line = Line.substr(Prefix.size());
+  return true;
+}
+
+} // namespace
+
+template <AbstractDomain D>
+std::string
+anosy::serializeKnowledgeBase(const Schema &S,
+                              const std::vector<QueryInfo<D>> &Infos) {
+  std::string Out = std::string("anosy-knowledge-base v1 domain ") +
+                    domainTag<D>() + "\n";
+  Out += "secret " + S.str() + "\n";
+  for (const QueryInfo<D> &Info : Infos) {
+    assert(Info.Kind == ApproxKind::Under &&
+           "knowledge bases store the enforcement (under) artifacts");
+    Out += "query " + Info.Name + " = " + Info.QueryExpr->str(S) + "\n";
+    Out += "true include" + renderBoxList(includesOf(Info.Ind.TrueSet)) +
+           "\n";
+    Out += "true exclude" + renderBoxList(excludesOf(Info.Ind.TrueSet)) +
+           "\n";
+    Out += "false include" + renderBoxList(includesOf(Info.Ind.FalseSet)) +
+           "\n";
+    Out += "false exclude" + renderBoxList(excludesOf(Info.Ind.FalseSet)) +
+           "\n";
+    Out += "end\n";
+  }
+  return Out;
+}
+
+template <AbstractDomain D>
+Result<KnowledgeBase<D>> anosy::parseKnowledgeBase(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+
+  // Header.
+  if (!std::getline(In, Line))
+    return Error(ErrorCode::ParseError, "empty knowledge base");
+  {
+    std::string Header = Line;
+    if (!consumePrefix(Header, "anosy-knowledge-base v1 domain "))
+      return Error(ErrorCode::ParseError,
+                   "missing knowledge-base header: " + Line);
+    if (Header != domainTag<D>())
+      return Error(ErrorCode::ParseError,
+                   "knowledge base is for domain '" + Header +
+                       "', expected '" + domainTag<D>() + "'");
+  }
+
+  // Schema.
+  if (!std::getline(In, Line))
+    return Error(ErrorCode::ParseError, "missing schema line");
+  auto SchemaR = parseSchema(Line);
+  if (!SchemaR)
+    return SchemaR.error();
+  KnowledgeBase<D> KB;
+  KB.S = SchemaR.takeValue();
+  size_t Arity = KB.S.arity();
+
+  // Query records.
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    if (!consumePrefix(Line, "query "))
+      return Error(ErrorCode::ParseError,
+                   "expected a 'query' record, found: " + Line);
+    size_t EqPos = Line.find(" = ");
+    if (EqPos == std::string::npos)
+      return Error(ErrorCode::ParseError,
+                   "malformed query record: " + Line);
+    QueryInfo<D> Info;
+    Info.Name = Line.substr(0, EqPos);
+    auto Body = parseQueryExpr(KB.S, Line.substr(EqPos + 3));
+    if (!Body)
+      return Body.error();
+    Info.QueryExpr = Body.takeValue();
+    Info.Kind = ApproxKind::Under;
+
+    // The four box-list lines, in fixed order.
+    std::vector<Box> Lists[4];
+    const char *Prefixes[4] = {"true include", "true exclude",
+                               "false include", "false exclude"};
+    for (int I = 0; I != 4; ++I) {
+      if (!std::getline(In, Line))
+        return Error(ErrorCode::ParseError,
+                     "truncated record for query " + Info.Name);
+      if (!consumePrefix(Line, Prefixes[I]))
+        return Error(ErrorCode::ParseError,
+                     std::string("expected '") + Prefixes[I] +
+                         "' line, found: " + Line);
+      auto Boxes = parseBoxList(Line, Arity);
+      if (!Boxes)
+        return Boxes.error();
+      Lists[I] = Boxes.takeValue();
+    }
+    if (!std::getline(In, Line) || Line != "end")
+      return Error(ErrorCode::ParseError,
+                   "missing 'end' for query " + Info.Name);
+
+    auto TrueSet = domainFromLists(std::move(Lists[0]), std::move(Lists[1]),
+                                   Arity, static_cast<const D *>(nullptr));
+    if (!TrueSet)
+      return TrueSet.error();
+    auto FalseSet = domainFromLists(std::move(Lists[2]),
+                                    std::move(Lists[3]), Arity,
+                                    static_cast<const D *>(nullptr));
+    if (!FalseSet)
+      return FalseSet.error();
+    Info.Ind.TrueSet = TrueSet.takeValue();
+    Info.Ind.FalseSet = FalseSet.takeValue();
+    KB.Queries.push_back(std::move(Info));
+  }
+  return KB;
+}
+
+// Explicit instantiations for the two shipped domains.
+template std::string anosy::serializeKnowledgeBase<Box>(
+    const Schema &, const std::vector<QueryInfo<Box>> &);
+template std::string anosy::serializeKnowledgeBase<PowerBox>(
+    const Schema &, const std::vector<QueryInfo<PowerBox>> &);
+template Result<KnowledgeBase<Box>>
+anosy::parseKnowledgeBase<Box>(const std::string &);
+template Result<KnowledgeBase<PowerBox>>
+anosy::parseKnowledgeBase<PowerBox>(const std::string &);

@@ -1,0 +1,63 @@
+//===- core/ArtifactIO.h - Persisting synthesized knowledge -----*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of synthesized knowledge bases. In the paper the GHC
+/// plugin splices synthesized ind. sets into the compiled module, so the
+/// one-time synthesis cost (§6.1) is paid at build time and never again.
+/// This module gives the library the same deployment story: a session's
+/// verified artifacts are exported to a text knowledge base, shipped with
+/// the application, and loaded into a KnowledgeTracker at startup —
+/// skipping synthesis entirely (loaders may re-verify: artifacts carry
+/// everything the refinement checker needs).
+///
+/// The format is line-oriented and reuses the query DSL for schemas and
+/// query bodies, so exported files are human-auditable:
+///
+/// \code
+///   anosy-knowledge-base v1 domain powerset
+///   secret UserLoc { x: int[0, 400], y: int[0, 400] }
+///   query nearby200 = (abs(x - 200) + abs(y - 200)) <= 100
+///   true include [142, 258] [158, 242] ; [182, 218] [118, 157]
+///   true exclude
+///   false include [251, 400] [0, 150]
+///   false exclude
+///   end
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_CORE_ARTIFACTIO_H
+#define ANOSY_CORE_ARTIFACTIO_H
+
+#include "core/QueryInfo.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// A deserialized knowledge base: the schema and the registered queries.
+template <AbstractDomain D> struct KnowledgeBase {
+  Schema S;
+  std::vector<QueryInfo<D>> Queries;
+};
+
+/// Renders \p Infos (all over schema \p S) to the textual format.
+template <AbstractDomain D>
+std::string serializeKnowledgeBase(const Schema &S,
+                                   const std::vector<QueryInfo<D>> &Infos);
+
+/// Parses a knowledge base; rejects malformed input, domain mismatches
+/// (interval file loaded as powerset or vice versa), query bodies outside
+/// the fragment, and boxes of the wrong arity.
+template <AbstractDomain D>
+Result<KnowledgeBase<D>> parseKnowledgeBase(const std::string &Text);
+
+} // namespace anosy
+
+#endif // ANOSY_CORE_ARTIFACTIO_H

@@ -1,0 +1,180 @@
+//===- core/KnowledgeTracker.h - AnosyT state and downgrade -----*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AnosyT monad's state and its bounded downgrade operation — a direct
+/// transcription of Fig. 2. The tracker holds the quantitative policy, the
+/// `secrets` map from secret values to their current (approximated)
+/// attacker knowledge, and the `queries` map from names to QueryInfo.
+///
+/// `downgrade` behaves exactly like the paper's:
+///  1. unknown query name          → "Can't downgrade <name>" error;
+///  2. prior = secrets[s] or ⊤;
+///  3. (postT, postF) = approx(prior);
+///  4. policy must hold on *both* posteriors — the check is independent of
+///     the actual query result, so the decision itself leaks nothing;
+///  5. on success: run the query, store the matching posterior, return the
+///     result; on failure: "Policy Violation" error and the knowledge map
+///     is left untouched.
+///
+/// Knowledge evolution invariant (§3): the stored posterior is always an
+/// under-approximation of the attacker's true knowledge
+/// K_i = K_{i-1} ∩ {x | query_i x = query_i s}; tests/core/ checks this
+/// against exact model counting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_CORE_KNOWLEDGETRACKER_H
+#define ANOSY_CORE_KNOWLEDGETRACKER_H
+
+#include "core/Policy.h"
+#include "core/QueryInfo.h"
+#include "support/Result.h"
+
+#include <map>
+#include <string>
+
+namespace anosy {
+
+/// Per-domain compaction hook: bounds representation growth without
+/// changing soundness. For PowerBox under-approximations this drops the
+/// smallest include boxes once the k1*k2 intersection growth of §6.2
+/// exceeds \p MaxBoxes (sound: the set only shrinks).
+template <AbstractDomain D> inline void compactKnowledge(D &, size_t) {}
+template <>
+inline void compactKnowledge<PowerBox>(PowerBox &P, size_t MaxBoxes) {
+  if (P.excludes().empty())
+    P.pruneForUnder(MaxBoxes);
+}
+
+/// The AnosyT state (Fig. 2's AState) plus the bounded downgrade method.
+template <AbstractDomain D> class KnowledgeTracker {
+public:
+  KnowledgeTracker(Schema S, KnowledgePolicy<D> Policy,
+                   size_t MaxKnowledgeBoxes = 256)
+      : S(std::move(S)), Policy(std::move(Policy)),
+        MaxKnowledgeBoxes(MaxKnowledgeBoxes) {}
+
+  const Schema &schema() const { return S; }
+  const KnowledgePolicy<D> &policy() const { return Policy; }
+
+  /// Registers a query (the paper does this at compile time via the
+  /// plugin; AnosySession does it with synthesized+verified ind. sets).
+  void registerQuery(QueryInfo<D> Info) {
+    Queries.insert_or_assign(Info.Name, std::move(Info));
+  }
+
+  bool hasQuery(const std::string &Name) const { return Queries.count(Name); }
+
+  const QueryInfo<D> *queryInfo(const std::string &Name) const {
+    auto It = Queries.find(Name);
+    return It == Queries.end() ? nullptr : &It->second;
+  }
+
+  /// Registers a multi-output classifier (§5.1 extension).
+  void registerClassifier(ClassifierInfo<D> Info) {
+    ClassifierRegistry.insert_or_assign(Info.Name, std::move(Info));
+  }
+
+  const ClassifierInfo<D> *classifierInfo(const std::string &Name) const {
+    auto It = ClassifierRegistry.find(Name);
+    return It == ClassifierRegistry.end() ? nullptr : &It->second;
+  }
+
+  /// The attacker knowledge currently tracked for \p Secret (⊤ before the
+  /// first downgrade, per Fig. 2's `fromMaybe T`).
+  D knowledgeFor(const Point &Secret) const {
+    auto It = Secrets.find(Secret);
+    if (It == Secrets.end())
+      return DomainTraits<D>::top(S);
+    return It->second;
+  }
+
+  bool hasTrackedKnowledge(const Point &Secret) const {
+    return Secrets.count(Secret) != 0;
+  }
+
+  /// Fig. 2's bounded downgrade. Returns the query result, or
+  /// UnknownQuery / PolicyViolation errors.
+  Result<bool> downgrade(const Point &Secret, const std::string &QueryName) {
+    assert(S.contains(Secret) && "secret outside its schema");
+    auto It = Queries.find(QueryName);
+    if (It == Queries.end())
+      return Error(ErrorCode::UnknownQuery,
+                   "Can't downgrade " + QueryName);
+    const QueryInfo<D> &Info = It->second;
+
+    D Prior = knowledgeFor(Secret);
+    auto [PostT, PostF] = Info.approx(Prior);
+    compactKnowledge(PostT, MaxKnowledgeBoxes);
+    compactKnowledge(PostF, MaxKnowledgeBoxes);
+
+    // The policy is checked on both posteriors, irrespective of the actual
+    // response, "to prevent potential leaks due to the security decision"
+    // (§3).
+    if (!Policy(PostT) || !Policy(PostF))
+      return Error(ErrorCode::PolicyViolation,
+                   "Policy Violation: downgrading '" + QueryName +
+                       "' would breach policy [" + Policy.Name + "]");
+
+    bool Response = Info.run(Secret);
+    Secrets.insert_or_assign(Secret, Response ? std::move(PostT)
+                                              : std::move(PostF));
+    return Response;
+  }
+
+  /// Bounded downgrade of a multi-output classifier: the policy must hold
+  /// on the posterior of *every* feasible output — the per-output
+  /// generalization of Fig. 2's postT/postF check, keeping the decision
+  /// independent of the actual answer. On success the actual output is
+  /// returned and its posterior stored.
+  Result<int64_t> downgradeClassifier(const Point &Secret,
+                                      const std::string &Name) {
+    assert(S.contains(Secret) && "secret outside its schema");
+    auto It = ClassifierRegistry.find(Name);
+    if (It == ClassifierRegistry.end())
+      return Error(ErrorCode::UnknownQuery, "Can't downgrade " + Name);
+    const ClassifierInfo<D> &Info = It->second;
+
+    D Prior = knowledgeFor(Secret);
+    std::vector<OutputIndSet<D>> Posts = Info.approx(Prior);
+    for (OutputIndSet<D> &P : Posts) {
+      compactKnowledge(P.Set, MaxKnowledgeBoxes);
+      if (!Policy(P.Set))
+        return Error(ErrorCode::PolicyViolation,
+                     "Policy Violation: downgrading classifier '" + Name +
+                         "' would breach policy [" + Policy.Name +
+                         "] on output " + std::to_string(P.Value));
+    }
+
+    int64_t Output = Info.run(Secret);
+    for (OutputIndSet<D> &P : Posts)
+      if (P.Value == Output) {
+        Secrets.insert_or_assign(Secret, std::move(P.Set));
+        return Output;
+      }
+    // The concrete output was not among the feasible set: the registered
+    // ind. sets do not describe this classifier.
+    return Error(ErrorCode::VerificationFailure,
+                 "classifier '" + Name + "' produced unregistered output " +
+                     std::to_string(Output));
+  }
+
+  /// Number of downgrades currently reflected in the secrets map.
+  size_t trackedSecretCount() const { return Secrets.size(); }
+
+private:
+  Schema S;
+  KnowledgePolicy<D> Policy;
+  size_t MaxKnowledgeBoxes;
+  std::map<Point, D> Secrets;
+  std::map<std::string, QueryInfo<D>> Queries;
+  std::map<std::string, ClassifierInfo<D>> ClassifierRegistry;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_CORE_KNOWLEDGETRACKER_H

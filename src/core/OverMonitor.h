@@ -1,0 +1,111 @@
+//===- core/OverMonitor.h - Over-approximate knowledge tracking -*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Over-approximation tracking. §3 notes "even though our implementation
+/// can trace knowledge overapproximations, we have not yet studied
+/// applications or policy enforcement for this case"; this module supplies
+/// the natural application. Dual to the under-approximation used for
+/// *enforcement*, an over-approximation gives a *guarantee about the
+/// attacker*: the set it tracks contains every secret the attacker still
+/// considers possible, so when its size drops below a threshold the
+/// attacker has **certainly** narrowed the secret at least that far.
+/// The monitor raises exposure alerts at that point — the IFC analogue of
+/// a breach detector.
+///
+/// Soundness is the mirror image of §3's argument: starting from ⊤ and
+/// intersecting with over-approximate ind. sets keeps the tracked set a
+/// superset of the true attacker knowledge K_i at every step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_CORE_OVERMONITOR_H
+#define ANOSY_CORE_OVERMONITOR_H
+
+#include "core/QueryInfo.h"
+#include "support/Result.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// One exposure alert.
+struct ExposureAlert {
+  Point Secret;
+  std::string QueryName;
+  BigCount RemainingCandidates; ///< certified upper bound on |K|
+};
+
+/// Passive monitor of attacker knowledge via over-approximations.
+template <AbstractDomain D> class OverKnowledgeMonitor {
+public:
+  /// Alerts fire when the certified candidate count drops to
+  /// \p AlertThreshold or below.
+  OverKnowledgeMonitor(Schema S, int64_t AlertThreshold)
+      : S(std::move(S)), AlertThreshold(AlertThreshold) {}
+
+  /// Registers a query whose ind. sets are *over*-approximations.
+  void registerQuery(QueryInfo<D> Info) {
+    assert(Info.Kind == ApproxKind::Over &&
+           "the monitor needs over-approximate ind. sets");
+    Queries.insert_or_assign(Info.Name, std::move(Info));
+  }
+
+  /// Records that the attacker observed \p Response for \p Name on
+  /// \p Secret (e.g., because bounded downgrade released it) and updates
+  /// the certified knowledge bound.
+  Result<void> observe(const Point &Secret, const std::string &Name,
+                       bool Response) {
+    auto It = Queries.find(Name);
+    if (It == Queries.end())
+      return Error(ErrorCode::UnknownQuery,
+                   "no over-approximation registered for " + Name);
+    const QueryInfo<D> &Info = It->second;
+
+    D Prior = knowledgeBound(Secret);
+    auto [PostT, PostF] = Info.approx(Prior);
+    D Post = Response ? std::move(PostT) : std::move(PostF);
+    BigCount Remaining = DomainTraits<D>::size(Post);
+    Secrets.insert_or_assign(Secret, std::move(Post));
+    if (Remaining <= AlertThreshold)
+      Alerts.push_back({Secret, Name, Remaining});
+    return Result<void>();
+  }
+
+  /// The certified superset of the attacker's knowledge for \p Secret.
+  D knowledgeBound(const Point &Secret) const {
+    auto It = Secrets.find(Secret);
+    if (It == Secrets.end())
+      return DomainTraits<D>::top(S);
+    return It->second;
+  }
+
+  /// Certified upper bound on the attacker's candidate count.
+  BigCount certifiedCandidates(const Point &Secret) const {
+    return DomainTraits<D>::size(knowledgeBound(Secret));
+  }
+
+  /// True when the attacker has certainly narrowed \p Secret to at most
+  /// \p N candidates.
+  bool attackerKnowsWithin(const Point &Secret, int64_t N) const {
+    return certifiedCandidates(Secret) <= N;
+  }
+
+  const std::vector<ExposureAlert> &alerts() const { return Alerts; }
+
+private:
+  Schema S;
+  int64_t AlertThreshold;
+  std::map<Point, D> Secrets;
+  std::map<std::string, QueryInfo<D>> Queries;
+  std::vector<ExposureAlert> Alerts;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_CORE_OVERMONITOR_H

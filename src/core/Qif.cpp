@@ -1,0 +1,64 @@
+//===- core/Qif.cpp - Quantitative information-flow measures --------------===//
+
+#include "core/Qif.h"
+
+#include <cstdio>
+
+using namespace anosy;
+
+KnowledgeMeasures anosy::knowledgeMeasures(const BigCount &Size) {
+  KnowledgeMeasures M;
+  if (Size.isZero()) {
+    // An empty knowledge set means the approximation proved nothing is
+    // possible; measures degenerate to certainty.
+    M.BayesVulnerability = 1.0;
+    M.GuessingEntropy = 0.0;
+    return M;
+  }
+  double N = Size.toDouble();
+  M.ShannonBits = std::log2(N);
+  M.MinEntropyBits = std::log2(N);
+  M.BayesVulnerability = 1.0 / N;
+  M.GuessingEntropy = (N + 1.0) / 2.0;
+  return M;
+}
+
+MeasureBounds anosy::measureBounds(const BigCount &UnderSize,
+                                   const BigCount &OverSize) {
+  assert(UnderSize <= OverSize &&
+         "under-approximation larger than over-approximation");
+  MeasureBounds B;
+  B.Lower = knowledgeMeasures(UnderSize);
+  B.Upper = knowledgeMeasures(OverSize);
+  // Vulnerability is antitone in the set size: the bracket flips.
+  std::swap(B.Lower.BayesVulnerability, B.Upper.BayesVulnerability);
+  return B;
+}
+
+std::string MeasureBounds::str() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "H in [%.2f, %.2f] bits, vulnerability in [%.2e, %.2e], "
+                "guessing entropy in [%.1f, %.1f]",
+                Lower.ShannonBits, Upper.ShannonBits,
+                Lower.BayesVulnerability, Upper.BayesVulnerability,
+                Lower.GuessingEntropy, Upper.GuessingEntropy);
+  return Buf;
+}
+
+LeakageBounds anosy::leakageBounds(const BigCount &DomainSize,
+                                   const BigCount &UnderSize,
+                                   const BigCount &OverSize) {
+  assert(!DomainSize.isZero() && "empty secret domain");
+  LeakageBounds L;
+  double Total = std::log2(DomainSize.toDouble());
+  // The attacker has leaked most when the knowledge is smallest, i.e., at
+  // the under-approximation; least at the over-approximation.
+  if (!OverSize.isZero())
+    L.LowerBits = std::max(0.0, Total - std::log2(OverSize.toDouble()));
+  if (!UnderSize.isZero())
+    L.UpperBits = std::max(0.0, Total - std::log2(UnderSize.toDouble()));
+  else
+    L.UpperBits = Total;
+  return L;
+}

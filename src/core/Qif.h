@@ -1,0 +1,87 @@
+//===- core/Qif.h - Quantitative information-flow measures ------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §8 further application made concrete: "approximations of classical
+/// quantitative information flow measures, such as Shannon entropy, can be
+/// derived from the user's knowledge, i.e., by counting the number of
+/// concrete elements represented by the knowledge."
+///
+/// Under the worst-case (uniform) prior over a knowledge set of exactly n
+/// secrets:
+///   * Shannon entropy  H  = log2 n,
+///   * min-entropy      H∞ = log2 n  (Bayes vulnerability 1/n),
+///   * guessing entropy G  = (n + 1) / 2   (Massey).
+/// A tracked under-approximation (size u) and over-approximation (size o)
+/// of the same knowledge therefore bracket each measure:
+///   log2 u <= H <= log2 o, and so on. These brackets are what the
+/// entropy-based policies below consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_CORE_QIF_H
+#define ANOSY_CORE_QIF_H
+
+#include "core/Policy.h"
+
+#include <cmath>
+#include <string>
+
+namespace anosy {
+
+/// Entropy-style measures of one knowledge set size (uniform prior).
+struct KnowledgeMeasures {
+  double ShannonBits = 0.0;   ///< log2 |K|.
+  double MinEntropyBits = 0.0; ///< log2 |K| under the uniform prior.
+  double BayesVulnerability = 1.0; ///< 1 / |K|: best one-guess success.
+  double GuessingEntropy = 0.0;    ///< (|K| + 1) / 2 expected guesses.
+};
+
+/// Measures for a knowledge set of cardinality \p Size (> 0).
+KnowledgeMeasures knowledgeMeasures(const BigCount &Size);
+
+/// Lower/upper brackets on the true knowledge's measures, derived from an
+/// under- and an over-approximation of the same knowledge (§8).
+struct MeasureBounds {
+  KnowledgeMeasures Lower; ///< from the under-approximation's size
+  KnowledgeMeasures Upper; ///< from the over-approximation's size
+
+  std::string str() const;
+};
+
+/// Brackets from the two approximations' sizes; requires UnderSize > 0.
+MeasureBounds measureBounds(const BigCount &UnderSize,
+                            const BigCount &OverSize);
+
+/// Bits of information leaked so far: log2 |domain| − log2 |K|, bracketed
+/// the same way (more leaked when K is smaller).
+struct LeakageBounds {
+  double LowerBits = 0.0; ///< at least this much has leaked
+  double UpperBits = 0.0; ///< at most this much has leaked
+};
+LeakageBounds leakageBounds(const BigCount &DomainSize,
+                            const BigCount &UnderSize,
+                            const BigCount &OverSize);
+
+/// Policy: the attacker's remaining uncertainty must stay above \p Bits of
+/// min-entropy, i.e., size > 2^Bits. Monotone (so the §3 enforcement
+/// argument applies) and expressible for any abstract domain.
+template <AbstractDomain D> KnowledgePolicy<D> minEntropyPolicy(double Bits) {
+  // size > 2^Bits, computed in the double domain to permit fractional bit
+  // requirements; exact enough because policy thresholds are coarse.
+  return KnowledgePolicy<D>{
+      "min-entropy > " + std::to_string(Bits) + " bits",
+      [Bits](const D &Dom) {
+        BigCount Size = DomainTraits<D>::size(Dom);
+        if (Size.isZero())
+          return false;
+        return std::log2(Size.toDouble()) > Bits;
+      }};
+}
+
+} // namespace anosy
+
+#endif // ANOSY_CORE_QIF_H

@@ -1,0 +1,107 @@
+//===- domains/AbstractDomain.h - The AbstractDomain interface --*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C++ counterpart of the paper's `AbstractDomain a s` refined type
+/// class (Fig. 3): top, bottom, membership, subset, intersection, and size,
+/// plus the two class laws. Generic code (the knowledge tracker, the
+/// refinement checker, the experiments) is written against DomainTraits<D>
+/// so it runs unchanged over the interval domain (Box) and the powerset
+/// domain (PowerBox).
+///
+/// The laws — sizeLaw: d1 ⊆ d2 ⇒ size d1 ≤ size d2; subsetLaw: d1 ⊆ d2 ⇒
+/// (c ∈ d1 ⇒ c ∈ d2) — are Liquid Haskell proof obligations in the paper.
+/// Here they are executable predicates (checkSizeLaw / checkSubsetLaw)
+/// swept by the property tests in tests/domains/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_DOMAINS_ABSTRACTDOMAIN_H
+#define ANOSY_DOMAINS_ABSTRACTDOMAIN_H
+
+#include "domains/Box.h"
+#include "domains/PowerBox.h"
+
+#include <concepts>
+#include <string>
+
+namespace anosy {
+
+/// Uniform access to an abstract domain implementation. Specializations
+/// must provide the six Fig. 3 class methods.
+template <typename D> struct DomainTraits;
+
+/// The interval abstract domain A_I (§4.3).
+template <> struct DomainTraits<Box> {
+  static constexpr const char *Name = "interval";
+  static Box top(const Schema &S) { return Box::top(S); }
+  static Box bottom(const Schema &S) { return Box::bottom(S.arity()); }
+  static bool member(const Box &D, const Point &P) { return D.contains(P); }
+  static bool subset(const Box &A, const Box &B) { return A.subsetOf(B); }
+  static Box intersect(const Box &A, const Box &B) { return A.intersect(B); }
+  static BigCount size(const Box &D) { return D.volume(); }
+  static std::string str(const Box &D) { return D.str(); }
+};
+
+/// The powerset-of-intervals abstract domain A_P (§4.4).
+template <> struct DomainTraits<PowerBox> {
+  static constexpr const char *Name = "powerset";
+  static PowerBox top(const Schema &S) { return PowerBox::top(S); }
+  static PowerBox bottom(const Schema &S) { return PowerBox::bottom(S); }
+  static bool member(const PowerBox &D, const Point &P) {
+    return D.member(P);
+  }
+  static bool subset(const PowerBox &A, const PowerBox &B) {
+    return A.subsetOf(B);
+  }
+  static PowerBox intersect(const PowerBox &A, const PowerBox &B) {
+    return A.intersect(B);
+  }
+  static BigCount size(const PowerBox &D) { return D.size(); }
+  static std::string str(const PowerBox &D) { return D.str(); }
+};
+
+/// Concept satisfied by types with a complete DomainTraits specialization.
+template <typename D>
+concept AbstractDomain = requires(const D &A, const D &B, const Point &P,
+                                  const Schema &S) {
+  { DomainTraits<D>::top(S) } -> std::same_as<D>;
+  { DomainTraits<D>::bottom(S) } -> std::same_as<D>;
+  { DomainTraits<D>::member(A, P) } -> std::same_as<bool>;
+  { DomainTraits<D>::subset(A, B) } -> std::same_as<bool>;
+  { DomainTraits<D>::intersect(A, B) } -> std::same_as<D>;
+  { DomainTraits<D>::size(A) } -> std::same_as<BigCount>;
+};
+
+/// sizeLaw (Fig. 3): when D1 ⊆ D2, size D1 ≤ size D2. Vacuously true when
+/// D1 ⊄ D2 (the law's refinement-type precondition).
+template <AbstractDomain D>
+bool checkSizeLaw(const D &D1, const D &D2) {
+  if (!DomainTraits<D>::subset(D1, D2))
+    return true;
+  return DomainTraits<D>::size(D1) <= DomainTraits<D>::size(D2);
+}
+
+/// subsetLaw (Fig. 3): when D1 ⊆ D2, every concrete C in D1 is in D2.
+template <AbstractDomain D>
+bool checkSubsetLaw(const Point &C, const D &D1, const D &D2) {
+  if (!DomainTraits<D>::subset(D1, D2))
+    return true;
+  return !DomainTraits<D>::member(D1, C) || DomainTraits<D>::member(D2, C);
+}
+
+/// The refinement on ∩ in Fig. 3: the intersection is a subset of both
+/// arguments (d1 ⊆ d3 ∧ d2 ⊆ d3 in the paper reads d3 ⊆ d1 ∧ d3 ⊆ d2 in
+/// set terms — the result can only shrink).
+template <AbstractDomain D>
+bool checkIntersectLaw(const D &D1, const D &D2) {
+  D D3 = DomainTraits<D>::intersect(D1, D2);
+  return DomainTraits<D>::subset(D3, D1) && DomainTraits<D>::subset(D3, D2);
+}
+
+} // namespace anosy
+
+#endif // ANOSY_DOMAINS_ABSTRACTDOMAIN_H

@@ -1,0 +1,161 @@
+//===- domains/Box.cpp - The interval abstract domain A_I -----------------===//
+
+#include "domains/Box.h"
+
+using namespace anosy;
+
+Box::Box(std::vector<Interval> InDims) : Dims(std::move(InDims)) {
+  Empty = Dims.empty();
+  for (const Interval &I : Dims)
+    if (I.isEmpty())
+      Empty = true;
+  if (Empty)
+    for (Interval &I : Dims)
+      I = Interval::empty();
+}
+
+Box Box::top(const Schema &S) {
+  std::vector<Interval> Dims;
+  Dims.reserve(S.arity());
+  for (const Field &F : S.fields())
+    Dims.push_back({F.Lo, F.Hi});
+  return Box(std::move(Dims));
+}
+
+Box Box::bottom(size_t Arity) {
+  assert(Arity > 0 && "secrets have at least one field");
+  return Box(std::vector<Interval>(Arity, Interval::empty()));
+}
+
+Box Box::point(const Point &P) {
+  std::vector<Interval> Dims;
+  Dims.reserve(P.size());
+  for (int64_t V : P)
+    Dims.push_back(Interval::point(V));
+  return Box(std::move(Dims));
+}
+
+Box Box::withDim(size_t I, Interval NewDim) const {
+  assert(I < Dims.size() && "dimension out of range");
+  std::vector<Interval> NewDims = Dims;
+  NewDims[I] = NewDim;
+  return Box(std::move(NewDims));
+}
+
+bool Box::contains(const Point &P) const {
+  if (Empty || P.size() != Dims.size())
+    return false;
+  for (size_t I = 0, E = Dims.size(); I != E; ++I)
+    if (!Dims[I].contains(P[I]))
+      return false;
+  return true;
+}
+
+bool Box::subsetOf(const Box &O) const {
+  if (Empty)
+    return true;
+  if (O.Empty || O.Dims.size() != Dims.size())
+    return false;
+  for (size_t I = 0, E = Dims.size(); I != E; ++I)
+    if (!Dims[I].subsetOf(O.Dims[I]))
+      return false;
+  return true;
+}
+
+Box Box::intersect(const Box &O) const {
+  assert(Dims.size() == O.Dims.size() && "arity mismatch");
+  if (Empty || O.Empty)
+    return bottom(Dims.size());
+  std::vector<Interval> NewDims;
+  NewDims.reserve(Dims.size());
+  for (size_t I = 0, E = Dims.size(); I != E; ++I)
+    NewDims.push_back(Dims[I].intersect(O.Dims[I]));
+  return Box(std::move(NewDims));
+}
+
+Box Box::hull(const Box &O) const {
+  assert(Dims.size() == O.Dims.size() && "arity mismatch");
+  if (Empty)
+    return O;
+  if (O.Empty)
+    return *this;
+  std::vector<Interval> NewDims;
+  NewDims.reserve(Dims.size());
+  for (size_t I = 0, E = Dims.size(); I != E; ++I)
+    NewDims.push_back(Dims[I].hull(O.Dims[I]));
+  return Box(std::move(NewDims));
+}
+
+BigCount Box::volume() const {
+  if (Empty)
+    return BigCount();
+  BigCount V(1);
+  for (const Interval &I : Dims)
+    V = V * I.width();
+  return V;
+}
+
+bool Box::isUnit() const {
+  if (Empty)
+    return false;
+  for (const Interval &I : Dims)
+    if (I.Lo != I.Hi)
+      return false;
+  return true;
+}
+
+Point Box::center() const {
+  assert(!Empty && "center of empty box");
+  Point P;
+  P.reserve(Dims.size());
+  for (const Interval &I : Dims)
+    P.push_back(I.Lo + (I.Hi - I.Lo) / 2);
+  return P;
+}
+
+size_t Box::widestDim() const {
+  assert(!Empty && "widestDim of empty box");
+  size_t Best = 0;
+  BigCount BestWidth = Dims[0].width();
+  for (size_t I = 1, E = Dims.size(); I != E; ++I) {
+    BigCount W = Dims[I].width();
+    if (BestWidth < W) {
+      Best = I;
+      BestWidth = W;
+    }
+  }
+  return Best;
+}
+
+std::pair<Box, Box> Box::splitAt(size_t Dim) const {
+  assert(!Empty && "splitting empty box");
+  const Interval &I = dim(Dim);
+  assert(I.Lo < I.Hi && "splitting a unit dimension");
+  int64_t Mid = I.Lo + (I.Hi - I.Lo) / 2;
+  return {withDim(Dim, {I.Lo, Mid}), withDim(Dim, {Mid + 1, I.Hi})};
+}
+
+bool Box::operator==(const Box &O) const {
+  if (Dims.size() != O.Dims.size())
+    return false;
+  if (Empty && O.Empty)
+    return true;
+  if (Empty != O.Empty)
+    return false;
+  for (size_t I = 0, E = Dims.size(); I != E; ++I)
+    if (Dims[I] != O.Dims[I])
+      return false;
+  return true;
+}
+
+std::string Box::str() const {
+  if (Empty)
+    return "<empty/" + std::to_string(Dims.size()) + ">";
+  std::string Out;
+  for (size_t I = 0, E = Dims.size(); I != E; ++I) {
+    if (I != 0)
+      Out += " x ";
+    Out += Dims[I].str();
+  }
+  return Out;
+}

@@ -1,0 +1,85 @@
+//===- domains/Interval.h - One-dimensional integer intervals ---*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `AInt` (§2.2): a closed integer interval [Lo, Hi]. Empty
+/// intervals are represented by Lo > Hi and canonicalized to [1, 0]. This
+/// is the scalar building block of the interval abstract domain A_I.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_DOMAINS_INTERVAL_H
+#define ANOSY_DOMAINS_INTERVAL_H
+
+#include "support/Count.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace anosy {
+
+/// A closed interval of int64 values; empty when Lo > Hi.
+struct Interval {
+  int64_t Lo;
+  int64_t Hi;
+
+  /// The canonical empty interval.
+  static Interval empty() { return {1, 0}; }
+
+  /// The singleton interval {V}.
+  static Interval point(int64_t V) { return {V, V}; }
+
+  bool isEmpty() const { return Lo > Hi; }
+
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+
+  /// Subset in the set-theoretic sense; the empty interval is a subset of
+  /// everything.
+  bool subsetOf(const Interval &O) const {
+    if (isEmpty())
+      return true;
+    return !O.isEmpty() && O.Lo <= Lo && Hi <= O.Hi;
+  }
+
+  Interval intersect(const Interval &O) const {
+    Interval R{std::max(Lo, O.Lo), std::min(Hi, O.Hi)};
+    return R.isEmpty() ? empty() : R;
+  }
+
+  /// Convex hull (join in the interval lattice).
+  Interval hull(const Interval &O) const {
+    if (isEmpty())
+      return O;
+    if (O.isEmpty())
+      return *this;
+    return {std::min(Lo, O.Lo), std::max(Hi, O.Hi)};
+  }
+
+  /// Number of integers in the interval.
+  BigCount width() const { return BigCount::ofInterval(Lo, Hi); }
+
+  /// Width as a plain integer; asserts it fits.
+  int64_t widthInt64() const { return width().toInt64(); }
+
+  bool operator==(const Interval &O) const {
+    if (isEmpty() && O.isEmpty())
+      return true;
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+
+  /// Renders "[lo, hi]" or "[]".
+  std::string str() const {
+    if (isEmpty())
+      return "[]";
+    return "[" + std::to_string(Lo) + ", " + std::to_string(Hi) + "]";
+  }
+};
+
+} // namespace anosy
+
+#endif // ANOSY_DOMAINS_INTERVAL_H

@@ -1,0 +1,70 @@
+//===- expr/Analysis.cpp - Query fragment analysis -------------------------===//
+
+#include "expr/Analysis.h"
+
+using namespace anosy;
+
+namespace {
+
+/// Collects fields mentioned by \p E into \p Out.
+void collectFields(const Expr &E, std::set<unsigned> &Out) {
+  if (E.kind() == ExprKind::FieldRef) {
+    Out.insert(E.fieldIndex());
+    return;
+  }
+  for (const ExprRef &Op : E.operands())
+    collectFields(*Op, Out);
+}
+
+/// True when \p E contains no FieldRef (it is a constant of the secret).
+bool isGround(const Expr &E) {
+  if (E.kind() == ExprKind::FieldRef)
+    return false;
+  for (const ExprRef &Op : E.operands())
+    if (!isGround(*Op))
+      return false;
+  return true;
+}
+
+void analyzeRec(const Expr &E, QueryFeatures &F) {
+  if (E.kind() == ExprKind::Mul &&
+      !isGround(*E.operand(0)) && !isGround(*E.operand(1)))
+    F.Linear = false;
+  if (E.kind() == ExprKind::Cmp) {
+    ++F.NumAtoms;
+    std::set<unsigned> AtomFields;
+    collectFields(E, AtomFields);
+    if (AtomFields.size() >= 2)
+      F.Relational = true;
+  }
+  for (const ExprRef &Op : E.operands())
+    analyzeRec(*Op, F);
+}
+
+} // namespace
+
+QueryFeatures anosy::analyzeQuery(const Expr &E) {
+  QueryFeatures F;
+  F.TreeSize = E.treeSize();
+  collectFields(E, F.FreeFields);
+  analyzeRec(E, F);
+  return F;
+}
+
+Result<void> anosy::admitQuery(const Expr &E, size_t Arity) {
+  if (!E.isBoolSorted())
+    return Error(ErrorCode::UnsupportedQuery,
+                 "queries must be boolean functions over the secret");
+  QueryFeatures F = analyzeQuery(E);
+  if (!F.Linear)
+    return Error(ErrorCode::UnsupportedQuery,
+                 "query multiplies two non-constant expressions; only "
+                 "linear integer arithmetic is supported (§5.1)");
+  for (unsigned Idx : F.FreeFields)
+    if (Idx >= Arity)
+      return Error(ErrorCode::UnsupportedQuery,
+                   "query references field $" + std::to_string(Idx) +
+                       " but the secret has only " + std::to_string(Arity) +
+                       " fields");
+  return Result<void>();
+}

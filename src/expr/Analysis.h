@@ -1,0 +1,49 @@
+//===- expr/Analysis.h - Query fragment analysis ----------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analyses over elaborated query expressions:
+///
+/// * fragment admission (§5.1): queries must stay within linear integer
+///   arithmetic over the secret fields — products of two non-constant
+///   subexpressions are rejected;
+/// * free-field computation (which secret components a query inspects);
+/// * relational detection: whether any single atom couples two or more
+///   fields (the paper observes relational queries, e.g. B2 Ship, are the
+///   expensive ones for synthesis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_EXPR_ANALYSIS_H
+#define ANOSY_EXPR_ANALYSIS_H
+
+#include "expr/Expr.h"
+#include "support/Result.h"
+
+#include <set>
+
+namespace anosy {
+
+/// Summary of a query's syntactic features.
+struct QueryFeatures {
+  std::set<unsigned> FreeFields; ///< Secret fields the query mentions.
+  bool Linear = true;            ///< No non-constant * non-constant products.
+  bool Relational = false;       ///< Some comparison couples >= 2 fields.
+  size_t NumAtoms = 0;           ///< Number of comparison atoms.
+  size_t TreeSize = 0;           ///< AST node count.
+};
+
+/// Computes the feature summary for \p E.
+QueryFeatures analyzeQuery(const Expr &E);
+
+/// Checks that \p E is inside the supported fragment of §5.1 for a secret
+/// with \p Arity fields: boolean-sorted, linear, and every field reference
+/// in range. Returns UnsupportedQuery with an explanation otherwise.
+Result<void> admitQuery(const Expr &E, size_t Arity);
+
+} // namespace anosy
+
+#endif // ANOSY_EXPR_ANALYSIS_H

@@ -1,0 +1,90 @@
+//===- expr/Eval.cpp - Concrete query evaluation --------------------------===//
+
+#include "expr/Eval.h"
+
+#include <algorithm>
+
+using namespace anosy;
+
+int64_t anosy::evalInt(const Expr &E, const Point &P) {
+  switch (E.kind()) {
+  case ExprKind::IntConst:
+    return E.intValue();
+  case ExprKind::FieldRef:
+    assert(E.fieldIndex() < P.size() && "field index out of range");
+    return P[E.fieldIndex()];
+  case ExprKind::Neg:
+    return -evalInt(*E.operand(0), P);
+  case ExprKind::Add:
+    return evalInt(*E.operand(0), P) + evalInt(*E.operand(1), P);
+  case ExprKind::Sub:
+    return evalInt(*E.operand(0), P) - evalInt(*E.operand(1), P);
+  case ExprKind::Mul:
+    return evalInt(*E.operand(0), P) * evalInt(*E.operand(1), P);
+  case ExprKind::Abs: {
+    int64_t V = evalInt(*E.operand(0), P);
+    return V < 0 ? -V : V;
+  }
+  case ExprKind::Min:
+    return std::min(evalInt(*E.operand(0), P), evalInt(*E.operand(1), P));
+  case ExprKind::Max:
+    return std::max(evalInt(*E.operand(0), P), evalInt(*E.operand(1), P));
+  case ExprKind::IntIte:
+    return evalBool(*E.operand(0), P) ? evalInt(*E.operand(1), P)
+                                      : evalInt(*E.operand(2), P);
+  case ExprKind::BoolConst:
+  case ExprKind::Cmp:
+  case ExprKind::Not:
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Implies:
+    break;
+  }
+  ANOSY_UNREACHABLE("evalInt on boolean-sorted expression");
+}
+
+bool anosy::evalBool(const Expr &E, const Point &P) {
+  switch (E.kind()) {
+  case ExprKind::BoolConst:
+    return E.boolValue();
+  case ExprKind::Cmp: {
+    int64_t L = evalInt(*E.operand(0), P);
+    int64_t R = evalInt(*E.operand(1), P);
+    switch (E.cmpOp()) {
+    case CmpOp::EQ:
+      return L == R;
+    case CmpOp::NE:
+      return L != R;
+    case CmpOp::LT:
+      return L < R;
+    case CmpOp::LE:
+      return L <= R;
+    case CmpOp::GT:
+      return L > R;
+    case CmpOp::GE:
+      return L >= R;
+    }
+    ANOSY_UNREACHABLE("unknown comparison operator");
+  }
+  case ExprKind::Not:
+    return !evalBool(*E.operand(0), P);
+  case ExprKind::And:
+    return evalBool(*E.operand(0), P) && evalBool(*E.operand(1), P);
+  case ExprKind::Or:
+    return evalBool(*E.operand(0), P) || evalBool(*E.operand(1), P);
+  case ExprKind::Implies:
+    return !evalBool(*E.operand(0), P) || evalBool(*E.operand(1), P);
+  case ExprKind::IntConst:
+  case ExprKind::FieldRef:
+  case ExprKind::Neg:
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::Abs:
+  case ExprKind::Min:
+  case ExprKind::Max:
+  case ExprKind::IntIte:
+    break;
+  }
+  ANOSY_UNREACHABLE("evalBool on integer-sorted expression");
+}

@@ -1,0 +1,261 @@
+//===- expr/Lexer.cpp - Query-language lexer -------------------------------===//
+
+#include "expr/Lexer.h"
+
+#include <cctype>
+
+using namespace anosy;
+
+const char *anosy::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Arrow:
+    return "'==>'";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Character cursor with line/column tracking.
+class Cursor {
+public:
+  explicit Cursor(const std::string &Source) : Source(Source) {}
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  unsigned line() const { return Line; }
+  unsigned column() const { return Column; }
+
+private:
+  const std::string &Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace
+
+Result<std::vector<Token>> anosy::tokenize(const std::string &Source) {
+  std::vector<Token> Tokens;
+  Cursor C(Source);
+
+  auto Emit = [&Tokens](TokenKind Kind, unsigned Line, unsigned Col) {
+    Token T;
+    T.Kind = Kind;
+    T.Line = Line;
+    T.Column = Col;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (!C.atEnd()) {
+    unsigned Line = C.line(), Col = C.column();
+    char Ch = C.peek();
+
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      C.advance();
+      continue;
+    }
+    if (Ch == '#') {
+      while (!C.atEnd() && C.peek() != '\n')
+        C.advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      int64_t Value = 0;
+      bool Overflow = false;
+      while (!C.atEnd() && std::isdigit(static_cast<unsigned char>(C.peek()))) {
+        int Digit = C.advance() - '0';
+        if (Value > (INT64_MAX - Digit) / 10)
+          Overflow = true;
+        else
+          Value = Value * 10 + Digit;
+      }
+      if (Overflow)
+        return Error(ErrorCode::ParseError,
+                     "integer literal overflows 64 bits at line " +
+                         std::to_string(Line));
+      Token T;
+      T.Kind = TokenKind::Integer;
+      T.IntValue = Value;
+      T.Line = Line;
+      T.Column = Col;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+      std::string Text;
+      while (!C.atEnd() &&
+             (std::isalnum(static_cast<unsigned char>(C.peek())) ||
+              C.peek() == '_'))
+        Text.push_back(C.advance());
+      Token T;
+      T.Kind = TokenKind::Ident;
+      T.Text = std::move(Text);
+      T.Line = Line;
+      T.Column = Col;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    // Punctuation and operators (longest match first).
+    C.advance();
+    switch (Ch) {
+    case '(':
+      Emit(TokenKind::LParen, Line, Col);
+      continue;
+    case ')':
+      Emit(TokenKind::RParen, Line, Col);
+      continue;
+    case '{':
+      Emit(TokenKind::LBrace, Line, Col);
+      continue;
+    case '}':
+      Emit(TokenKind::RBrace, Line, Col);
+      continue;
+    case '[':
+      Emit(TokenKind::LBracket, Line, Col);
+      continue;
+    case ']':
+      Emit(TokenKind::RBracket, Line, Col);
+      continue;
+    case ',':
+      Emit(TokenKind::Comma, Line, Col);
+      continue;
+    case ':':
+      Emit(TokenKind::Colon, Line, Col);
+      continue;
+    case '+':
+      Emit(TokenKind::Plus, Line, Col);
+      continue;
+    case '-':
+      Emit(TokenKind::Minus, Line, Col);
+      continue;
+    case '*':
+      Emit(TokenKind::Star, Line, Col);
+      continue;
+    case '=':
+      if (C.peek() == '=' && C.peek(1) == '>') {
+        C.advance();
+        C.advance();
+        Emit(TokenKind::Arrow, Line, Col);
+      } else if (C.peek() == '=') {
+        C.advance();
+        Emit(TokenKind::EqEq, Line, Col);
+      } else {
+        Emit(TokenKind::Assign, Line, Col);
+      }
+      continue;
+    case '!':
+      if (C.peek() == '=') {
+        C.advance();
+        Emit(TokenKind::NotEq, Line, Col);
+      } else {
+        Emit(TokenKind::Bang, Line, Col);
+      }
+      continue;
+    case '<':
+      if (C.peek() == '=') {
+        C.advance();
+        Emit(TokenKind::LessEq, Line, Col);
+      } else {
+        Emit(TokenKind::Less, Line, Col);
+      }
+      continue;
+    case '>':
+      if (C.peek() == '=') {
+        C.advance();
+        Emit(TokenKind::GreaterEq, Line, Col);
+      } else {
+        Emit(TokenKind::Greater, Line, Col);
+      }
+      continue;
+    case '&':
+      if (C.peek() == '&') {
+        C.advance();
+        Emit(TokenKind::AndAnd, Line, Col);
+        continue;
+      }
+      break;
+    case '|':
+      if (C.peek() == '|') {
+        C.advance();
+        Emit(TokenKind::OrOr, Line, Col);
+        continue;
+      }
+      break;
+    default:
+      break;
+    }
+    return Error(ErrorCode::ParseError,
+                 std::string("unexpected character '") + Ch + "' at line " +
+                     std::to_string(Line) + ", column " + std::to_string(Col));
+  }
+
+  Token T;
+  T.Kind = TokenKind::Eof;
+  T.Line = C.line();
+  T.Column = C.column();
+  Tokens.push_back(std::move(T));
+  return Tokens;
+}

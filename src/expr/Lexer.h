@@ -1,0 +1,78 @@
+//===- expr/Lexer.h - Query-language lexer ----------------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the ANOSY query DSL — the C++ stand-in for "queries are
+/// Haskell functions" (§5.1). A module source declares one secret schema,
+/// optional helper `def`s, and named `query` bodies:
+///
+/// \code
+///   secret UserLoc { x: int[0, 400], y: int[0, 400] }
+///   def manhattan(ox: int, oy: int): int = abs(x - ox) + abs(y - oy)
+///   query nearby = manhattan(200, 200) <= 100
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_EXPR_LEXER_H
+#define ANOSY_EXPR_LEXER_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// Token discriminators for the query DSL.
+enum class TokenKind {
+  Eof,
+  Ident,    ///< Identifier (also carries keywords; parser distinguishes).
+  Integer,  ///< Integer literal.
+  LParen,   ///< (
+  RParen,   ///< )
+  LBrace,   ///< {
+  RBrace,   ///< }
+  LBracket, ///< [
+  RBracket, ///< ]
+  Comma,    ///< ,
+  Colon,    ///< :
+  Assign,   ///< =
+  Plus,     ///< +
+  Minus,    ///< -
+  Star,     ///< *
+  EqEq,     ///< ==
+  NotEq,    ///< !=
+  Less,     ///< <
+  LessEq,   ///< <=
+  Greater,  ///< >
+  GreaterEq,///< >=
+  AndAnd,   ///< &&
+  OrOr,     ///< ||
+  Bang,     ///< !
+  Arrow,    ///< ==>
+};
+
+/// Textual name of a token kind, for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// A single token with source location (1-based line and column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;    ///< Identifier spelling; empty otherwise.
+  int64_t IntValue = 0; ///< Value for Integer tokens.
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// Tokenizes \p Source. `#` starts a comment running to end of line.
+/// Returns ParseError on unknown characters or overflowing literals.
+Result<std::vector<Token>> tokenize(const std::string &Source);
+
+} // namespace anosy
+
+#endif // ANOSY_EXPR_LEXER_H

@@ -1,0 +1,80 @@
+//===- expr/Module.h - Parsed query modules ---------------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module is the elaborated form of a query DSL source file: the secret
+/// Schema plus the named queries, each fully inlined to an expression over
+/// schema fields only (helper `def`s are gone after elaboration, and
+/// recursive `def`s have been rejected, per §5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_EXPR_MODULE_H
+#define ANOSY_EXPR_MODULE_H
+
+#include "expr/Expr.h"
+#include "expr/Schema.h"
+
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// A named boolean query over the module's secret schema.
+struct QueryDef {
+  std::string Name;
+  ExprRef Body; ///< Boolean-sorted, references schema fields only.
+};
+
+/// A named integer-valued query with finitely many outputs — the paper's
+/// §5.1 extension ("non-boolean queries with finitely many outputs ...
+/// computing one ind. set per possible output"). Declared with the
+/// `classify` keyword.
+struct ClassifierDef {
+  std::string Name;
+  ExprRef Body; ///< Integer-sorted, references schema fields only.
+};
+
+/// A parsed and elaborated query module.
+class Module {
+public:
+  Module() = default;
+  Module(Schema S, std::vector<QueryDef> Queries,
+         std::vector<ClassifierDef> Classifiers = {})
+      : S(std::move(S)), Queries(std::move(Queries)),
+        Classifiers(std::move(Classifiers)) {}
+
+  const Schema &schema() const { return S; }
+  const std::vector<QueryDef> &queries() const { return Queries; }
+  const std::vector<ClassifierDef> &classifiers() const {
+    return Classifiers;
+  }
+
+  /// The query named \p Name, or nullptr when absent.
+  const QueryDef *findQuery(const std::string &Name) const {
+    for (const QueryDef &Q : Queries)
+      if (Q.Name == Name)
+        return &Q;
+    return nullptr;
+  }
+
+  /// The classifier named \p Name, or nullptr when absent.
+  const ClassifierDef *findClassifier(const std::string &Name) const {
+    for (const ClassifierDef &C : Classifiers)
+      if (C.Name == Name)
+        return &C;
+    return nullptr;
+  }
+
+private:
+  Schema S;
+  std::vector<QueryDef> Queries;
+  std::vector<ClassifierDef> Classifiers;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_EXPR_MODULE_H

@@ -1,0 +1,40 @@
+//===- expr/Schema.cpp - Secret type descriptions -------------------------===//
+
+#include "expr/Schema.h"
+
+using namespace anosy;
+
+int Schema::fieldIndex(const std::string &FieldName) const {
+  for (size_t I = 0, E = Fields.size(); I != E; ++I)
+    if (Fields[I].Name == FieldName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+bool Schema::contains(const Point &P) const {
+  if (P.size() != Fields.size())
+    return false;
+  for (size_t I = 0, E = Fields.size(); I != E; ++I)
+    if (P[I] < Fields[I].Lo || P[I] > Fields[I].Hi)
+      return false;
+  return true;
+}
+
+BigCount Schema::totalSize() const {
+  BigCount Total(1);
+  for (const Field &F : Fields)
+    Total = Total * BigCount::ofInterval(F.Lo, F.Hi);
+  return Total;
+}
+
+std::string Schema::str() const {
+  std::string Out = Name + " {";
+  for (size_t I = 0, E = Fields.size(); I != E; ++I) {
+    if (I != 0)
+      Out += ",";
+    Out += " " + Fields[I].Name + ": int[" + std::to_string(Fields[I].Lo) +
+           ", " + std::to_string(Fields[I].Hi) + "]";
+  }
+  Out += " }";
+  return Out;
+}

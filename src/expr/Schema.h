@@ -1,0 +1,73 @@
+//===- expr/Schema.h - Secret type descriptions -----------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Secret schemas. The paper's secrets are "products of integers (or types
+/// that can be encoded to integers)" (§4.3), each component bounded — e.g.
+/// `UserLoc { x: int[0,400], y: int[0,400] }`. A Schema names the fields and
+/// carries their inclusive bounds; a concrete secret is a Point, one int64
+/// per field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_EXPR_SCHEMA_H
+#define ANOSY_EXPR_SCHEMA_H
+
+#include "support/Count.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// A concrete secret value: one integer per schema field.
+using Point = std::vector<int64_t>;
+
+/// One integer component of a secret, with inclusive bounds.
+struct Field {
+  std::string Name;
+  int64_t Lo;
+  int64_t Hi;
+};
+
+/// The type of a secret: a named product of bounded integer fields.
+class Schema {
+public:
+  Schema() = default;
+  Schema(std::string Name, std::vector<Field> Fields)
+      : Name(std::move(Name)), Fields(std::move(Fields)) {}
+
+  const std::string &name() const { return Name; }
+  size_t arity() const { return Fields.size(); }
+
+  const Field &field(size_t I) const {
+    assert(I < Fields.size() && "field index out of range");
+    return Fields[I];
+  }
+  const std::vector<Field> &fields() const { return Fields; }
+
+  /// Index of the field named \p Name, or -1 when absent.
+  int fieldIndex(const std::string &Name) const;
+
+  /// True when \p P has the right arity and every component is in bounds.
+  bool contains(const Point &P) const;
+
+  /// Number of secrets the schema admits (product of field widths).
+  BigCount totalSize() const;
+
+  /// Renders `Name { f1: int[lo,hi], ... }`.
+  std::string str() const;
+
+private:
+  std::string Name;
+  std::vector<Field> Fields;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_EXPR_SCHEMA_H

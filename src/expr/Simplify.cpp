@@ -1,0 +1,155 @@
+//===- expr/Simplify.cpp - Normalization passes ----------------------------===//
+
+#include "expr/Simplify.h"
+
+using namespace anosy;
+
+namespace {
+
+/// Bottom-up rebuild through the folding builders.
+ExprRef simplifyRec(const ExprRef &E) {
+  switch (E->kind()) {
+  case ExprKind::IntConst:
+  case ExprKind::FieldRef:
+  case ExprKind::BoolConst:
+    return E;
+  case ExprKind::Neg:
+    return neg(simplifyRec(E->operand(0)));
+  case ExprKind::Add:
+    return add(simplifyRec(E->operand(0)), simplifyRec(E->operand(1)));
+  case ExprKind::Sub: {
+    ExprRef A = simplifyRec(E->operand(0));
+    ExprRef B = simplifyRec(E->operand(1));
+    // x - x = 0: a rewrite the pairwise builders cannot fold.
+    if (Expr::structurallyEqual(*A, *B))
+      return intConst(0);
+    return sub(std::move(A), std::move(B));
+  }
+  case ExprKind::Mul:
+    return mul(simplifyRec(E->operand(0)), simplifyRec(E->operand(1)));
+  case ExprKind::Abs:
+    return absOf(simplifyRec(E->operand(0)));
+  case ExprKind::Min: {
+    ExprRef A = simplifyRec(E->operand(0));
+    ExprRef B = simplifyRec(E->operand(1));
+    if (Expr::structurallyEqual(*A, *B))
+      return A;
+    return minOf(std::move(A), std::move(B));
+  }
+  case ExprKind::Max: {
+    ExprRef A = simplifyRec(E->operand(0));
+    ExprRef B = simplifyRec(E->operand(1));
+    if (Expr::structurallyEqual(*A, *B))
+      return A;
+    return maxOf(std::move(A), std::move(B));
+  }
+  case ExprKind::IntIte: {
+    ExprRef C = simplifyRec(E->operand(0));
+    ExprRef T = simplifyRec(E->operand(1));
+    ExprRef F = simplifyRec(E->operand(2));
+    if (Expr::structurallyEqual(*T, *F))
+      return T;
+    return intIte(std::move(C), std::move(T), std::move(F));
+  }
+  case ExprKind::Cmp: {
+    ExprRef A = simplifyRec(E->operand(0));
+    ExprRef B = simplifyRec(E->operand(1));
+    if (Expr::structurallyEqual(*A, *B)) {
+      // x ⋈ x folds to a truth value for every operator.
+      switch (E->cmpOp()) {
+      case CmpOp::EQ:
+      case CmpOp::LE:
+      case CmpOp::GE:
+        return boolConst(true);
+      case CmpOp::NE:
+      case CmpOp::LT:
+      case CmpOp::GT:
+        return boolConst(false);
+      }
+    }
+    return cmp(E->cmpOp(), std::move(A), std::move(B));
+  }
+  case ExprKind::Not: {
+    ExprRef A = simplifyRec(E->operand(0));
+    // !(a ⋈ b) flips the comparison: one fewer connective.
+    if (A->kind() == ExprKind::Cmp)
+      return cmp(cmpOpNegation(A->cmpOp()), A->operand(0), A->operand(1));
+    return notOf(std::move(A));
+  }
+  case ExprKind::And: {
+    ExprRef A = simplifyRec(E->operand(0));
+    ExprRef B = simplifyRec(E->operand(1));
+    if (Expr::structurallyEqual(*A, *B))
+      return A;
+    return andOf(std::move(A), std::move(B));
+  }
+  case ExprKind::Or: {
+    ExprRef A = simplifyRec(E->operand(0));
+    ExprRef B = simplifyRec(E->operand(1));
+    if (Expr::structurallyEqual(*A, *B))
+      return A;
+    return orOf(std::move(A), std::move(B));
+  }
+  case ExprKind::Implies:
+    return implies(simplifyRec(E->operand(0)), simplifyRec(E->operand(1)));
+  }
+  ANOSY_UNREACHABLE("unknown expression kind");
+}
+
+/// NNF with an explicit polarity: Negate = true means rewrite ¬E.
+ExprRef nnfRec(const ExprRef &E, bool Negate) {
+  switch (E->kind()) {
+  case ExprKind::BoolConst:
+    return boolConst(E->boolValue() != Negate);
+  case ExprKind::Cmp: {
+    CmpOp Op = Negate ? cmpOpNegation(E->cmpOp()) : E->cmpOp();
+    return cmp(Op, E->operand(0), E->operand(1));
+  }
+  case ExprKind::Not:
+    return nnfRec(E->operand(0), !Negate);
+  case ExprKind::And: {
+    ExprRef A = nnfRec(E->operand(0), Negate);
+    ExprRef B = nnfRec(E->operand(1), Negate);
+    // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b.
+    return Negate ? orOf(std::move(A), std::move(B))
+                  : andOf(std::move(A), std::move(B));
+  }
+  case ExprKind::Or: {
+    ExprRef A = nnfRec(E->operand(0), Negate);
+    ExprRef B = nnfRec(E->operand(1), Negate);
+    return Negate ? andOf(std::move(A), std::move(B))
+                  : orOf(std::move(A), std::move(B));
+  }
+  case ExprKind::Implies: {
+    // a ⇒ b = ¬a ∨ b; negated: a ∧ ¬b.
+    ExprRef NA = nnfRec(E->operand(0), !Negate);
+    ExprRef B = nnfRec(E->operand(1), Negate);
+    return Negate ? andOf(std::move(NA), std::move(B))
+                  : orOf(std::move(NA), std::move(B));
+  }
+  case ExprKind::IntConst:
+  case ExprKind::FieldRef:
+  case ExprKind::Neg:
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::Abs:
+  case ExprKind::Min:
+  case ExprKind::Max:
+  case ExprKind::IntIte:
+    break;
+  }
+  ANOSY_UNREACHABLE("toNNF on integer-sorted expression");
+}
+
+} // namespace
+
+ExprRef anosy::simplify(const ExprRef &E) {
+  assert(E && "simplify of null expression");
+  return simplifyRec(E);
+}
+
+ExprRef anosy::toNNF(const ExprRef &E) {
+  assert(E && E->isBoolSorted() && "NNF is defined on boolean queries");
+  return nnfRec(E, /*Negate=*/false);
+}

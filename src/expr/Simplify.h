@@ -1,0 +1,43 @@
+//===- expr/Simplify.h - Normalization passes -------------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantics-preserving normalization passes over query ASTs:
+///
+/// * simplify — bottom-up reconstruction through the folding builders
+///   (constant folding, identity elimination, connective short-circuits),
+///   plus a few non-local rewrites the builders cannot see (x - x = 0,
+///   double negation through comparisons).
+/// * toNNF — negation normal form: pushes ! down to comparison atoms
+///   (flipping their operators) and eliminates ==>. NNF is what makes
+///   boolean structure visible to the analyses (every connective on the
+///   path to an atom is ∧/∨), and the solver's split-hint collection and
+///   the abstract-interpretation baseline both get strictly more to work
+///   with on NNF inputs.
+///
+/// Both passes are verified semantics-preserving by exhaustive and
+/// randomized property tests (tests/expr/SimplifyTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_EXPR_SIMPLIFY_H
+#define ANOSY_EXPR_SIMPLIFY_H
+
+#include "expr/Expr.h"
+
+namespace anosy {
+
+/// Rebuilds \p E bottom-up through the folding constructors and applies
+/// local algebraic rewrites. Idempotent; preserves semantics exactly.
+ExprRef simplify(const ExprRef &E);
+
+/// Negation normal form: no Not above a non-atom, no Implies anywhere.
+/// Boolean-sorted inputs only. Preserves semantics exactly.
+ExprRef toNNF(const ExprRef &E);
+
+} // namespace anosy
+
+#endif // ANOSY_EXPR_SIMPLIFY_H

@@ -1,0 +1,172 @@
+//===- expr/SmtLib.cpp - SMT-LIB2 emission ---------------------------------===//
+
+#include "expr/SmtLib.h"
+
+using namespace anosy;
+
+namespace {
+
+/// Emits SMT-LIB2 terms; field references render through \p NameOf.
+class SmtPrinter {
+public:
+  explicit SmtPrinter(const Schema &S) : S(S) {}
+
+  std::string term(const Expr &E) const {
+    switch (E.kind()) {
+    case ExprKind::IntConst: {
+      int64_t V = E.intValue();
+      if (V < 0)
+        return "(- " + std::to_string(-V) + ")";
+      return std::to_string(V);
+    }
+    case ExprKind::FieldRef:
+      return fieldName(E.fieldIndex());
+    case ExprKind::Neg:
+      return unary("-", E);
+    case ExprKind::Add:
+      return binary("+", E);
+    case ExprKind::Sub:
+      return binary("-", E);
+    case ExprKind::Mul:
+      return binary("*", E);
+    case ExprKind::Abs:
+      return unary("abs", E);
+    case ExprKind::Min: {
+      std::string A = term(*E.operand(0)), B = term(*E.operand(1));
+      return "(ite (<= " + A + " " + B + ") " + A + " " + B + ")";
+    }
+    case ExprKind::Max: {
+      std::string A = term(*E.operand(0)), B = term(*E.operand(1));
+      return "(ite (>= " + A + " " + B + ") " + A + " " + B + ")";
+    }
+    case ExprKind::IntIte:
+      return "(ite " + term(*E.operand(0)) + " " + term(*E.operand(1)) +
+             " " + term(*E.operand(2)) + ")";
+    case ExprKind::BoolConst:
+      return E.boolValue() ? "true" : "false";
+    case ExprKind::Cmp: {
+      const char *Op = "=";
+      switch (E.cmpOp()) {
+      case CmpOp::EQ:
+        Op = "=";
+        break;
+      case CmpOp::NE:
+        return "(not (= " + term(*E.operand(0)) + " " +
+               term(*E.operand(1)) + "))";
+      case CmpOp::LT:
+        Op = "<";
+        break;
+      case CmpOp::LE:
+        Op = "<=";
+        break;
+      case CmpOp::GT:
+        Op = ">";
+        break;
+      case CmpOp::GE:
+        Op = ">=";
+        break;
+      }
+      return std::string("(") + Op + " " + term(*E.operand(0)) + " " +
+             term(*E.operand(1)) + ")";
+    }
+    case ExprKind::Not:
+      return unary("not", E);
+    case ExprKind::And:
+      return binary("and", E);
+    case ExprKind::Or:
+      return binary("or", E);
+    case ExprKind::Implies:
+      return binary("=>", E);
+    }
+    ANOSY_UNREACHABLE("unknown expression kind");
+  }
+
+  std::string fieldName(unsigned Idx) const {
+    if (Idx < S.arity())
+      return S.field(Idx).Name;
+    return "f" + std::to_string(Idx);
+  }
+
+private:
+  std::string unary(const char *Op, const Expr &E) const {
+    return std::string("(") + Op + " " + term(*E.operand(0)) + ")";
+  }
+  std::string binary(const char *Op, const Expr &E) const {
+    return std::string("(") + Op + " " + term(*E.operand(0)) + " " +
+           term(*E.operand(1)) + ")";
+  }
+
+  const Schema &S;
+};
+
+} // namespace
+
+std::string anosy::toSmtLibTerm(const Expr &E, const Schema &S) {
+  return SmtPrinter(S).term(E);
+}
+
+std::string anosy::toSmtLibScript(const Expr &E, const Schema &S) {
+  SmtPrinter P(S);
+  std::string Out = "(set-logic QF_LIA)\n";
+  for (size_t I = 0, N = S.arity(); I != N; ++I) {
+    const Field &F = S.field(I);
+    std::string Name = P.fieldName(static_cast<unsigned>(I));
+    Out += "(declare-const " + Name + " Int)\n";
+    Out += "(assert (and (<= " + std::to_string(F.Lo) + " " + Name +
+           ") (<= " + Name + " " + std::to_string(F.Hi) + ")))\n";
+  }
+  Out += "(assert " + P.term(E) + ")\n";
+  Out += "(check-sat)\n(get-model)\n";
+  return Out;
+}
+
+std::string anosy::toSynthConstraintScript(const Expr &E, const Schema &S,
+                                           bool Polarity, bool Under) {
+  SmtPrinter P(S);
+  std::string Out = "; SYNTH constraints (§2.3/§5.3): one typed "
+                    "hole, ";
+  Out += Under ? "under" : "over";
+  Out += "-approximate ind. set for the ";
+  Out += Polarity ? "True" : "False";
+  Out += " response\n(set-logic LIA)\n";
+
+  std::string BoundsConj, MemberConj;
+  for (size_t I = 0, N = S.arity(); I != N; ++I) {
+    std::string Name = P.fieldName(static_cast<unsigned>(I));
+    std::string L = "l_" + Name, U = "u_" + Name;
+    Out += "(declare-const " + L + " Int)\n(declare-const " + U + " Int)\n";
+    const Field &F = S.field(I);
+    BoundsConj += " (<= " + std::to_string(F.Lo) + " " + L + ") (<= " + U +
+                  " " + std::to_string(F.Hi) + ") (<= " + L + " " + U + ")";
+    MemberConj += " (<= " + L + " " + Name + ") (<= " + Name + " " + U + ")";
+  }
+  Out += "(assert (and" + BoundsConj + "))\n";
+
+  std::string Query = P.term(E);
+  if (!Polarity)
+    Query = "(not " + Query + ")";
+
+  // Forall-quantified secret variables.
+  std::string Binder;
+  for (size_t I = 0, N = S.arity(); I != N; ++I)
+    Binder += "(" + P.fieldName(static_cast<unsigned>(I)) + " Int) ";
+  std::string Member = "(and" + MemberConj + ")";
+  if (Under)
+    // (Under-approx): every point inside the hole satisfies the query.
+    Out += "(assert (forall (" + Binder + ") (=> " + Member + " " + Query +
+           ")))\n";
+  else
+    // (Over-approx): every satisfying point lies inside the hole.
+    Out += "(assert (forall (" + Binder + ") (=> " + Query + " " + Member +
+           ")))\n";
+
+  // The paper's Pareto objectives: widen under-approximations, shrink
+  // over-approximations, one objective per dimension (§5.3).
+  for (size_t I = 0, N = S.arity(); I != N; ++I) {
+    std::string Name = P.fieldName(static_cast<unsigned>(I));
+    Out += std::string(Under ? "(maximize" : "(minimize") + " (- u_" + Name +
+           " l_" + Name + "))\n";
+  }
+  Out += "(check-sat)\n(get-model)\n";
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- expr/SmtLib.h - SMT-LIB2 emission ------------------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mechanical translation of queries to SMT-LIB2 text — the "direct,
+/// syntactic translation of ... the query definitions into Z3 functions"
+/// of §5.3. Our synthesis engine does not shell out to an SMT solver (see
+/// DESIGN.md), but the emitter documents the constraint systems SYNTH
+/// solves and lets users cross-check them with any SMT-LIB solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_EXPR_SMTLIB_H
+#define ANOSY_EXPR_SMTLIB_H
+
+#include "expr/Expr.h"
+#include "expr/Schema.h"
+
+#include <string>
+
+namespace anosy {
+
+/// Renders \p E as an SMT-LIB2 term over constants named after the schema
+/// fields.
+std::string toSmtLibTerm(const Expr &E, const Schema &S);
+
+/// Renders a full SMT-LIB2 script declaring the secret fields with their
+/// bounds and asserting \p E; (check-sat) asks for a satisfying secret.
+std::string toSmtLibScript(const Expr &E, const Schema &S);
+
+/// Renders the SYNTH constraint system of §2.3 / §5.3 for one typed hole:
+/// symbolic bounds l_i/u_i, the forall-implication that every point in the
+/// box (dis)satisfies the query, and the paper's Pareto maximize/minimize
+/// objectives. \p Polarity is the query response the hole's ind. set is
+/// for; \p Under selects under- vs over-approximation.
+std::string toSynthConstraintScript(const Expr &E, const Schema &S,
+                                    bool Polarity, bool Under);
+
+} // namespace anosy
+
+#endif // ANOSY_EXPR_SMTLIB_H

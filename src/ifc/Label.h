@@ -1,0 +1,163 @@
+//===- ifc/Label.h - Security label lattices --------------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Security labels for the LIO-like substrate (§2.1's "Secure monad"). A
+/// label lattice provides ⊑ (canFlowTo), join, meet, ⊥ and ⊤. Two
+/// implementations ship:
+///
+/// * SecurityLevel — the classic totally-ordered clearance ladder
+///   (Public ⊑ Confidential ⊑ Secret ⊑ TopSecret);
+/// * ReaderSet — a DC-labels-style powerset lattice over principals,
+///   where a value labeled with readers R may flow to contexts whose
+///   reader set is a subset of R (fewer readers = more secret).
+///
+/// The IFC substrate (Labeled, SecureContext) is templated over any type
+/// satisfying the LabelLattice concept.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_IFC_LABEL_H
+#define ANOSY_IFC_LABEL_H
+
+#include <concepts>
+#include <set>
+#include <string>
+
+namespace anosy {
+
+/// Requirements on a security-label type.
+template <typename L>
+concept LabelLattice = requires(const L &A, const L &B) {
+  { L::bottom() } -> std::same_as<L>;
+  { L::top() } -> std::same_as<L>;
+  { A.canFlowTo(B) } -> std::same_as<bool>;
+  { A.join(B) } -> std::same_as<L>;
+  { A.meet(B) } -> std::same_as<L>;
+  { A.str() } -> std::same_as<std::string>;
+  { A == B } -> std::same_as<bool>;
+};
+
+/// Totally ordered clearance levels.
+class SecurityLevel {
+public:
+  enum LevelKind { Public = 0, Confidential = 1, Secret = 2, TopSecret = 3 };
+
+  /*implicit*/ SecurityLevel(LevelKind Kind = Public) : Kind(Kind) {}
+
+  static SecurityLevel bottom() { return SecurityLevel(Public); }
+  static SecurityLevel top() { return SecurityLevel(TopSecret); }
+
+  bool canFlowTo(const SecurityLevel &O) const { return Kind <= O.Kind; }
+  SecurityLevel join(const SecurityLevel &O) const {
+    return SecurityLevel(Kind >= O.Kind ? Kind : O.Kind);
+  }
+  SecurityLevel meet(const SecurityLevel &O) const {
+    return SecurityLevel(Kind <= O.Kind ? Kind : O.Kind);
+  }
+
+  LevelKind kind() const { return Kind; }
+  bool operator==(const SecurityLevel &O) const { return Kind == O.Kind; }
+
+  std::string str() const {
+    switch (Kind) {
+    case Public:
+      return "Public";
+    case Confidential:
+      return "Confidential";
+    case Secret:
+      return "Secret";
+    case TopSecret:
+      return "TopSecret";
+    }
+    return "?";
+  }
+
+private:
+  LevelKind Kind;
+};
+
+/// Powerset-of-principals labels: the set of principals allowed to read.
+/// ⊥ is "everyone may read" and ⊤ is "no one may read", so secrecy grows
+/// as the reader set shrinks.
+class ReaderSet {
+public:
+  /// Label readable by everyone (the public label).
+  ReaderSet() : Everyone(true) {}
+
+  /// Label readable exactly by \p Readers.
+  explicit ReaderSet(std::set<std::string> Readers)
+      : Everyone(false), Readers(std::move(Readers)) {}
+
+  static ReaderSet bottom() { return ReaderSet(); }
+  static ReaderSet top() { return ReaderSet(std::set<std::string>{}); }
+
+  /// A ⊑ B iff B's readers are a subset of A's (information may only
+  /// become more secret).
+  bool canFlowTo(const ReaderSet &O) const {
+    if (isEveryone())
+      return true; // public data flows anywhere
+    if (O.isEveryone())
+      return false; // restricted data cannot flow to a public context
+    // Flowing to O may only restrict readership: O.Readers ⊆ Readers.
+    for (const std::string &R : O.Readers)
+      if (!Readers.count(R))
+        return false;
+    return true;
+  }
+
+  ReaderSet join(const ReaderSet &O) const {
+    if (isEveryone())
+      return O;
+    if (O.isEveryone())
+      return *this;
+    std::set<std::string> Common;
+    for (const std::string &R : Readers)
+      if (O.Readers.count(R))
+        Common.insert(R);
+    return ReaderSet(std::move(Common));
+  }
+
+  ReaderSet meet(const ReaderSet &O) const {
+    if (isEveryone() || O.isEveryone())
+      return ReaderSet();
+    std::set<std::string> Union = Readers;
+    Union.insert(O.Readers.begin(), O.Readers.end());
+    return ReaderSet(std::move(Union));
+  }
+
+  bool isEveryone() const { return Everyone; }
+  const std::set<std::string> &readers() const { return Readers; }
+
+  bool operator==(const ReaderSet &O) const {
+    return Everyone == O.Everyone && Readers == O.Readers;
+  }
+
+  std::string str() const {
+    if (Everyone)
+      return "{everyone}";
+    std::string Out = "{";
+    bool First = true;
+    for (const std::string &R : Readers) {
+      if (!First)
+        Out += ", ";
+      Out += R;
+      First = false;
+    }
+    return Out + "}";
+  }
+
+private:
+  bool Everyone;
+  std::set<std::string> Readers;
+};
+
+static_assert(LabelLattice<SecurityLevel>);
+static_assert(LabelLattice<ReaderSet>);
+
+} // namespace anosy
+
+#endif // ANOSY_IFC_LABEL_H

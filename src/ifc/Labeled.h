@@ -1,0 +1,57 @@
+//===- ifc/Labeled.h - Protected values -------------------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Labeled<T, L>: a value of type T protected by a security label — the
+/// "protected box" of §2.1 (`Secure (Protected UserLoc)`). The raw value is
+/// only reachable through a SecureContext (which raises the current label,
+/// LIO-style) or through the trusted unprotectTCB hook (the paper's
+/// `unlabelTCB` / `Unprotectable.unprotect`), which is exactly the
+/// downgrade channel AnosyT guards with quantitative policies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_IFC_LABELED_H
+#define ANOSY_IFC_LABELED_H
+
+#include "ifc/Label.h"
+
+#include <utility>
+
+namespace anosy {
+
+template <typename T, LabelLattice L> class SecureContext;
+
+/// A label-protected value. Construction is free (labeling public data is
+/// always safe in this direction-of-use); *inspection* is what is guarded.
+template <typename T, LabelLattice L> class Labeled {
+public:
+  Labeled(T Value, L Lab) : Value(std::move(Value)), Lab(std::move(Lab)) {}
+
+  /// The label is public metadata (as in LIO).
+  const L &label() const { return Lab; }
+
+  /// Trusted-codebase projection. This bypasses the IFC discipline by
+  /// design; only policy-enforcing code (AnosyT's bounded downgrade) and
+  /// tests should call it. Mirrors the paper's Unprotectable class.
+  const T &unprotectTCB() const { return Value; }
+
+  bool operator<(const Labeled &O) const { return Value < O.Value; }
+
+private:
+  friend class SecureContext<T, L>;
+  T Value;
+  L Lab;
+};
+
+/// Convenience constructor.
+template <typename T, LabelLattice L> Labeled<T, L> makeLabeled(T Value, L Lab) {
+  return Labeled<T, L>(std::move(Value), std::move(Lab));
+}
+
+} // namespace anosy
+
+#endif // ANOSY_IFC_LABELED_H

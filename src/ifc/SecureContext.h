@@ -1,0 +1,129 @@
+//===- ifc/SecureContext.h - The LIO-like secure monad ----------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SecureContext<T, L>: a floating-label IFC monad in the style of LIO
+/// (Stefan et al. 2011), the "underlying security monad" AnosyT stages on
+/// top of (§3). It tracks a current label and a clearance:
+///
+/// * unlabel(v)   — read a protected value; raises the current label to
+///                  join(current, label(v)); fails above clearance.
+/// * labelValue   — protect a value at a label between current and
+///                  clearance.
+/// * output       — write to a channel; permitted only when the current
+///                  label flows to the channel's label (this is where
+///                  non-interference bites).
+/// * runToLabeled — run a sub-computation and capture its result at its
+///                  final label, restoring the current label (LIO's
+///                  toLabeled), so tainted reads don't poison the rest of
+///                  the program.
+/// * declassifyTCB— the trusted downgrade hook (the paper's unlabelTCB):
+///                  reads a protected value *without* raising the label.
+///                  Every call is recorded in the audit log; AnosyT is the
+///                  only component that should use it, and only after its
+///                  knowledge-policy check passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_IFC_SECURECONTEXT_H
+#define ANOSY_IFC_SECURECONTEXT_H
+
+#include "ifc/Labeled.h"
+#include "support/Result.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// One entry of the declassification audit log.
+struct AuditEvent {
+  std::string Description;
+  std::string FromLabel;
+  std::string ToLabel;
+};
+
+/// A floating-label secure computation context over values of type T.
+template <typename T, LabelLattice L> class SecureContext {
+public:
+  /// Starts at ⊥ with clearance \p Clearance (defaults to ⊤).
+  explicit SecureContext(L Clearance = L::top())
+      : Current(L::bottom()), Clearance(std::move(Clearance)) {}
+
+  const L &currentLabel() const { return Current; }
+  const L &clearance() const { return Clearance; }
+
+  /// Protects \p Value at \p Lab; requires current ⊑ Lab ⊑ clearance
+  /// (labeling below the current label would launder tainted data).
+  Result<Labeled<T, L>> labelValue(T Value, L Lab) {
+    if (!Current.canFlowTo(Lab))
+      return Error(ErrorCode::LabelCheckFailure,
+                   "cannot label below the current label (" + Current.str() +
+                       " does not flow to " + Lab.str() + ")");
+    if (!Lab.canFlowTo(Clearance))
+      return Error(ErrorCode::LabelCheckFailure,
+                   "label " + Lab.str() + " exceeds clearance " +
+                       Clearance.str());
+    return Labeled<T, L>(std::move(Value), std::move(Lab));
+  }
+
+  /// Reads a protected value, raising the current label.
+  Result<T> unlabel(const Labeled<T, L> &V) {
+    L Raised = Current.join(V.label());
+    if (!Raised.canFlowTo(Clearance))
+      return Error(ErrorCode::LabelCheckFailure,
+                   "unlabel would raise the current label to " +
+                       Raised.str() + ", above clearance " +
+                       Clearance.str());
+    Current = std::move(Raised);
+    return V.Value;
+  }
+
+  /// Emits \p Value on a channel labeled \p Channel. The non-interference
+  /// check: the context must not be tainted above the channel.
+  Result<void> output(const L &Channel, const T &Value,
+                      std::vector<T> *Sink = nullptr) {
+    if (!Current.canFlowTo(Channel))
+      return Error(ErrorCode::LabelCheckFailure,
+                   "current label " + Current.str() +
+                       " may not flow to channel " + Channel.str());
+    if (Sink)
+      Sink->push_back(Value);
+    return Result<void>();
+  }
+
+  /// Runs \p Body and captures its result at the sub-computation's final
+  /// label, restoring the caller's label afterwards (LIO's toLabeled).
+  Result<Labeled<T, L>> runToLabeled(const std::function<Result<T>()> &Body) {
+    L Saved = Current;
+    Result<T> R = Body();
+    L Final = Current;
+    Current = std::move(Saved);
+    if (!R)
+      return R.error();
+    return Labeled<T, L>(R.takeValue(), std::move(Final));
+  }
+
+  /// Trusted downgrade: reads \p V without raising the current label and
+  /// records the event. The IFC guarantee is intentionally bypassed here —
+  /// this is precisely the operation ANOSY's bounded downgrade makes safe.
+  const T &declassifyTCB(const Labeled<T, L> &V, const std::string &Why) {
+    Audit.push_back({Why, V.label().str(), Current.str()});
+    return V.unprotectTCB();
+  }
+
+  const std::vector<AuditEvent> &auditLog() const { return Audit; }
+
+private:
+  L Current;
+  L Clearance;
+  std::vector<AuditEvent> Audit;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_IFC_SECURECONTEXT_H

@@ -1,0 +1,120 @@
+//===- solver/Decide.cpp - Branch-and-bound decision procedures -----------===//
+
+#include "solver/Decide.h"
+
+#include "support/Rng.h"
+
+#include <vector>
+
+using namespace anosy;
+
+ForallResult anosy::checkForall(const Predicate &P, const Box &B,
+                                SolverBudget &Budget) {
+  ForallResult Result;
+  Result.Holds = true;
+  if (B.isEmpty())
+    return Result;
+
+  SplitHints Hints;
+  P.splitHints(Hints);
+  normalizeSplitHints(Hints);
+
+  std::vector<Box> Stack{B};
+  while (!Stack.empty()) {
+    if (!Budget.charge()) {
+      Result.Exhausted = true;
+      Result.Holds = false;
+      return Result;
+    }
+    Box Cur = std::move(Stack.back());
+    Stack.pop_back();
+
+    Tribool T = P.evalBox(Cur);
+    if (T == Tribool::True)
+      continue;
+    if (T == Tribool::False) {
+      // No point of Cur satisfies P; its center is a counterexample.
+      Result.Holds = false;
+      Result.CounterExample = Cur.center();
+      return Result;
+    }
+    if (Cur.isUnit()) {
+      Point Pt = Cur.center();
+      if (!P.evalPoint(Pt)) {
+        Result.Holds = false;
+        Result.CounterExample = std::move(Pt);
+        return Result;
+      }
+      continue;
+    }
+    auto [Left, Right] = splitWithHints(Cur, Hints);
+    Stack.push_back(std::move(Left));
+    Stack.push_back(std::move(Right));
+  }
+  return Result;
+}
+
+namespace {
+
+/// Shared ∃-search; \p Salt permutes the exploration order (0 = plain DFS,
+/// left half first).
+ExistsResult findWitnessImpl(const Predicate &P, const Box &B, uint64_t Salt,
+                             SolverBudget &Budget) {
+  ExistsResult Result;
+  if (B.isEmpty())
+    return Result;
+  Rng R(Salt * 0x9e3779b97f4a7c15ULL + 1);
+
+  SplitHints Hints;
+  P.splitHints(Hints);
+  normalizeSplitHints(Hints);
+
+  std::vector<Box> Stack{B};
+  while (!Stack.empty()) {
+    if (!Budget.charge()) {
+      Result.Exhausted = true;
+      return Result;
+    }
+    Box Cur = std::move(Stack.back());
+    Stack.pop_back();
+
+    Tribool T = P.evalBox(Cur);
+    if (T == Tribool::False)
+      continue;
+    if (T == Tribool::True) {
+      Result.Witness = Cur.center();
+      return Result;
+    }
+    if (Cur.isUnit()) {
+      Point Pt = Cur.center();
+      if (P.evalPoint(Pt)) {
+        Result.Witness = std::move(Pt);
+        return Result;
+      }
+      continue;
+    }
+    auto [Left, Right] = splitWithHints(Cur, Hints);
+    bool LeftFirst = Salt == 0 || (R.next() & 1) == 0;
+    if (LeftFirst) {
+      Stack.push_back(std::move(Right));
+      Stack.push_back(std::move(Left));
+    } else {
+      Stack.push_back(std::move(Left));
+      Stack.push_back(std::move(Right));
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+ExistsResult anosy::findWitness(const Predicate &P, const Box &B,
+                                SolverBudget &Budget) {
+  return findWitnessImpl(P, B, /*Salt=*/0, Budget);
+}
+
+ExistsResult anosy::findWitnessDiverse(const Predicate &P, const Box &B,
+                                       uint64_t SeedSalt,
+                                       SolverBudget &Budget) {
+  return findWitnessImpl(P, B, SeedSalt == 0 ? 1 : SeedSalt, Budget);
+}

@@ -1,0 +1,79 @@
+//===- solver/Decide.h - Branch-and-bound decision procedures ---*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision-procedure core replacing the paper's Z3 back end: complete
+/// ∀/∃ deciders for Predicates over bounded integer boxes. Both work by
+/// branch and bound — three-valued abstract evaluation prunes, Unknown
+/// boxes split along their widest dimension, unit boxes evaluate
+/// concretely. Over bounded domains this always terminates with an exact
+/// answer (the query fragment of §5.1 plus bounded secrets makes the
+/// theory decidable, which is the same reason the paper's Z3 encoding is
+/// decidable).
+///
+/// Every entry point takes a shared Budget so long pipelines (synthesis,
+/// verification) can bound total work; exhausting the budget is reported
+/// explicitly, never converted into a wrong answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SOLVER_DECIDE_H
+#define ANOSY_SOLVER_DECIDE_H
+
+#include "solver/Predicate.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace anosy {
+
+/// Work budget shared across solver calls; counts split nodes.
+struct SolverBudget {
+  uint64_t MaxNodes = 200'000'000;
+  uint64_t NodesUsed = 0;
+
+  bool exhausted() const { return NodesUsed >= MaxNodes; }
+  bool charge(uint64_t N = 1) {
+    NodesUsed += N;
+    return !exhausted();
+  }
+};
+
+/// Outcome of a ∀-check.
+struct ForallResult {
+  /// True when every point of the box satisfies the predicate. Meaningless
+  /// when Exhausted.
+  bool Holds = false;
+  /// A falsifying point when !Holds.
+  std::optional<Point> CounterExample;
+  /// Budget ran out before a decision; treat as "don't know".
+  bool Exhausted = false;
+};
+
+/// Decides ∀x ∈ B. P(x). \p B may be empty (vacuously true).
+ForallResult checkForall(const Predicate &P, const Box &B,
+                         SolverBudget &Budget);
+
+/// Outcome of an ∃-search.
+struct ExistsResult {
+  /// A satisfying point if one exists.
+  std::optional<Point> Witness;
+  bool Exhausted = false;
+};
+
+/// Decides ∃x ∈ B. P(x) and produces a witness. \p B may be empty.
+ExistsResult findWitness(const Predicate &P, const Box &B,
+                         SolverBudget &Budget);
+
+/// Like findWitness but explores subboxes in an order derived from
+/// \p SeedSalt, yielding diverse witnesses across calls — the restart
+/// mechanism of the box grower.
+ExistsResult findWitnessDiverse(const Predicate &P, const Box &B,
+                                uint64_t SeedSalt, SolverBudget &Budget);
+
+} // namespace anosy
+
+#endif // ANOSY_SOLVER_DECIDE_H

@@ -1,0 +1,25 @@
+//===- support/Result.cpp - Exception-free error propagation -------------===//
+
+#include "support/Result.h"
+
+const char *anosy::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::ParseError:
+    return "parse error";
+  case ErrorCode::UnsupportedQuery:
+    return "unsupported query";
+  case ErrorCode::SynthesisFailure:
+    return "synthesis failure";
+  case ErrorCode::VerificationFailure:
+    return "verification failure";
+  case ErrorCode::PolicyViolation:
+    return "policy violation";
+  case ErrorCode::UnknownQuery:
+    return "unknown query";
+  case ErrorCode::LabelCheckFailure:
+    return "label check failure";
+  case ErrorCode::Other:
+    return "error";
+  }
+  ANOSY_UNREACHABLE("unknown error code");
+}

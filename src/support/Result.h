@@ -1,0 +1,137 @@
+//===- support/Result.h - Exception-free error propagation ------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight Error / Result<T> types. The library is built without
+/// exceptions (following the LLVM coding standards); fallible operations
+/// return Result<T> and the callers branch on it. Error categories mirror
+/// the failure modes of the paper's pipeline: query rejection (§5.1),
+/// synthesis failure, verification failure, and the runtime policy
+/// violation / unknown-query errors thrown by bounded downgrade (Fig. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SUPPORT_RESULT_H
+#define ANOSY_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace anosy {
+
+/// Why an operation failed.
+enum class ErrorCode {
+  /// Malformed query source text (lexer/parser).
+  ParseError,
+  /// Query outside the supported fragment (recursion, non-linear terms,
+  /// unknown fields, type errors) — the rejections of §5.1.
+  UnsupportedQuery,
+  /// The synthesizer could not produce a domain (e.g., no satisfying point).
+  SynthesisFailure,
+  /// A synthesized artifact failed its refinement-spec check.
+  VerificationFailure,
+  /// Bounded downgrade rejected the query: the posterior would violate the
+  /// quantitative policy ("Policy Violation" in Fig. 2).
+  PolicyViolation,
+  /// Bounded downgrade was asked for a query with no registered QInfo
+  /// ("Can't downgrade <name>" in Fig. 2).
+  UnknownQuery,
+  /// IFC substrate rejected an operation (label check failed).
+  LabelCheckFailure,
+  /// Anything else.
+  Other,
+};
+
+/// Human-readable name for an ErrorCode.
+const char *errorCodeName(ErrorCode Code);
+
+/// An error: a category plus a human-readable message.
+class Error {
+public:
+  Error(ErrorCode Code, std::string Message)
+      : Code(Code), Message(std::move(Message)) {}
+
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// Renders "<category>: <message>".
+  std::string str() const {
+    return std::string(errorCodeName(Code)) + ": " + Message;
+  }
+
+private:
+  ErrorCode Code;
+  std::string Message;
+};
+
+/// Either a value of type T or an Error.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Result(Error E) : Err(std::move(E)) {}
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T &value() const & {
+    assert(ok() && "accessing value of failed Result");
+    return *Value;
+  }
+  T &value() & {
+    assert(ok() && "accessing value of failed Result");
+    return *Value;
+  }
+  T takeValue() {
+    assert(ok() && "accessing value of failed Result");
+    return std::move(*Value);
+  }
+
+  const Error &error() const {
+    assert(!ok() && "accessing error of successful Result");
+    return *Err;
+  }
+
+  const T &operator*() const & { return value(); }
+  T &operator*() & { return value(); }
+  const T *operator->() const { return &value(); }
+  T *operator->() { return &value(); }
+
+private:
+  std::optional<T> Value;
+  std::optional<Error> Err;
+};
+
+/// Result specialization for operations with no payload.
+template <> class Result<void> {
+public:
+  Result() = default;
+  /*implicit*/ Result(Error E) : Err(std::move(E)) {}
+
+  bool ok() const { return !Err.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error &error() const {
+    assert(!ok() && "accessing error of successful Result");
+    return *Err;
+  }
+
+private:
+  std::optional<Error> Err;
+};
+
+} // namespace anosy
+
+/// Marks unreachable code; aborts with a message if ever executed.
+#define ANOSY_UNREACHABLE(Msg)                                                 \
+  do {                                                                         \
+    assert(false && Msg);                                                      \
+    std::abort();                                                              \
+  } while (false)
+
+#endif // ANOSY_SUPPORT_RESULT_H

@@ -1,0 +1,58 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fully deterministic PRNG. Every randomized component
+/// (seed search restarts in the box grower, the Fig. 6 experiment's random
+/// secrets and restaurant locations) takes an explicit seed so that all
+/// tables and figures regenerate byte-identically across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SUPPORT_RNG_H
+#define ANOSY_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace anosy {
+
+/// SplitMix64 PRNG (Steele, Lea & Flood; public-domain constants).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [Lo, Hi] (inclusive); requires Lo <= Hi.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Width =
+        static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    if (Width == 0) // full 64-bit range
+      return static_cast<int64_t>(next());
+    return Lo + static_cast<int64_t>(next() % Width);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_SUPPORT_RNG_H

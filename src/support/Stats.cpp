@@ -1,0 +1,39 @@
+//===- support/Stats.cpp - Timing statistics helpers ---------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace anosy;
+
+/// Linear-interpolated quantile of a sorted sample vector.
+static double quantileSorted(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Pos = Q * static_cast<double>(Sorted.size() - 1);
+  size_t Low = static_cast<size_t>(Pos);
+  size_t High = std::min(Low + 1, Sorted.size() - 1);
+  double Frac = Pos - static_cast<double>(Low);
+  return Sorted[Low] * (1.0 - Frac) + Sorted[High] * Frac;
+}
+
+double anosy::median(std::vector<double> Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  return quantileSorted(Samples, 0.5);
+}
+
+double anosy::semiInterquartile(std::vector<double> Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  return (quantileSorted(Samples, 0.75) - quantileSorted(Samples, 0.25)) / 2.0;
+}
+
+std::string anosy::medianPlusMinus(const std::vector<double> &Samples,
+                                   int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f +- %.*f", Digits, median(Samples),
+                Digits, semiInterquartile(Samples));
+  return Buf;
+}

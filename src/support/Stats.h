@@ -1,0 +1,49 @@
+//===- support/Stats.h - Timing statistics helpers --------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Median and semi-interquartile range over repeated measurements — the
+/// statistics the paper reports in Fig. 5 ("the median and the
+/// semi-interquartile over 11 runs"), plus a stopwatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SUPPORT_STATS_H
+#define ANOSY_SUPPORT_STATS_H
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// Median of \p Samples; 0 for the empty vector.
+double median(std::vector<double> Samples);
+
+/// Semi-interquartile range (Q3 - Q1) / 2 of \p Samples.
+double semiInterquartile(std::vector<double> Samples);
+
+/// Renders "median ± siqr" with \p Digits fractional digits.
+std::string medianPlusMinus(const std::vector<double> &Samples,
+                            int Digits = 2);
+
+/// Wall-clock stopwatch in seconds.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+  void reset() { Start = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_SUPPORT_STATS_H

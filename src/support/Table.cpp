@@ -1,0 +1,55 @@
+//===- support/Table.cpp - Plain-text table rendering --------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace anosy;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  // Compute per-column widths over header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Widths.size() < Cells.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0, E = Cells.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto RenderRow = [&Widths](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0, E = Cells.size(); I != E; ++I) {
+      if (I != 0)
+        Line += "  ";
+      Line += Cells[I];
+      if (I + 1 != E)
+        Line.append(Widths[I] - Cells[I].size(), ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Out += RenderRow(Header);
+    size_t Total = 0;
+    for (size_t I = 0, E = Widths.size(); I != E; ++I)
+      Total += Widths[I] + (I == 0 ? 0 : 2);
+    Out.append(Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- support/Table.h - Plain-text table rendering -------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned text table used by the benchmark harnesses to
+/// print the paper's tables (Table 1, Fig. 5a/5b rows, Fig. 6 series).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SUPPORT_TABLE_H
+#define ANOSY_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row; rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table, header separated by a dashed rule.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_SUPPORT_TABLE_H

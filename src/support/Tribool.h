@@ -1,0 +1,64 @@
+//===- support/Tribool.h - Kleene three-valued logic ------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three-valued truth used by the abstract (interval) evaluation of queries:
+/// over a box of secrets a predicate is True (holds for every point), False
+/// (holds for no point), or Unknown. Connectives follow Kleene's strong
+/// three-valued logic, which is exactly what makes the branch-and-bound
+/// deciders in anosy/solver sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SUPPORT_TRIBOOL_H
+#define ANOSY_SUPPORT_TRIBOOL_H
+
+namespace anosy {
+
+/// Kleene three-valued truth value.
+enum class Tribool { False, Unknown, True };
+
+inline Tribool triboolOf(bool B) { return B ? Tribool::True : Tribool::False; }
+
+inline Tribool triNot(Tribool A) {
+  if (A == Tribool::True)
+    return Tribool::False;
+  if (A == Tribool::False)
+    return Tribool::True;
+  return Tribool::Unknown;
+}
+
+inline Tribool triAnd(Tribool A, Tribool B) {
+  if (A == Tribool::False || B == Tribool::False)
+    return Tribool::False;
+  if (A == Tribool::True && B == Tribool::True)
+    return Tribool::True;
+  return Tribool::Unknown;
+}
+
+inline Tribool triOr(Tribool A, Tribool B) {
+  if (A == Tribool::True || B == Tribool::True)
+    return Tribool::True;
+  if (A == Tribool::False && B == Tribool::False)
+    return Tribool::False;
+  return Tribool::Unknown;
+}
+
+inline const char *triboolName(Tribool A) {
+  switch (A) {
+  case Tribool::False:
+    return "false";
+  case Tribool::Unknown:
+    return "unknown";
+  case Tribool::True:
+    return "true";
+  }
+  return "?";
+}
+
+} // namespace anosy
+
+#endif // ANOSY_SUPPORT_TRIBOOL_H

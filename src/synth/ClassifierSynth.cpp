@@ -1,0 +1,96 @@
+//===- synth/ClassifierSynth.cpp - Multi-output query synthesis -----------===//
+
+#include "synth/ClassifierSynth.h"
+
+#include "expr/Analysis.h"
+#include "expr/Eval.h"
+#include "solver/RangeEval.h"
+
+using namespace anosy;
+
+Result<ClassifierSynthesizer>
+ClassifierSynthesizer::create(const Schema &S, ExprRef Body,
+                              SynthOptions Options, unsigned MaxOutputs) {
+  if (!Body)
+    return Error(ErrorCode::UnsupportedQuery, "null classifier body");
+  if (!Body->isIntSorted())
+    return Error(ErrorCode::UnsupportedQuery,
+                 "classifiers must be integer-valued queries");
+  // The fragment check is shared with boolean queries (§5.1); the body is
+  // checked through a trivial comparison wrapper so linearity and field
+  // bounds are validated identically.
+  if (auto R = admitQuery(*eq(Body, intConst(0)), S.arity()); !R)
+    return R.error();
+
+  Box Top = Box::top(S);
+  Interval Range = evalRange(*Body, Top);
+  BigCount Width = Range.width();
+  if (Width.isZero())
+    return Error(ErrorCode::UnsupportedQuery, "classifier has no outputs");
+  if (!(Width <= static_cast<int64_t>(MaxOutputs)))
+    return Error(ErrorCode::UnsupportedQuery,
+                 "classifier may take up to " + Width.str() +
+                     " outputs; only finitely many (<= " +
+                     std::to_string(MaxOutputs) +
+                     ") are supported (§5.1)");
+
+  // Keep the feasible outputs: values some secret actually produces.
+  std::vector<int64_t> Outputs;
+  SolverBudget Budget;
+  Budget.MaxNodes = Options.MaxSolverNodes;
+  for (int64_t V = Range.Lo; V <= Range.Hi; ++V) {
+    PredicateRef Is = exprPredicate(eq(Body, intConst(V)));
+    ExistsResult E = findWitness(*Is, Top, Budget);
+    if (E.Exhausted)
+      return Error(ErrorCode::SynthesisFailure,
+                   "solver budget exhausted enumerating outputs");
+    if (E.Witness)
+      Outputs.push_back(V);
+  }
+  assert(!Outputs.empty() && "range was non-empty");
+  return ClassifierSynthesizer(S, std::move(Body), Options,
+                               std::move(Outputs));
+}
+
+ExprRef ClassifierSynthesizer::outputQuery(int64_t Value) const {
+  return eq(Body, intConst(Value));
+}
+
+int64_t ClassifierSynthesizer::run(const Point &Secret) const {
+  return evalInt(*Body, Secret);
+}
+
+Result<std::vector<OutputIndSet<Box>>>
+ClassifierSynthesizer::synthesizeInterval(ApproxKind Kind,
+                                          SynthStats *Stats) const {
+  std::vector<OutputIndSet<Box>> Sets;
+  for (int64_t V : Outputs) {
+    auto Sy = Synthesizer::create(S, outputQuery(V), Options);
+    if (!Sy)
+      return Sy.error();
+    auto Ind = Sy->synthesizeInterval(Kind, Stats);
+    if (!Ind)
+      return Ind.error();
+    // Only the True half matters: the False set of "f == v" is the union
+    // of the other outputs' sets, which are synthesized in their own
+    // right.
+    Sets.push_back({V, Ind->TrueSet});
+  }
+  return Sets;
+}
+
+Result<std::vector<OutputIndSet<PowerBox>>>
+ClassifierSynthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
+                                          SynthStats *Stats) const {
+  std::vector<OutputIndSet<PowerBox>> Sets;
+  for (int64_t V : Outputs) {
+    auto Sy = Synthesizer::create(S, outputQuery(V), Options);
+    if (!Sy)
+      return Sy.error();
+    auto Ind = Sy->synthesizePowerset(Kind, K, Stats);
+    if (!Ind)
+      return Ind.error();
+    Sets.push_back({V, Ind->TrueSet});
+  }
+  return Sets;
+}

@@ -1,0 +1,79 @@
+//===- synth/Sketch.cpp - Synthesis sketches with typed holes -------------===//
+
+#include "synth/Sketch.h"
+
+using namespace anosy;
+
+const char *anosy::approxKindName(ApproxKind Kind) {
+  return Kind == ApproxKind::Under ? "under" : "over";
+}
+
+std::string IndSetSketch::indSetName() const {
+  return std::string(approxKindName(Kind)) + "_indset_" + QueryName;
+}
+
+std::string IndSetSketch::spec() const {
+  // Fig. 4, in the paper's abstract-refinement notation. For under: the
+  // positive index pins members to (dis)satisfy the query; for over: the
+  // negative index pins non-members.
+  std::string Q = QueryName;
+  if (Kind == ApproxKind::Under)
+    return indSetName() + " :: (A<{\\x -> " + Q + " x, true}>,\n" +
+           std::string(indSetName().size() + 4, ' ') + "A<{\\x -> not (" +
+           Q + " x), true}>)";
+  return indSetName() + " :: (A<{true, \\x -> not (" + Q + " x)}>,\n" +
+         std::string(indSetName().size() + 4, ' ') + "A<{true, \\x -> " + Q +
+         " x}>)";
+}
+
+std::string IndSetSketch::renderTemplate() const {
+  std::string Holes;
+  for (size_t I = 0, N = S.arity(); I != N; ++I) {
+    if (I != 0)
+      Holes += ", ";
+    Holes += "AInt ?l" + std::to_string(I + 1) + " ?u" + std::to_string(I + 1);
+  }
+  return spec() + "\n" + indSetName() + " = (A [" + Holes + "], A [" + Holes +
+         "])";
+}
+
+std::string IndSetSketch::domainLiteral(const Box &B) const {
+  if (B.isEmpty())
+    return "Bot";
+  std::string Out = "A [";
+  for (size_t I = 0, N = B.arity(); I != N; ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += "AInt " + std::to_string(B.dim(I).Lo) + " " +
+           std::to_string(B.dim(I).Hi);
+  }
+  return Out + "]";
+}
+
+std::string IndSetSketch::domainLiteral(const PowerBox &P) const {
+  auto List = [this](const std::vector<Box> &Boxes) {
+    std::string Out = "[";
+    for (size_t I = 0, N = Boxes.size(); I != N; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += domainLiteral(Boxes[I]);
+    }
+    return Out + "]";
+  };
+  return "AP { dom_i = " + List(P.includes()) +
+         ", dom_o = " + List(P.excludes()) + " }";
+}
+
+std::string IndSetSketch::renderFilled(const Box &TrueSet,
+                                       const Box &FalseSet) const {
+  return spec() + "\n" + indSetName() + " = (" + domainLiteral(TrueSet) +
+         ",\n" + std::string(indSetName().size() + 4, ' ') +
+         domainLiteral(FalseSet) + ")";
+}
+
+std::string IndSetSketch::renderFilled(const PowerBox &TrueSet,
+                                       const PowerBox &FalseSet) const {
+  return spec() + "\n" + indSetName() + " = (" + domainLiteral(TrueSet) +
+         ",\n" + std::string(indSetName().size() + 4, ' ') +
+         domainLiteral(FalseSet) + ")";
+}

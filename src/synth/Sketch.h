@@ -1,0 +1,65 @@
+//===- synth/Sketch.h - Synthesis sketches with typed holes -----*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sketch stage of ANOSY's pipeline (§2.3 step II, §5.2): from a query's
+/// refinement-type specification we derive a partial program with typed
+/// holes (one abstract-domain literal per ind. set), and after SYNTH fills
+/// the holes we render the completed program. The paper's GHC plugin
+/// splices this program back into the compiled module; here the rendered
+/// artifact is the source-of-record emitted next to the in-memory domains
+/// (and what examples print so users can see what was synthesized).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SYNTH_SKETCH_H
+#define ANOSY_SYNTH_SKETCH_H
+
+#include "domains/AbstractDomain.h"
+#include "expr/Module.h"
+
+#include <string>
+
+namespace anosy {
+
+/// Which approximation an artifact is (§4.2).
+enum class ApproxKind { Under, Over };
+
+const char *approxKindName(ApproxKind Kind);
+
+/// A sketch for one query's pair of ind. sets.
+class IndSetSketch {
+public:
+  IndSetSketch(std::string QueryName, const Schema &S, ApproxKind Kind)
+      : QueryName(std::move(QueryName)), S(S), Kind(Kind) {}
+
+  /// The refinement-type specification this sketch is synthesized against
+  /// (Fig. 4), rendered in the paper's notation.
+  std::string spec() const;
+
+  /// The sketch with unfilled holes (□ :: τ), §5.2.
+  std::string renderTemplate() const;
+
+  /// The completed program for interval-domain ind. sets.
+  std::string renderFilled(const Box &TrueSet, const Box &FalseSet) const;
+
+  /// The completed program for powerset-domain ind. sets.
+  std::string renderFilled(const PowerBox &TrueSet,
+                           const PowerBox &FalseSet) const;
+
+private:
+  std::string indSetName() const;
+  std::string domainLiteral(const Box &B) const;
+  std::string domainLiteral(const PowerBox &P) const;
+
+  std::string QueryName;
+  const Schema &S;
+  ApproxKind Kind;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_SYNTH_SKETCH_H

@@ -1,0 +1,193 @@
+//===- synth/Synthesizer.cpp - SYNTH and ITERSYNTH -------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "expr/Analysis.h"
+#include "expr/Simplify.h"
+
+using namespace anosy;
+
+Synthesizer::Synthesizer(const Schema &InS, ExprRef InQuery,
+                         SynthOptions InOptions)
+    : S(InS), Query(std::move(InQuery)), Options(InOptions),
+      Bounds(Box::top(InS)) {}
+
+Result<Synthesizer> Synthesizer::create(const Schema &S, ExprRef Query,
+                                        SynthOptions Options) {
+  if (!Query)
+    return Error(ErrorCode::UnsupportedQuery, "null query");
+  if (auto R = admitQuery(*Query, S.arity()); !R)
+    return R.error();
+  // Normalize before synthesis: folding and local rewrites shrink the
+  // constraint the solver evaluates at every box (semantics-preserving,
+  // see expr/Simplify.h).
+  return Synthesizer(S, simplify(Query), Options);
+}
+
+static Error exhaustedError() {
+  return Error(ErrorCode::SynthesisFailure,
+               "solver budget exhausted during synthesis");
+}
+
+Result<Box> Synthesizer::synthUnderBox(const PredicateRef &Valid,
+                                       SolverBudget &Budget,
+                                       SynthStats *Stats) const {
+  GrowerConfig Config;
+  Config.Objective = Options.Objective;
+  Config.Restarts = Options.Restarts;
+  Config.Seed = Options.Seed;
+  GrowResult R = growMaximalBox(*Valid, *Valid, Bounds, Config, Budget);
+  if (R.Exhausted)
+    return exhaustedError();
+  if (Stats && R.Best)
+    ++Stats->BoxesSynthesized;
+  // No satisfying point: the empty domain is the (only) correct
+  // under-approximation — the paper's ⊥_I.
+  if (!R.Best)
+    return Box::bottom(S.arity());
+  return *R.Best;
+}
+
+Result<IndSets<Box>>
+Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
+  SolverBudget Budget;
+  Budget.MaxNodes = Options.MaxSolverNodes;
+
+  PredicateRef Q = exprPredicate(Query);
+  PredicateRef NotQ = notPredicate(Q);
+
+  IndSets<Box> Sets{Box::bottom(S.arity()), Box::bottom(S.arity())};
+  if (Kind == ApproxKind::Under) {
+    auto T = synthUnderBox(Q, Budget, Stats);
+    if (!T)
+      return T.error();
+    auto F = synthUnderBox(NotQ, Budget, Stats);
+    if (!F)
+      return F.error();
+    Sets.TrueSet = T.takeValue();
+    Sets.FalseSet = F.takeValue();
+  } else {
+    BoundResult T = tightBoundingBox(*Q, Bounds, Budget);
+    if (T.Exhausted)
+      return exhaustedError();
+    BoundResult F = tightBoundingBox(*NotQ, Bounds, Budget);
+    if (F.Exhausted)
+      return exhaustedError();
+    Sets.TrueSet = T.Bounding;
+    Sets.FalseSet = F.Bounding;
+    if (Stats)
+      Stats->BoxesSynthesized += 2;
+  }
+  if (Stats)
+    Stats->SolverNodes += Budget.NodesUsed;
+  return Sets;
+}
+
+Result<PowerBox> Synthesizer::synthUnderPowerset(const PredicateRef &Valid,
+                                                 unsigned K,
+                                                 SolverBudget &Budget,
+                                                 SynthStats *Stats) const {
+  // Algorithm 1, under arm: each iteration grows a fresh maximal valid box
+  // *inside the still-uncovered region* (valid and not yet in dom_i). This
+  // keeps the includes pairwise disjoint, guarantees strictly growing
+  // coverage (re-growing an earlier maximal box is impossible), and makes
+  // the paper's Σ-based size estimate exact on synthesized ind. sets.
+  std::vector<Box> DomI;
+  for (unsigned I = 0; I != K; ++I) {
+    PredicateRef Grow =
+        DomI.empty()
+            ? Valid
+            : andPredicate(Valid, notPredicate(inUnionPredicate(DomI)));
+    GrowerConfig Config;
+    Config.Objective = Options.Objective;
+    Config.Restarts = Options.Restarts;
+    Config.Seed = Options.Seed + I * 7919;
+    GrowResult R = growMaximalBox(*Grow, *Grow, Bounds, Config, Budget);
+    if (R.Exhausted)
+      return exhaustedError();
+    if (!R.Best)
+      break; // The satisfying region is fully covered (or empty).
+    DomI.push_back(*R.Best);
+    if (Stats)
+      ++Stats->BoxesSynthesized;
+  }
+  return PowerBox(S.arity(), std::move(DomI), {});
+}
+
+Result<PowerBox> Synthesizer::synthOverPowerset(const PredicateRef &SatSet,
+                                                unsigned K,
+                                                SolverBudget &Budget,
+                                                SynthStats *Stats) const {
+  // Algorithm 1, over arm: start from the exact bounding box, then carve
+  // out maximal all-invalid boxes to sharpen the over-approximation.
+  BoundResult First = tightBoundingBox(*SatSet, Bounds, Budget);
+  if (First.Exhausted)
+    return exhaustedError();
+  if (First.Bounding.isEmpty())
+    return PowerBox(S.arity()); // Nothing satisfies: over-approx is ⊥.
+  if (Stats)
+    ++Stats->BoxesSynthesized;
+
+  std::vector<Box> DomO;
+  PredicateRef Invalid = notPredicate(SatSet);
+  for (unsigned I = 1; I < K; ++I) {
+    // As in the under arm, grow inside the not-yet-excluded region so the
+    // exclusion boxes stay disjoint and carving progresses every round.
+    PredicateRef Grow =
+        DomO.empty()
+            ? Invalid
+            : andPredicate(Invalid, notPredicate(inUnionPredicate(DomO)));
+    GrowerConfig Config;
+    // Exclusions want maximal carved cardinality.
+    Config.Objective = GrowObjective::Volume;
+    Config.Restarts = Options.Restarts;
+    Config.Seed = Options.Seed + I * 104729;
+    GrowResult R =
+        growMaximalBox(*Grow, *Grow, First.Bounding, Config, Budget);
+    if (R.Exhausted)
+      return exhaustedError();
+    if (!R.Best)
+      break; // No invalid region left inside the bounding box.
+    DomO.push_back(*R.Best);
+    if (Stats)
+      ++Stats->BoxesSynthesized;
+  }
+  return PowerBox(S.arity(), {First.Bounding}, std::move(DomO));
+}
+
+Result<IndSets<PowerBox>>
+Synthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
+                                SynthStats *Stats) const {
+  if (K == 0)
+    return Error(ErrorCode::SynthesisFailure,
+                 "powerset synthesis requires k >= 1");
+  SolverBudget Budget;
+  Budget.MaxNodes = Options.MaxSolverNodes;
+
+  PredicateRef Q = exprPredicate(Query);
+  PredicateRef NotQ = notPredicate(Q);
+
+  IndSets<PowerBox> Sets{PowerBox(S.arity()), PowerBox(S.arity())};
+  if (Kind == ApproxKind::Under) {
+    auto T = synthUnderPowerset(Q, K, Budget, Stats);
+    if (!T)
+      return T.error();
+    auto F = synthUnderPowerset(NotQ, K, Budget, Stats);
+    if (!F)
+      return F.error();
+    Sets.TrueSet = T.takeValue();
+    Sets.FalseSet = F.takeValue();
+  } else {
+    auto T = synthOverPowerset(Q, K, Budget, Stats);
+    if (!T)
+      return T.error();
+    auto F = synthOverPowerset(NotQ, K, Budget, Stats);
+    if (!F)
+      return F.error();
+    Sets.TrueSet = T.takeValue();
+    Sets.FalseSet = F.takeValue();
+  }
+  if (Stats)
+    Stats->SolverNodes += Budget.NodesUsed;
+  return Sets;
+}

@@ -1,0 +1,29 @@
+//===- verify/Certificate.cpp - Verification certificates ------------------===//
+
+#include "verify/Certificate.h"
+
+using namespace anosy;
+
+std::string Certificate::str() const {
+  std::string Out = Valid ? "[ok]   " : (Exhausted ? "[?]    " : "[FAIL] ");
+  Out += Obligation;
+  if (CounterExample) {
+    Out += "  counterexample: (";
+    for (size_t I = 0, E = CounterExample->size(); I != E; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += std::to_string((*CounterExample)[I]);
+    }
+    Out += ")";
+  }
+  return Out;
+}
+
+std::string CertificateBundle::str() const {
+  std::string Out;
+  for (const Certificate &C : Parts) {
+    Out += C.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- verify/Certificate.h - Verification certificates ---------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output of the refinement checker: a Certificate records which Fig. 4
+/// obligation was checked, the verdict, and — on failure — a concrete
+/// counterexample secret. This replaces Liquid Haskell's type-checking
+/// judgment: "accepted" artifacts are exactly those whose certificates are
+/// all valid, and unlike a type checker the failure case carries a witness
+/// that tests and users can inspect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_VERIFY_CERTIFICATE_H
+#define ANOSY_VERIFY_CERTIFICATE_H
+
+#include "expr/Schema.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// Verdict for one refinement obligation.
+struct Certificate {
+  /// The obligation in the paper's notation, e.g.
+  /// "forall x in dom. query x  (under_indset, True)".
+  std::string Obligation;
+  bool Valid = false;
+  /// A secret violating the obligation when !Valid.
+  std::optional<Point> CounterExample;
+  /// The check ran out of solver budget (Valid is then false but the
+  /// obligation is undecided, mirroring a Liquid Haskell timeout).
+  bool Exhausted = false;
+
+  std::string str() const;
+};
+
+/// A bundle of certificates; valid iff all parts are.
+struct CertificateBundle {
+  std::vector<Certificate> Parts;
+
+  bool valid() const {
+    for (const Certificate &C : Parts)
+      if (!C.Valid)
+        return false;
+    return true;
+  }
+
+  /// First failing part, if any.
+  const Certificate *firstFailure() const {
+    for (const Certificate &C : Parts)
+      if (!C.Valid)
+        return &C;
+    return nullptr;
+  }
+
+  std::string str() const;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_VERIFY_CERTIFICATE_H

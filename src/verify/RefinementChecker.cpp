@@ -1,0 +1,125 @@
+//===- verify/RefinementChecker.cpp - Fig. 4 obligation checking ----------===//
+
+#include "verify/RefinementChecker.h"
+
+using namespace anosy;
+
+RefinementChecker::RefinementChecker(const Schema &InS, ExprRef InQuery,
+                                     uint64_t MaxSolverNodes)
+    : S(InS), Query(std::move(InQuery)), Bounds(Box::top(InS)),
+      MaxSolverNodes(MaxSolverNodes) {
+  assert(this->Query && this->Query->isBoolSorted() &&
+         "refinement checking needs a boolean query");
+}
+
+Certificate
+RefinementChecker::checkForallObligation(const std::string &Obligation,
+                                         const PredicateRef &P,
+                                         const Box &Over) const {
+  SolverBudget Budget;
+  Budget.MaxNodes = MaxSolverNodes;
+  ForallResult R = checkForall(*P, Over, Budget);
+  NodesUsed += Budget.NodesUsed;
+
+  Certificate C;
+  C.Obligation = Obligation;
+  C.Valid = R.Holds;
+  C.Exhausted = R.Exhausted;
+  C.CounterExample = R.CounterExample;
+  return C;
+}
+
+template <AbstractDomain D>
+PredicateRef RefinementChecker::memberPredicate(const D &Dom) {
+  if constexpr (std::is_same_v<D, Box>)
+    return inBoxPredicate(Dom);
+  else
+    return inPowerBoxPredicate(Dom);
+}
+
+template <AbstractDomain D>
+CertificateBundle RefinementChecker::checkIndSets(const IndSets<D> &Sets,
+                                                  ApproxKind Kind) const {
+  PredicateRef Q = exprPredicate(Query);
+  PredicateRef NotQ = notPredicate(Q);
+  PredicateRef InT = memberPredicate(Sets.TrueSet);
+  PredicateRef InF = memberPredicate(Sets.FalseSet);
+
+  CertificateBundle Bundle;
+  if (Kind == ApproxKind::Under) {
+    // Fig. 4 under_indset: members of dT satisfy the query; members of dF
+    // falsify it. (The negative index is `true` — no obligation.)
+    Bundle.Parts.push_back(checkForallObligation(
+        "forall x. x in dT => query x   (under_indset, True)",
+        orPredicate(notPredicate(InT), Q), Bounds));
+    Bundle.Parts.push_back(checkForallObligation(
+        "forall x. x in dF => not (query x)   (under_indset, False)",
+        orPredicate(notPredicate(InF), NotQ), Bounds));
+  } else {
+    // Fig. 4 over_indset: every satisfying secret is inside dT; every
+    // falsifying secret is inside dF. (The positive index is `true`.)
+    Bundle.Parts.push_back(checkForallObligation(
+        "forall x. query x => x in dT   (over_indset, True)",
+        orPredicate(NotQ, InT), Bounds));
+    Bundle.Parts.push_back(checkForallObligation(
+        "forall x. not (query x) => x in dF   (over_indset, False)",
+        orPredicate(Q, InF), Bounds));
+  }
+  return Bundle;
+}
+
+template <AbstractDomain D>
+CertificateBundle RefinementChecker::checkPosterior(const D &Prior,
+                                                    const D &PostTrue,
+                                                    const D &PostFalse,
+                                                    ApproxKind Kind) const {
+  PredicateRef Q = exprPredicate(Query);
+  PredicateRef NotQ = notPredicate(Q);
+  PredicateRef InPrior = memberPredicate(Prior);
+  PredicateRef InT = memberPredicate(PostTrue);
+  PredicateRef InF = memberPredicate(PostFalse);
+
+  CertificateBundle Bundle;
+  if (Kind == ApproxKind::Under) {
+    // Fig. 4 underapprox: members of the posterior satisfy the query (resp.
+    // its negation) and belonged to the prior.
+    Bundle.Parts.push_back(checkForallObligation(
+        "forall x. x in postT => query x && x in p   (underapprox, True)",
+        orPredicate(notPredicate(InT), andPredicate(Q, InPrior)), Bounds));
+    Bundle.Parts.push_back(checkForallObligation(
+        "forall x. x in postF => not (query x) && x in p   "
+        "(underapprox, False)",
+        orPredicate(notPredicate(InF), andPredicate(NotQ, InPrior)), Bounds));
+  } else {
+    // Fig. 4 overapprox: any secret that satisfies the query (resp. its
+    // negation) and was in the prior must be inside the posterior.
+    Bundle.Parts.push_back(checkForallObligation(
+        "forall x. query x && x in p => x in postT   (overapprox, True)",
+        orPredicate(notPredicate(andPredicate(Q, InPrior)), InT), Bounds));
+    Bundle.Parts.push_back(checkForallObligation(
+        "forall x. not (query x) && x in p => x in postF   "
+        "(overapprox, False)",
+        orPredicate(notPredicate(andPredicate(NotQ, InPrior)), InF), Bounds));
+  }
+  // Fig. 3's refinement on ∩: posteriors are subsets of the prior.
+  Certificate SubT;
+  SubT.Obligation = "postT subsetOf p   (Fig. 3 intersect refinement)";
+  SubT.Valid = DomainTraits<D>::subset(PostTrue, Prior);
+  Bundle.Parts.push_back(std::move(SubT));
+  Certificate SubF;
+  SubF.Obligation = "postF subsetOf p   (Fig. 3 intersect refinement)";
+  SubF.Valid = DomainTraits<D>::subset(PostFalse, Prior);
+  Bundle.Parts.push_back(std::move(SubF));
+  return Bundle;
+}
+
+// Explicit instantiations for the two shipped domains.
+template CertificateBundle
+RefinementChecker::checkIndSets<Box>(const IndSets<Box> &, ApproxKind) const;
+template CertificateBundle RefinementChecker::checkIndSets<PowerBox>(
+    const IndSets<PowerBox> &, ApproxKind) const;
+template CertificateBundle
+RefinementChecker::checkPosterior<Box>(const Box &, const Box &, const Box &,
+                                       ApproxKind) const;
+template CertificateBundle RefinementChecker::checkPosterior<PowerBox>(
+    const PowerBox &, const PowerBox &, const PowerBox &, ApproxKind) const;

@@ -1,0 +1,51 @@
+//===- tests/baselines/ExhaustiveTest.cpp - Enumerator tests --------------===//
+
+#include "baselines/Exhaustive.h"
+
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(Exhaustive, EnumeratesInLexOrder) {
+  Box B({{0, 1}, {5, 6}});
+  std::vector<Point> Pts = enumeratePoints(B);
+  ASSERT_EQ(Pts.size(), 4u);
+  EXPECT_EQ(Pts[0], (Point{0, 5}));
+  EXPECT_EQ(Pts[1], (Point{0, 6}));
+  EXPECT_EQ(Pts[2], (Point{1, 5}));
+  EXPECT_EQ(Pts[3], (Point{1, 6}));
+}
+
+TEST(Exhaustive, EmptyBoxYieldsNothing) {
+  EXPECT_TRUE(enumeratePoints(Box::bottom(2)).empty());
+}
+
+TEST(Exhaustive, SingletonBox) {
+  std::vector<Point> Pts = enumeratePoints(Box::point({3, -7, 9}));
+  ASSERT_EQ(Pts.size(), 1u);
+  EXPECT_EQ(Pts[0], (Point{3, -7, 9}));
+}
+
+TEST(Exhaustive, EarlyStop) {
+  int Seen = 0;
+  forEachPoint(Box({{0, 9}}), [&Seen](const Point &) {
+    ++Seen;
+    return Seen < 3;
+  });
+  EXPECT_EQ(Seen, 3);
+}
+
+TEST(Exhaustive, CountByEnumerationMatchesClosedForm) {
+  Schema S("L", {{"x", 0, 60}, {"y", 0, 60}});
+  auto Q = parseQueryExpr(S, "abs(x - 30) + abs(y - 30) <= 10");
+  ASSERT_TRUE(Q.ok());
+  EXPECT_EQ(countByEnumeration(*Q.value(), Box::top(S)),
+            2 * 10 * 10 + 2 * 10 + 1);
+}
+
+TEST(Exhaustive, ThreeDimensionalEnumeration) {
+  Box B({{0, 2}, {0, 2}, {0, 2}});
+  EXPECT_EQ(enumeratePoints(B).size(), 27u);
+}

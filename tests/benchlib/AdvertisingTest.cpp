@@ -1,0 +1,96 @@
+//===- tests/benchlib/AdvertisingTest.cpp - §6.2 driver tests -------------===//
+
+#include "benchlib/Advertising.h"
+
+#include "expr/Eval.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(Advertising, ModuleShape) {
+  AdvertisingConfig Config;
+  Config.NumRestaurants = 7;
+  Module M = buildAdvertisingModule(Config);
+  EXPECT_EQ(M.schema().arity(), 2u);
+  ASSERT_EQ(M.queries().size(), 7u);
+  for (unsigned I = 0; I != 7; ++I)
+    EXPECT_EQ(M.queries()[I].Name, "restaurant" + std::to_string(I));
+}
+
+TEST(Advertising, OriginsInsideSpace) {
+  AdvertisingConfig Config;
+  Config.NumRestaurants = 10;
+  Module M = buildAdvertisingModule(Config);
+  // Every query is satisfied at its own origin (distance 0), so a brute
+  // scan must find at least one satisfying point per query.
+  for (const QueryDef &Q : M.queries()) {
+    bool Any = false;
+    for (int64_t X = 0; X <= 400 && !Any; X += 5)
+      for (int64_t Y = 0; Y <= 400 && !Any; Y += 5)
+        Any = evalBool(*Q.Body, {X, Y});
+    EXPECT_TRUE(Any) << Q.Name;
+  }
+}
+
+TEST(Advertising, SeedControlsModule) {
+  AdvertisingConfig A, B;
+  A.NumRestaurants = B.NumRestaurants = 5;
+  B.Seed = A.Seed + 1;
+  Module MA = buildAdvertisingModule(A);
+  Module MB = buildAdvertisingModule(B);
+  bool AnyDiff = false;
+  for (size_t I = 0; I != 5; ++I)
+    AnyDiff = AnyDiff || !Expr::structurallyEqual(*MA.queries()[I].Body,
+                                                  *MB.queries()[I].Body);
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Advertising, ResultInvariants) {
+  AdvertisingConfig Config;
+  Config.NumRestaurants = 8;
+  Config.NumInstances = 4;
+  Config.PowersetSize = 2;
+  AdvertisingResult R = runAdvertisingExperiment(Config);
+  ASSERT_EQ(R.Survivors.size(), 8u);
+  ASSERT_EQ(R.AnsweredPerInstance.size(), 4u);
+  // Survivors are non-increasing and consistent with per-instance counts.
+  for (size_t I = 1; I != R.Survivors.size(); ++I)
+    EXPECT_LE(R.Survivors[I], R.Survivors[I - 1]);
+  for (unsigned Q = 0; Q != 8; ++Q) {
+    unsigned FromInstances = 0;
+    for (unsigned A : R.AnsweredPerInstance)
+      if (A > Q)
+        ++FromInstances;
+    EXPECT_EQ(R.Survivors[Q], FromInstances) << "query " << Q;
+  }
+  EXPECT_EQ(R.maxAnswered(),
+            *std::max_element(R.AnsweredPerInstance.begin(),
+                              R.AnsweredPerInstance.end()));
+}
+
+TEST(Advertising, PaperSizeSemanticsIsMorePermissive) {
+  AdvertisingConfig Exact;
+  Exact.NumRestaurants = 10;
+  Exact.NumInstances = 5;
+  Exact.PowersetSize = 4;
+  AdvertisingConfig Paper = Exact;
+  Paper.PaperSizeSemantics = true;
+  // Σ-based sizes over-count overlap, so they can only authorize at
+  // least as many queries as exact cardinalities.
+  EXPECT_GE(runAdvertisingExperiment(Paper).meanAnswered(),
+            runAdvertisingExperiment(Exact).meanAnswered());
+}
+
+TEST(Advertising, DeterministicAcrossRuns) {
+  AdvertisingConfig Config;
+  Config.NumRestaurants = 6;
+  Config.NumInstances = 3;
+  Config.PowersetSize = 2;
+  AdvertisingResult A = runAdvertisingExperiment(Config);
+  AdvertisingResult B = runAdvertisingExperiment(Config);
+  EXPECT_EQ(A.Survivors, B.Survivors);
+  EXPECT_EQ(A.AnsweredPerInstance, B.AnsweredPerInstance);
+}

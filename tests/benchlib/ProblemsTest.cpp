@@ -1,0 +1,72 @@
+//===- tests/benchlib/ProblemsTest.cpp - Benchmark definition tests -------===//
+
+#include "benchlib/Problems.h"
+
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(Problems, IdsAndNamesStable) {
+  const auto &Ps = mardzielBenchmarks();
+  ASSERT_EQ(Ps.size(), 5u);
+  const char *Ids[] = {"B1", "B2", "B3", "B4", "B5"};
+  const char *Names[] = {"Birthday", "Ship", "Photo", "Pizza", "Travel"};
+  for (size_t I = 0; I != 5; ++I) {
+    EXPECT_EQ(Ps[I].Id, Ids[I]);
+    EXPECT_EQ(Ps[I].Name, Names[I]);
+    EXPECT_FALSE(Ps[I].Description.empty());
+    EXPECT_FALSE(Ps[I].Source.empty());
+  }
+}
+
+TEST(Problems, SourcesReparseToSameSemantics) {
+  // The stored Source must be the module each problem was built from.
+  for (const BenchmarkProblem &P : mardzielBenchmarks()) {
+    auto M = parseModule(P.Source);
+    ASSERT_TRUE(M.ok()) << P.Id;
+    EXPECT_EQ(M->schema().totalSize(), P.M.schema().totalSize()) << P.Id;
+    EXPECT_TRUE(Expr::structurallyEqual(*M->queries().front().Body,
+                                        *P.query().Body))
+        << P.Id;
+  }
+}
+
+TEST(Problems, B1QuerySemantics) {
+  const BenchmarkProblem &B1 = benchmarkById("B1");
+  EXPECT_TRUE(evalBool(*B1.query().Body, {260, 1980}));
+  EXPECT_TRUE(evalBool(*B1.query().Body, {266, 1956}));
+  EXPECT_FALSE(evalBool(*B1.query().Body, {267, 1980}));
+  EXPECT_FALSE(evalBool(*B1.query().Body, {259, 1980}));
+}
+
+TEST(Problems, B2CapacityDependence) {
+  const BenchmarkProblem &B2 = benchmarkById("B2");
+  // At distance 80 from the island, capacity 5 suffices, 4 does not.
+  EXPECT_TRUE(evalBool(*B2.query().Body, {580, 250, 5}));
+  EXPECT_FALSE(evalBool(*B2.query().Body, {581, 250, 5}));
+  EXPECT_TRUE(evalBool(*B2.query().Body, {420, 250, 5}));
+}
+
+TEST(Problems, B5PointwiseCountries) {
+  const BenchmarkProblem &B5 = benchmarkById("B5");
+  // lang=0, edu=9, country=33, age=30 -> interested.
+  EXPECT_TRUE(evalBool(*B5.query().Body, {0, 9, 33, 30}));
+  // Wrong country.
+  EXPECT_FALSE(evalBool(*B5.query().Body, {0, 9, 34, 30}));
+  // Too young.
+  EXPECT_FALSE(evalBool(*B5.query().Body, {0, 9, 33, 21}));
+}
+
+TEST(Problems, NearbyProblemHasTraceQueries) {
+  const BenchmarkProblem &NB = nearbyProblem();
+  EXPECT_NE(NB.M.findQuery("nearby200"), nullptr);
+  EXPECT_NE(NB.M.findQuery("nearby300"), nullptr);
+  EXPECT_NE(NB.M.findQuery("nearby400"), nullptr);
+}
+
+TEST(Problems, LookupByIdIsStable) {
+  EXPECT_EQ(&benchmarkById("B3"), &benchmarkById("B3"));
+}

@@ -1,0 +1,105 @@
+//===- tests/core/AnosyTTest.cpp - Monad-transformer layering tests -------===//
+
+#include "core/AnosyT.h"
+
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+QueryInfo<Box> nearbyInfo(const Schema &S, const std::string &Name,
+                          int64_t OX) {
+  auto Q = parseQueryExpr(S, "abs(x - " + std::to_string(OX) +
+                                 ") + abs(y - 200) <= 100");
+  EXPECT_TRUE(Q.ok());
+  QueryInfo<Box> Info;
+  Info.Name = Name;
+  Info.QueryExpr = Q.value();
+  int64_t Lo = std::max<int64_t>(0, OX - 79);
+  int64_t Hi = std::min<int64_t>(400, OX + 79);
+  Info.Ind.TrueSet = Box({{Lo, Hi}, {179, 221}});
+  // A valid under-approximation of the False set: everything at least 101
+  // to the left of the origin falsifies the query for any y.
+  Info.Ind.FalseSet = Box({{0, std::max<int64_t>(0, OX - 101)}, {0, 400}});
+  return Info;
+}
+
+} // namespace
+
+TEST(AnosyT, DowngradeOnProtectedSecret) {
+  Schema S = userLoc();
+  KnowledgeTracker<Box> Tracker(S, minSizePolicy<Box>(100));
+  Tracker.registerQuery(nearbyInfo(S, "nearby200", 200));
+
+  SecureContext<Point, SecurityLevel> Ctx;
+  AnosyT<Box, SecurityLevel> Monad(Tracker, Ctx);
+
+  // getUserLoc-style: a Secret-labeled location (§2.1).
+  auto Secret =
+      Ctx.labelValue({300, 200}, SecurityLevel(SecurityLevel::Secret));
+  ASSERT_TRUE(Secret.ok());
+
+  auto R = Monad.downgrade(*Secret, "nearby200");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(*R);
+  // The declassification is audited by the underlying monad.
+  ASSERT_EQ(Ctx.auditLog().size(), 1u);
+  EXPECT_EQ(Ctx.auditLog()[0].Description,
+            "bounded downgrade: nearby200");
+  // And crucially: the downgrade did NOT taint the context — the returned
+  // boolean is public, as in the paper's showAdNear.
+  EXPECT_TRUE(Ctx.currentLabel() == SecurityLevel::bottom());
+  EXPECT_TRUE(Ctx.output(SecurityLevel(SecurityLevel::Public),
+                         {*R ? 1 : 0, 0}, nullptr)
+                  .ok());
+}
+
+TEST(AnosyT, PolicyViolationStillReturnsError) {
+  Schema S = userLoc();
+  KnowledgeTracker<Box> Tracker(S, minSizePolicy<Box>(7000));
+  Tracker.registerQuery(nearbyInfo(S, "nearby200", 200));
+  SecureContext<Point, SecurityLevel> Ctx;
+  AnosyT<Box, SecurityLevel> Monad(Tracker, Ctx);
+  auto Secret =
+      Ctx.labelValue({300, 200}, SecurityLevel(SecurityLevel::Secret));
+  ASSERT_TRUE(Secret.ok());
+  // post1 has 6837 < 7000 candidates: rejected.
+  auto R = Monad.downgrade(*Secret, "nearby200");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().code(), ErrorCode::PolicyViolation);
+}
+
+TEST(AnosyT, LiftGivesAccessToUnderlyingMonad) {
+  Schema S = userLoc();
+  KnowledgeTracker<Box> Tracker(S, permissivePolicy<Box>());
+  SecureContext<Point, SecurityLevel> Ctx;
+  AnosyT<Box, SecurityLevel> Monad(Tracker, Ctx);
+  // The transformer's lift: ordinary secure-monad operations still work.
+  auto L = Monad.underlying().labelValue(
+      {1, 2}, SecurityLevel(SecurityLevel::Confidential));
+  ASSERT_TRUE(L.ok());
+  auto V = Monad.underlying().unlabel(*L);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, (Point{1, 2}));
+}
+
+TEST(AnosyT, KnowledgeForProtectedSecret) {
+  Schema S = userLoc();
+  KnowledgeTracker<Box> Tracker(S, permissivePolicy<Box>());
+  Tracker.registerQuery(nearbyInfo(S, "nearby200", 200));
+  SecureContext<Point, SecurityLevel> Ctx;
+  AnosyT<Box, SecurityLevel> Monad(Tracker, Ctx);
+  auto Secret =
+      Ctx.labelValue({300, 200}, SecurityLevel(SecurityLevel::Secret));
+  ASSERT_TRUE(Secret.ok());
+  EXPECT_EQ(Monad.knowledgeFor(*Secret), Box::top(S));
+  ASSERT_TRUE(Monad.downgrade(*Secret, "nearby200").ok());
+  EXPECT_EQ(Monad.knowledgeFor(*Secret).volume().toInt64(), 6837);
+}

@@ -1,0 +1,197 @@
+//===- tests/core/KnowledgeTrackerTest.cpp - Fig. 2 downgrade tests -------===//
+
+#include "core/KnowledgeTracker.h"
+
+#include "expr/Parser.h"
+#include "solver/ModelCounter.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+ExprRef q(const Schema &S, const std::string &Src) {
+  auto R = parseQueryExpr(S, Src);
+  EXPECT_TRUE(R.ok());
+  return R.value();
+}
+
+/// Builds a QueryInfo with the *paper's* hand-written under ind. sets for
+/// nearby(ox, 200): boxes shifted from §2.2.
+QueryInfo<Box> nearbyInfo(const Schema &S, const std::string &Name,
+                          int64_t OX) {
+  QueryInfo<Box> Info;
+  Info.Name = Name;
+  Info.QueryExpr = q(S, "abs(x - " + std::to_string(OX) +
+                            ") + abs(y - 200) <= 100");
+  // §2.2's under_indset shape, shifted by the origin and clipped to the
+  // 400x400 space.
+  int64_t Lo = std::max<int64_t>(0, OX - 79);
+  int64_t Hi = std::min<int64_t>(400, OX + 79);
+  Info.Ind.TrueSet = Box({{Lo, Hi}, {179, 221}});
+  // A valid under-approximation of the False set: everything at least 101
+  // to the left of the origin falsifies the query for any y.
+  Info.Ind.FalseSet = Box({{0, std::max<int64_t>(0, OX - 101)}, {0, 400}});
+  Info.Kind = ApproxKind::Under;
+  return Info;
+}
+
+} // namespace
+
+TEST(KnowledgeTracker, UnknownQueryErrorMatchesPaper) {
+  KnowledgeTracker<Box> T(userLoc(), minSizePolicy<Box>(100));
+  auto R = T.downgrade({300, 200}, "nearby200");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().code(), ErrorCode::UnknownQuery);
+  EXPECT_EQ(R.error().message(), "Can't downgrade nearby200");
+}
+
+TEST(KnowledgeTracker, KnowledgeStartsAtTop) {
+  KnowledgeTracker<Box> T(userLoc(), minSizePolicy<Box>(100));
+  EXPECT_FALSE(T.hasTrackedKnowledge({300, 200}));
+  EXPECT_EQ(T.knowledgeFor({300, 200}), Box::top(userLoc()));
+}
+
+TEST(KnowledgeTracker, SectionThreeTrace) {
+  // The §3 execution: secret (300,200); nearby(200,200) then
+  // nearby(300,200) succeed with shrinking knowledge; nearby(400,200)
+  // violates the policy (with the paper's boxes the posterior intersection
+  // pinches off).
+  Schema S = userLoc();
+  KnowledgeTracker<Box> T(S, minSizePolicy<Box>(100));
+  T.registerQuery(nearbyInfo(S, "nearby200", 200));
+  T.registerQuery(nearbyInfo(S, "nearby300", 300));
+  T.registerQuery(nearbyInfo(S, "nearby400", 400));
+
+  Point Secret{300, 200};
+  auto R1 = T.downgrade(Secret, "nearby200");
+  ASSERT_TRUE(R1.ok());
+  EXPECT_TRUE(*R1); // (300,200) is at distance exactly 100
+  // post1 = {121..279, 179..221}: size 6837 (§3).
+  EXPECT_EQ(T.knowledgeFor(Secret).volume().toInt64(), 6837);
+
+  auto R2 = T.downgrade(Secret, "nearby300");
+  ASSERT_TRUE(R2.ok());
+  EXPECT_TRUE(*R2);
+  // post2 = {221..279, 179..221}: size 2537 (§3).
+  EXPECT_EQ(T.knowledgeFor(Secret).volume().toInt64(), 2537);
+
+  auto R3 = T.downgrade(Secret, "nearby400");
+  ASSERT_FALSE(R3.ok());
+  EXPECT_EQ(R3.error().code(), ErrorCode::PolicyViolation);
+  EXPECT_NE(R3.error().message().find("Policy Violation"),
+            std::string::npos);
+  // The violation leaves the tracked knowledge untouched.
+  EXPECT_EQ(T.knowledgeFor(Secret).volume().toInt64(), 2537);
+}
+
+TEST(KnowledgeTracker, PolicyCheckedOnBothPosteriors) {
+  // Even when the actual response's posterior is large, a tiny posterior
+  // on the *other* branch must abort (§3: the decision itself must not
+  // leak).
+  Schema S("S", {{"a", 0, 1000}});
+  KnowledgeTracker<Box> T(S, minSizePolicy<Box>(10));
+  QueryInfo<Box> Info;
+  Info.Name = "isZero";
+  Info.QueryExpr = q(S, "a <= 4");
+  Info.Ind.TrueSet = Box({{0, 4}});   // 5 < 10: too revealing
+  Info.Ind.FalseSet = Box({{5, 1000}});
+  T.registerQuery(Info);
+  // Secret answers False, so the *taken* branch would be fine — but the
+  // True branch fails the policy, and that must already abort.
+  auto R = T.downgrade({700}, "isZero");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().code(), ErrorCode::PolicyViolation);
+}
+
+TEST(KnowledgeTracker, TracksMultipleSecretsIndependently) {
+  Schema S = userLoc();
+  KnowledgeTracker<Box> T(S, minSizePolicy<Box>(100));
+  T.registerQuery(nearbyInfo(S, "nearby200", 200));
+  Point A{300, 200}, B{0, 0};
+  ASSERT_TRUE(T.downgrade(A, "nearby200").ok());
+  ASSERT_TRUE(T.downgrade(B, "nearby200").ok());
+  EXPECT_EQ(T.trackedSecretCount(), 2u);
+  // A answered True, B answered False: different posteriors.
+  EXPECT_EQ(T.knowledgeFor(A).volume().toInt64(), 6837);
+  EXPECT_EQ(T.knowledgeFor(B), Box({{0, 99}, {0, 400}}));
+}
+
+TEST(KnowledgeTracker, KnowledgeMonotonicallyShrinks) {
+  // §3: K_0 ⊇ K_1 ⊇ ... — each downgrade refines the knowledge.
+  Schema S = userLoc();
+  KnowledgeTracker<Box> T(S, permissivePolicy<Box>());
+  T.registerQuery(nearbyInfo(S, "nearby200", 200));
+  T.registerQuery(nearbyInfo(S, "nearby250", 250));
+  Point Secret{230, 200};
+  Box K0 = T.knowledgeFor(Secret);
+  ASSERT_TRUE(T.downgrade(Secret, "nearby200").ok());
+  Box K1 = T.knowledgeFor(Secret);
+  ASSERT_TRUE(T.downgrade(Secret, "nearby250").ok());
+  Box K2 = T.knowledgeFor(Secret);
+  EXPECT_TRUE(K1.subsetOf(K0));
+  EXPECT_TRUE(K2.subsetOf(K1));
+}
+
+TEST(KnowledgeTracker, StoredPosteriorUnderapproximatesTrueKnowledge) {
+  // The §3 enforcement invariant: the tracked P_i is a subset of the true
+  // attacker knowledge K_i = {x | ∀j<=i. query_j x = query_j s}, checked
+  // here with the exact model counter.
+  Schema S = userLoc();
+  KnowledgeTracker<Box> T(S, permissivePolicy<Box>());
+  T.registerQuery(nearbyInfo(S, "nearby200", 200));
+  T.registerQuery(nearbyInfo(S, "nearby300", 300));
+  Point Secret{260, 190};
+
+  PredicateRef TrueKnowledge = constPredicate(true);
+  for (const char *Name : {"nearby200", "nearby300"}) {
+    auto R = T.downgrade(Secret, Name);
+    ASSERT_TRUE(R.ok());
+    PredicateRef QP = exprPredicate(T.queryInfo(Name)->QueryExpr);
+    TrueKnowledge = andPredicate(
+        TrueKnowledge, *R ? QP : notPredicate(QP));
+    // Tracked \ True must be empty: count members of the tracked box that
+    // are NOT in the true knowledge.
+    Box Tracked = T.knowledgeFor(Secret);
+    BigCount Escapees =
+        countSatExact(*notPredicate(TrueKnowledge), Tracked);
+    EXPECT_TRUE(Escapees.isZero()) << "posterior leaks outside K_i";
+  }
+}
+
+TEST(KnowledgeTracker, PowerBoxCompactionKeepsSoundness) {
+  Schema S = userLoc();
+  KnowledgeTracker<PowerBox> T(S, permissivePolicy<PowerBox>(),
+                               /*MaxKnowledgeBoxes=*/2);
+  QueryInfo<PowerBox> Info;
+  Info.Name = "band";
+  Info.QueryExpr = q(S, "abs(x - 200) + abs(y - 200) <= 100");
+  Info.Ind.TrueSet =
+      PowerBox(2, {Box({{150, 250}, {150, 250}}),
+                   Box({{121, 279}, {179, 221}}),
+                   Box({{179, 221}, {121, 279}})},
+               {});
+  Info.Ind.FalseSet = PowerBox(2, {Box({{0, 400}, {0, 99}})}, {});
+  T.registerQuery(Info);
+  ASSERT_TRUE(T.downgrade({200, 200}, "band").ok());
+  // Compaction capped the representation...
+  EXPECT_LE(T.knowledgeFor({200, 200}).includes().size(), 2u);
+  // ...and the result is still a subset of the uncompacted posterior.
+  EXPECT_TRUE(T.knowledgeFor({200, 200}).subsetOf(Info.Ind.TrueSet));
+}
+
+TEST(KnowledgeTracker, HasQueryAndInfoLookup) {
+  Schema S = userLoc();
+  KnowledgeTracker<Box> T(S, permissivePolicy<Box>());
+  T.registerQuery(nearbyInfo(S, "nearby200", 200));
+  EXPECT_TRUE(T.hasQuery("nearby200"));
+  EXPECT_FALSE(T.hasQuery("nope"));
+  ASSERT_NE(T.queryInfo("nearby200"), nullptr);
+  EXPECT_EQ(T.queryInfo("nearby200")->Name, "nearby200");
+  EXPECT_EQ(T.queryInfo("nope"), nullptr);
+}

@@ -1,0 +1,113 @@
+//===- tests/core/OverMonitorTest.cpp - Over-approx tracking tests --------===//
+
+#include "core/OverMonitor.h"
+
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+#include "solver/ModelCounter.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+/// Synthesizes over-approximate ind. sets for a nearby query.
+QueryInfo<Box> overNearby(const Schema &S, const std::string &Name,
+                          int64_t OX) {
+  auto Q = parseQueryExpr(S, "abs(x - " + std::to_string(OX) +
+                                 ") + abs(y - 200) <= 100");
+  EXPECT_TRUE(Q.ok());
+  auto Sy = Synthesizer::create(S, Q.value());
+  EXPECT_TRUE(Sy.ok());
+  auto Sets = Sy->synthesizeInterval(ApproxKind::Over);
+  EXPECT_TRUE(Sets.ok());
+  QueryInfo<Box> Info;
+  Info.Name = Name;
+  Info.QueryExpr = Q.value();
+  Info.Ind = Sets.takeValue();
+  Info.Kind = ApproxKind::Over;
+  return Info;
+}
+
+} // namespace
+
+TEST(OverMonitor, StartsAtTop) {
+  Schema S = userLoc();
+  OverKnowledgeMonitor<Box> M(S, /*AlertThreshold=*/1000);
+  EXPECT_EQ(M.certifiedCandidates({5, 5}), S.totalSize());
+  EXPECT_FALSE(M.attackerKnowsWithin({5, 5}, 1000));
+  EXPECT_TRUE(M.alerts().empty());
+}
+
+TEST(OverMonitor, UnknownQueryRejected) {
+  OverKnowledgeMonitor<Box> M(userLoc(), 10);
+  auto R = M.observe({5, 5}, "nope", true);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().code(), ErrorCode::UnknownQuery);
+}
+
+TEST(OverMonitor, BoundSupersetsTrueKnowledge) {
+  // The defining property: after any observation sequence, every secret
+  // consistent with the responses lies inside the tracked bound.
+  Schema S = userLoc();
+  OverKnowledgeMonitor<Box> M(S, 10);
+  M.registerQuery(overNearby(S, "n200", 200));
+  M.registerQuery(overNearby(S, "n300", 300));
+
+  Point Secret{260, 190};
+  PredicateRef TrueK = constPredicate(true);
+  for (const char *Name : {"n200", "n300"}) {
+    // Response comes from the real query on the real secret.
+    bool Is200 = std::string(Name) == "n200";
+    auto QE = parseQueryExpr(
+        S, Is200 ? "abs(x - 200) + abs(y - 200) <= 100"
+                 : "abs(x - 300) + abs(y - 200) <= 100");
+    ASSERT_TRUE(QE.ok());
+    bool Response = evalBool(*QE.value(), Secret);
+    ASSERT_TRUE(M.observe(Secret, Name, Response).ok());
+    PredicateRef QP = exprPredicate(QE.value());
+    TrueK = andPredicate(TrueK, Response ? QP : notPredicate(QP));
+    // K_true \ bound must be empty.
+    PredicateRef Escapee = andPredicate(
+        TrueK, notPredicate(inBoxPredicate(M.knowledgeBound(Secret))));
+    EXPECT_TRUE(countSatExact(*Escapee, Box::top(S)).isZero());
+  }
+}
+
+TEST(OverMonitor, AlertFiresWhenCertifiablyNarrow) {
+  Schema S = userLoc();
+  OverKnowledgeMonitor<Box> M(S, /*AlertThreshold=*/50000);
+  M.registerQuery(overNearby(S, "n200", 200));
+  Point Secret{200, 200};
+  ASSERT_TRUE(M.observe(Secret, "n200", true).ok());
+  // Over bound of the diamond is the 201x201 bounding box = 40401 <= 50000.
+  EXPECT_TRUE(M.attackerKnowsWithin(Secret, 50000));
+  ASSERT_EQ(M.alerts().size(), 1u);
+  EXPECT_EQ(M.alerts()[0].QueryName, "n200");
+  EXPECT_EQ(M.alerts()[0].RemainingCandidates.toInt64(), 201 * 201);
+}
+
+TEST(OverMonitor, NoAlertWhileBoundIsLoose) {
+  Schema S = userLoc();
+  OverKnowledgeMonitor<Box> M(S, /*AlertThreshold=*/100);
+  M.registerQuery(overNearby(S, "n200", 200));
+  Point Secret{0, 0}; // responds False: bound stays the whole domain
+  ASSERT_TRUE(M.observe(Secret, "n200", false).ok());
+  EXPECT_TRUE(M.alerts().empty());
+  EXPECT_FALSE(M.attackerKnowsWithin(Secret, 100));
+}
+
+TEST(OverMonitor, TracksSecretsIndependently) {
+  Schema S = userLoc();
+  OverKnowledgeMonitor<Box> M(S, 10);
+  M.registerQuery(overNearby(S, "n200", 200));
+  ASSERT_TRUE(M.observe({200, 200}, "n200", true).ok());
+  EXPECT_EQ(M.certifiedCandidates({200, 200}).toInt64(), 201 * 201);
+  EXPECT_EQ(M.certifiedCandidates({0, 0}), S.totalSize());
+}

@@ -1,0 +1,56 @@
+//===- tests/core/PolicyTest.cpp - Knowledge policy tests -----------------===//
+
+#include "core/Policy.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+} // namespace
+
+TEST(Policy, MinSizeMatchesPaperQpolicy) {
+  // §2.1: qpolicy dom = size dom > 100.
+  auto P = minSizePolicy<Box>(100);
+  EXPECT_EQ(P.Name, "size > 100");
+  EXPECT_TRUE(P(Box({{0, 10}, {0, 10}})));  // 121 > 100
+  EXPECT_FALSE(P(Box({{0, 9}, {0, 9}})));   // exactly 100 is not enough
+  EXPECT_FALSE(P(Box::bottom(2)));
+}
+
+TEST(Policy, MinSizeOnPowerBox) {
+  auto P = minSizePolicy<PowerBox>(100);
+  PowerBox Big(2, {Box({{0, 10}, {0, 10}})}, {});
+  PowerBox Holey(2, {Box({{0, 10}, {0, 10}})}, {Box({{0, 10}, {0, 1}})});
+  EXPECT_TRUE(P(Big));
+  EXPECT_FALSE(P(Holey)); // 121 - 22 = 99
+}
+
+TEST(Policy, PermissiveAcceptsEverything) {
+  auto P = permissivePolicy<Box>();
+  EXPECT_TRUE(P(Box::bottom(2)));
+  EXPECT_TRUE(P(Box::top(userLoc())));
+}
+
+TEST(Policy, MinSizeIsMonotone) {
+  auto P = minSizePolicy<Box>(50);
+  Box Small({{0, 5}, {0, 5}});
+  Box Big({{0, 20}, {0, 20}});
+  EXPECT_TRUE(checkMonotoneOnChain(P, Small, Big));
+  EXPECT_TRUE(checkMonotoneOnChain(P, Big, Small)); // vacuous: not subset
+}
+
+TEST(Policy, NonMonotonePolicyIsDetected) {
+  // "size must be small" is anti-monotone and voids the §3 argument.
+  KnowledgePolicy<Box> Bad{"size < 50", [](const Box &D) {
+    return D.volume() < 50;
+  }};
+  Box Small({{0, 5}, {0, 5}});   // 36: accepted
+  Box Big({{0, 20}, {0, 20}});   // 441: rejected
+  EXPECT_FALSE(checkMonotoneOnChain(Bad, Small, Big));
+}

@@ -1,0 +1,75 @@
+//===- tests/core/QifTest.cpp - QIF measure tests -------------------------===//
+
+#include "core/Qif.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(Qif, MeasuresOfPowerOfTwo) {
+  KnowledgeMeasures M = knowledgeMeasures(BigCount(1024));
+  EXPECT_DOUBLE_EQ(M.ShannonBits, 10.0);
+  EXPECT_DOUBLE_EQ(M.MinEntropyBits, 10.0);
+  EXPECT_DOUBLE_EQ(M.BayesVulnerability, 1.0 / 1024.0);
+  EXPECT_DOUBLE_EQ(M.GuessingEntropy, 1025.0 / 2.0);
+}
+
+TEST(Qif, SingletonKnowledgeHasNoEntropy) {
+  KnowledgeMeasures M = knowledgeMeasures(BigCount(1));
+  EXPECT_DOUBLE_EQ(M.ShannonBits, 0.0);
+  EXPECT_DOUBLE_EQ(M.BayesVulnerability, 1.0);
+  EXPECT_DOUBLE_EQ(M.GuessingEntropy, 1.0);
+}
+
+TEST(Qif, EmptyKnowledgeDegenerates) {
+  KnowledgeMeasures M = knowledgeMeasures(BigCount());
+  EXPECT_DOUBLE_EQ(M.BayesVulnerability, 1.0);
+  EXPECT_DOUBLE_EQ(M.GuessingEntropy, 0.0);
+}
+
+TEST(Qif, BoundsBracketTruth) {
+  // True knowledge of 500 secrets bracketed by approximations 256/2048.
+  MeasureBounds B = measureBounds(BigCount(256), BigCount(2048));
+  KnowledgeMeasures Truth = knowledgeMeasures(BigCount(500));
+  EXPECT_LE(B.Lower.ShannonBits, Truth.ShannonBits);
+  EXPECT_GE(B.Upper.ShannonBits, Truth.ShannonBits);
+  EXPECT_LE(B.Lower.BayesVulnerability, Truth.BayesVulnerability);
+  EXPECT_GE(B.Upper.BayesVulnerability, Truth.BayesVulnerability);
+  EXPECT_LE(B.Lower.GuessingEntropy, Truth.GuessingEntropy);
+  EXPECT_GE(B.Upper.GuessingEntropy, Truth.GuessingEntropy);
+}
+
+TEST(Qif, BoundsStrRendering) {
+  MeasureBounds B = measureBounds(BigCount(256), BigCount(1024));
+  std::string Out = B.str();
+  EXPECT_NE(Out.find("H in [8.00, 10.00] bits"), std::string::npos);
+}
+
+TEST(Qif, LeakageBracketsFromApproximations) {
+  // Domain 2^16; knowledge between 2^8 and 2^10 -> leaked 6..8 bits.
+  LeakageBounds L =
+      leakageBounds(BigCount(65536), BigCount(256), BigCount(1024));
+  EXPECT_DOUBLE_EQ(L.LowerBits, 6.0);
+  EXPECT_DOUBLE_EQ(L.UpperBits, 8.0);
+}
+
+TEST(Qif, LeakageWithEmptyUnderIsTotal) {
+  LeakageBounds L = leakageBounds(BigCount(65536), BigCount(), BigCount(64));
+  EXPECT_DOUBLE_EQ(L.LowerBits, 10.0);
+  EXPECT_DOUBLE_EQ(L.UpperBits, 16.0);
+}
+
+TEST(Qif, MinEntropyPolicyThreshold) {
+  auto P = minEntropyPolicy<Box>(10.0); // needs > 1024 candidates
+  EXPECT_TRUE(P(Box({{0, 40}, {0, 40}})));   // 1681
+  EXPECT_FALSE(P(Box({{0, 31}, {0, 31}})));  // exactly 1024: not strict
+  EXPECT_FALSE(P(Box::bottom(2)));
+  EXPECT_NE(P.Name.find("min-entropy"), std::string::npos);
+}
+
+TEST(Qif, MinEntropyPolicyIsMonotone) {
+  auto P = minEntropyPolicy<Box>(6.0);
+  Box Small({{0, 7}, {0, 7}});
+  Box Big({{0, 63}, {0, 63}});
+  EXPECT_TRUE(checkMonotoneOnChain(P, Small, Big));
+}

@@ -1,0 +1,118 @@
+//===- tests/domains/BoxTest.cpp - Box unit tests --------------------------===//
+
+#include "domains/Box.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+Box box(int64_t XL, int64_t XH, int64_t YL, int64_t YH) {
+  return Box({{XL, XH}, {YL, YH}});
+}
+
+} // namespace
+
+TEST(Box, TopCoversSchema) {
+  Box T = Box::top(userLoc());
+  EXPECT_FALSE(T.isEmpty());
+  EXPECT_EQ(T.arity(), 2u);
+  EXPECT_EQ(T.volume().toInt64(), 401 * 401);
+  EXPECT_TRUE(T.contains({0, 0}));
+  EXPECT_TRUE(T.contains({400, 400}));
+  EXPECT_FALSE(T.contains({401, 0}));
+}
+
+TEST(Box, BottomIsEmpty) {
+  Box B = Box::bottom(2);
+  EXPECT_TRUE(B.isEmpty());
+  EXPECT_TRUE(B.volume().isZero());
+  EXPECT_FALSE(B.contains({0, 0}));
+}
+
+TEST(Box, EmptyDimensionPropagates) {
+  Box B({{0, 10}, Interval::empty()});
+  EXPECT_TRUE(B.isEmpty());
+  // Canonicalization makes all empty boxes of one arity equal.
+  EXPECT_EQ(B, Box::bottom(2));
+}
+
+TEST(Box, PointBox) {
+  Box P = Box::point({300, 200});
+  EXPECT_TRUE(P.isUnit());
+  EXPECT_EQ(P.volume().toInt64(), 1);
+  EXPECT_EQ(P.center(), (Point{300, 200}));
+}
+
+TEST(Box, ContainsIsPerDimension) {
+  Box B = box(121, 279, 179, 221); // the paper's §3 post1 region
+  EXPECT_TRUE(B.contains({200, 200}));
+  EXPECT_TRUE(B.contains({121, 179}));
+  EXPECT_FALSE(B.contains({120, 200}));
+  EXPECT_FALSE(B.contains({200, 222}));
+}
+
+TEST(Box, PaperPost1Volume) {
+  // §3: post1 = {121..279, 179..221}, |post1| = 6837.
+  EXPECT_EQ(box(121, 279, 179, 221).volume().toInt64(), 6837);
+  // §3: post2 = {221..279, 179..221}, |post2| = 2537.
+  EXPECT_EQ(box(221, 279, 179, 221).volume().toInt64(), 2537);
+}
+
+TEST(Box, SubsetOf) {
+  EXPECT_TRUE(box(2, 3, 2, 3).subsetOf(box(0, 5, 0, 5)));
+  EXPECT_FALSE(box(0, 5, 0, 5).subsetOf(box(2, 3, 2, 3)));
+  EXPECT_TRUE(Box::bottom(2).subsetOf(box(2, 3, 2, 3)));
+  EXPECT_FALSE(box(2, 3, 2, 3).subsetOf(Box::bottom(2)));
+  EXPECT_TRUE(box(0, 5, 2, 3).subsetOf(box(0, 5, 2, 3)));
+}
+
+TEST(Box, IntersectMatchesSetSemantics) {
+  Box A = box(0, 10, 0, 10), B = box(5, 15, 5, 15);
+  Box I = A.intersect(B);
+  EXPECT_EQ(I, box(5, 10, 5, 10));
+  EXPECT_TRUE(A.intersect(box(11, 12, 0, 10)).isEmpty());
+  EXPECT_TRUE(A.intersect(Box::bottom(2)).isEmpty());
+}
+
+TEST(Box, Hull) {
+  EXPECT_EQ(box(0, 1, 0, 1).hull(box(5, 6, 5, 6)), box(0, 6, 0, 6));
+  EXPECT_EQ(Box::bottom(2).hull(box(5, 6, 5, 6)), box(5, 6, 5, 6));
+}
+
+TEST(Box, WithDim) {
+  Box B = box(0, 10, 0, 10).withDim(1, {3, 4});
+  EXPECT_EQ(B, box(0, 10, 3, 4));
+}
+
+TEST(Box, WidestDim) {
+  EXPECT_EQ(box(0, 10, 0, 3).widestDim(), 0u);
+  EXPECT_EQ(box(0, 2, 0, 30).widestDim(), 1u);
+}
+
+TEST(Box, SplitCoversAndPartitions) {
+  Box B = box(0, 10, 0, 4);
+  auto [L, R] = B.splitAt(0);
+  EXPECT_EQ(L.volume() + R.volume(), B.volume());
+  EXPECT_TRUE(L.intersect(R).isEmpty());
+  EXPECT_TRUE(L.subsetOf(B));
+  EXPECT_TRUE(R.subsetOf(B));
+}
+
+TEST(Box, SplitOddWidth) {
+  Box B = Box({{0, 2}});
+  auto [L, R] = B.splitAt(0);
+  EXPECT_EQ(L.volume() + R.volume(), B.volume());
+  EXPECT_FALSE(L.isEmpty());
+  EXPECT_FALSE(R.isEmpty());
+}
+
+TEST(Box, Str) {
+  EXPECT_EQ(box(1, 2, 3, 4).str(), "[1, 2] x [3, 4]");
+  EXPECT_EQ(Box::bottom(2).str(), "<empty/2>");
+}

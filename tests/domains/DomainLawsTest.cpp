@@ -1,0 +1,124 @@
+//===- tests/domains/DomainLawsTest.cpp - Fig. 3 class-law sweeps ---------===//
+//
+// The paper proves sizeLaw / subsetLaw once per AbstractDomain instance in
+// Liquid Haskell. Here the laws are executable predicates, swept over
+// randomized domain values and probe points for both instances (TEST_P
+// over RNG seeds). A law failure prints the offending pair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/AbstractDomain.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema smallSchema() { return Schema("S", {{"a", 0, 20}, {"b", 0, 20}}); }
+
+Box randomBox(Rng &R) {
+  int64_t XL = R.range(0, 20), YL = R.range(0, 20);
+  // One in five boxes is empty.
+  if (R.range(0, 4) == 0)
+    return Box::bottom(2);
+  return Box({{XL, R.range(XL, 20)}, {YL, R.range(YL, 20)}});
+}
+
+PowerBox randomPowerBox(Rng &R) {
+  std::vector<Box> Inc, Exc;
+  for (int I = 0, N = static_cast<int>(R.range(0, 3)); I != N; ++I)
+    Inc.push_back(randomBox(R));
+  for (int I = 0, N = static_cast<int>(R.range(0, 2)); I != N; ++I)
+    Exc.push_back(randomBox(R));
+  return PowerBox(2, std::move(Inc), std::move(Exc));
+}
+
+Point randomPoint(Rng &R) { return {R.range(0, 20), R.range(0, 20)}; }
+
+template <AbstractDomain D> D randomDomain(Rng &R);
+template <> Box randomDomain<Box>(Rng &R) { return randomBox(R); }
+template <> PowerBox randomDomain<PowerBox>(Rng &R) {
+  return randomPowerBox(R);
+}
+
+/// One sweep of all Fig. 3 laws for domain D at a given seed.
+template <AbstractDomain D> void sweepLaws(uint64_t Seed) {
+  Rng R(Seed);
+  Schema S = smallSchema();
+  D Top = DomainTraits<D>::top(S);
+  D Bot = DomainTraits<D>::bottom(S);
+
+  // ⊤ contains everything, ⊥ nothing (the Fig. 3 index semantics).
+  for (int I = 0; I != 20; ++I) {
+    Point P = randomPoint(R);
+    EXPECT_TRUE(DomainTraits<D>::member(Top, P));
+    EXPECT_FALSE(DomainTraits<D>::member(Bot, P));
+  }
+  EXPECT_EQ(DomainTraits<D>::size(Top), S.totalSize());
+  EXPECT_TRUE(DomainTraits<D>::size(Bot).isZero());
+
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    D D1 = randomDomain<D>(R);
+    D D2 = randomDomain<D>(R);
+
+    // sizeLaw: d1 ⊆ d2 ⇒ size d1 ≤ size d2.
+    EXPECT_TRUE(checkSizeLaw(D1, D2))
+        << DomainTraits<D>::str(D1) << " vs " << DomainTraits<D>::str(D2);
+    EXPECT_TRUE(checkSizeLaw(D2, D1));
+    EXPECT_TRUE(checkSizeLaw(Bot, D1));
+    EXPECT_TRUE(checkSizeLaw(D1, Top));
+
+    // subsetLaw: d1 ⊆ d2 ⇒ (c ∈ d1 ⇒ c ∈ d2).
+    for (int I = 0; I != 10; ++I) {
+      Point C = randomPoint(R);
+      EXPECT_TRUE(checkSubsetLaw(C, D1, D2));
+      EXPECT_TRUE(checkSubsetLaw(C, D1, Top));
+      EXPECT_TRUE(checkSubsetLaw(C, Bot, D1));
+    }
+
+    // Fig. 3 refinement on ∩.
+    EXPECT_TRUE(checkIntersectLaw(D1, D2))
+        << DomainTraits<D>::str(D1) << " vs " << DomainTraits<D>::str(D2);
+
+    // ∩ semantics: membership is pointwise conjunction.
+    D I12 = DomainTraits<D>::intersect(D1, D2);
+    for (int I = 0; I != 10; ++I) {
+      Point C = randomPoint(R);
+      EXPECT_EQ(DomainTraits<D>::member(I12, C),
+                DomainTraits<D>::member(D1, C) &&
+                    DomainTraits<D>::member(D2, C));
+    }
+
+    // ⊆ is reflexive and transitive on the sampled values.
+    EXPECT_TRUE(DomainTraits<D>::subset(D1, D1));
+    D D3 = randomDomain<D>(R);
+    if (DomainTraits<D>::subset(D1, D2) && DomainTraits<D>::subset(D2, D3)) {
+      EXPECT_TRUE(DomainTraits<D>::subset(D1, D3));
+    }
+
+    // size agrees with exhaustive membership counting.
+    int64_t Brute = 0;
+    for (int64_t X = 0; X <= 20; ++X)
+      for (int64_t Y = 0; Y <= 20; ++Y)
+        if (DomainTraits<D>::member(D1, {X, Y}))
+          ++Brute;
+    EXPECT_EQ(DomainTraits<D>::size(D1).toInt64(), Brute)
+        << DomainTraits<D>::str(D1);
+  }
+}
+
+class DomainLawSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomainLawSeeds, IntervalDomainLaws) { sweepLaws<Box>(GetParam()); }
+
+TEST_P(DomainLawSeeds, PowersetDomainLaws) {
+  sweepLaws<PowerBox>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainLawSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

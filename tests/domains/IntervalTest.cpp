@@ -1,0 +1,66 @@
+//===- tests/domains/IntervalTest.cpp - Interval unit tests ---------------===//
+
+#include "domains/Interval.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(Interval, EmptyCanonical) {
+  EXPECT_TRUE(Interval::empty().isEmpty());
+  EXPECT_TRUE((Interval{5, 2}).isEmpty());
+  EXPECT_FALSE((Interval{2, 2}).isEmpty());
+  EXPECT_EQ(Interval::empty(), (Interval{10, 3}));
+}
+
+TEST(Interval, Contains) {
+  Interval I{-3, 7};
+  EXPECT_TRUE(I.contains(-3));
+  EXPECT_TRUE(I.contains(7));
+  EXPECT_TRUE(I.contains(0));
+  EXPECT_FALSE(I.contains(-4));
+  EXPECT_FALSE(I.contains(8));
+  EXPECT_FALSE(Interval::empty().contains(0));
+}
+
+TEST(Interval, SubsetOf) {
+  Interval Big{0, 10}, Small{2, 5};
+  EXPECT_TRUE(Small.subsetOf(Big));
+  EXPECT_FALSE(Big.subsetOf(Small));
+  EXPECT_TRUE(Big.subsetOf(Big));
+  EXPECT_TRUE(Interval::empty().subsetOf(Small));
+  EXPECT_TRUE(Interval::empty().subsetOf(Interval::empty()));
+  EXPECT_FALSE(Small.subsetOf(Interval::empty()));
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ((Interval{0, 5}).intersect({3, 9}), (Interval{3, 5}));
+  EXPECT_TRUE((Interval{0, 2}).intersect({3, 9}).isEmpty());
+  EXPECT_EQ((Interval{0, 9}).intersect({0, 9}), (Interval{0, 9}));
+  EXPECT_TRUE(Interval::empty().intersect({0, 9}).isEmpty());
+}
+
+TEST(Interval, Hull) {
+  EXPECT_EQ((Interval{0, 2}).hull({5, 9}), (Interval{0, 9}));
+  EXPECT_EQ(Interval::empty().hull({5, 9}), (Interval{5, 9}));
+  EXPECT_EQ((Interval{5, 9}).hull(Interval::empty()), (Interval{5, 9}));
+}
+
+TEST(Interval, Width) {
+  EXPECT_EQ((Interval{3, 3}).widthInt64(), 1);
+  EXPECT_EQ((Interval{0, 9}).widthInt64(), 10);
+  EXPECT_TRUE(Interval::empty().width().isZero());
+  EXPECT_EQ((Interval{-5, 5}).widthInt64(), 11);
+}
+
+TEST(Interval, PointConstructor) {
+  Interval P = Interval::point(42);
+  EXPECT_EQ(P.Lo, 42);
+  EXPECT_EQ(P.Hi, 42);
+  EXPECT_EQ(P.widthInt64(), 1);
+}
+
+TEST(Interval, Str) {
+  EXPECT_EQ((Interval{1, 4}).str(), "[1, 4]");
+  EXPECT_EQ(Interval::empty().str(), "[]");
+}

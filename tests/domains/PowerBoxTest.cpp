@@ -1,0 +1,167 @@
+//===- tests/domains/PowerBoxTest.cpp - PowerBox unit tests ---------------===//
+
+#include "domains/PowerBox.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+Box box(int64_t XL, int64_t XH, int64_t YL, int64_t YH) {
+  return Box({{XL, XH}, {YL, YH}});
+}
+
+} // namespace
+
+TEST(PowerBox, TopAndBottom) {
+  Schema S = userLoc();
+  PowerBox T = PowerBox::top(S);
+  PowerBox B = PowerBox::bottom(S);
+  EXPECT_EQ(T.size().toInt64(), 401 * 401);
+  EXPECT_TRUE(B.size().isZero());
+  EXPECT_TRUE(B.isEmptySet());
+  EXPECT_TRUE(T.member({200, 200}));
+  EXPECT_FALSE(B.member({200, 200}));
+}
+
+TEST(PowerBox, MemberRespectsExcludes) {
+  PowerBox P(2, {box(0, 9, 0, 9)}, {box(3, 6, 3, 6)});
+  EXPECT_TRUE(P.member({0, 0}));
+  EXPECT_FALSE(P.member({4, 4}));
+  EXPECT_TRUE(P.member({3, 2}));
+  EXPECT_FALSE(P.member({10, 10}));
+}
+
+TEST(PowerBox, SizeIsExactUnderOverlap) {
+  // Two overlapping includes: 4x4 + 4x4 overlapping in 2x4 = 16+16-8 = 24.
+  PowerBox P(2, {box(0, 3, 0, 3), box(2, 5, 0, 3)}, {});
+  EXPECT_EQ(P.size().toInt64(), 24);
+  // The paper's linear estimate double-counts the overlap.
+  EXPECT_EQ(P.sizeLinearEstimate().toInt64(), 32);
+}
+
+TEST(PowerBox, SizeWithExcludes) {
+  PowerBox P(2, {box(0, 9, 0, 9)}, {box(0, 9, 0, 4)});
+  EXPECT_EQ(P.size().toInt64(), 50);
+}
+
+TEST(PowerBox, NormalizeDropsUselessBoxes) {
+  PowerBox P(2,
+             {box(0, 9, 0, 9), box(2, 3, 2, 3), Box::bottom(2)},
+             {box(100, 110, 100, 110), Box::bottom(2)});
+  // The subsumed include, the empty boxes, and the exclude that touches no
+  // include are all gone.
+  EXPECT_EQ(P.includes().size(), 1u);
+  EXPECT_TRUE(P.excludes().empty());
+}
+
+TEST(PowerBox, NormalizeDropsFullyExcludedIncludes) {
+  PowerBox P(2, {box(0, 1, 0, 1), box(5, 6, 5, 6)}, {box(0, 2, 0, 2)});
+  EXPECT_EQ(P.includes().size(), 1u);
+  EXPECT_EQ(P.size().toInt64(), 4);
+}
+
+TEST(PowerBox, SubsetOfExact) {
+  PowerBox Small(2, {box(1, 2, 1, 2)}, {});
+  PowerBox Big(2, {box(0, 9, 0, 9)}, {});
+  EXPECT_TRUE(Small.subsetOf(Big));
+  EXPECT_FALSE(Big.subsetOf(Small));
+  // Subset through a *union*: [0,9] = [0,4] ∪ [5,9] — the syntactic §4.4
+  // criterion cannot see this, the exact one can.
+  PowerBox Halves(2, {box(0, 4, 0, 9), box(5, 9, 0, 9)}, {});
+  EXPECT_TRUE(Big.subsetOf(Halves));
+  EXPECT_FALSE(Big.subsetOfSyntactic(Halves));
+  EXPECT_TRUE(Small.subsetOfSyntactic(Big));
+}
+
+TEST(PowerBox, SubsetOfWithExcludes) {
+  PowerBox Holey(2, {box(0, 9, 0, 9)}, {box(3, 6, 3, 6)});
+  PowerBox Full(2, {box(0, 9, 0, 9)}, {});
+  EXPECT_TRUE(Holey.subsetOf(Full));
+  EXPECT_FALSE(Full.subsetOf(Holey));
+}
+
+TEST(PowerBox, IntersectPairwise) {
+  PowerBox A(2, {box(0, 5, 0, 5)}, {});
+  PowerBox B(2, {box(3, 9, 3, 9)}, {});
+  PowerBox I = A.intersect(B);
+  EXPECT_EQ(I.size().toInt64(), 9); // [3,5]^2
+  EXPECT_TRUE(I.subsetOf(A));
+  EXPECT_TRUE(I.subsetOf(B));
+}
+
+TEST(PowerBox, IntersectMergesExcludes) {
+  PowerBox A(2, {box(0, 9, 0, 9)}, {box(0, 1, 0, 1)});
+  PowerBox B(2, {box(0, 9, 0, 9)}, {box(8, 9, 8, 9)});
+  PowerBox I = A.intersect(B);
+  EXPECT_EQ(I.size().toInt64(), 100 - 4 - 4);
+  EXPECT_FALSE(I.member({0, 0}));
+  EXPECT_FALSE(I.member({9, 9}));
+  EXPECT_TRUE(I.member({5, 5}));
+}
+
+TEST(PowerBox, IntersectionSemanticsRandomized) {
+  Rng R(77);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    auto RandPB = [&R]() {
+      std::vector<Box> Inc, Exc;
+      for (int I = 0, N = static_cast<int>(R.range(1, 3)); I != N; ++I) {
+        int64_t XL = R.range(0, 12), YL = R.range(0, 12);
+        Inc.push_back(Box({{XL, R.range(XL, 14)}, {YL, R.range(YL, 14)}}));
+      }
+      if (R.range(0, 1)) {
+        int64_t XL = R.range(0, 12), YL = R.range(0, 12);
+        Exc.push_back(Box({{XL, R.range(XL, 14)}, {YL, R.range(YL, 14)}}));
+      }
+      return PowerBox(2, std::move(Inc), std::move(Exc));
+    };
+    PowerBox A = RandPB(), B = RandPB();
+    PowerBox I = A.intersect(B);
+    for (int64_t X = 0; X <= 14; ++X)
+      for (int64_t Y = 0; Y <= 14; ++Y) {
+        Point P{X, Y};
+        EXPECT_EQ(I.member(P), A.member(P) && B.member(P))
+            << "trial " << Trial << " at (" << X << "," << Y << ")";
+      }
+  }
+}
+
+TEST(PowerBox, PruneForUnderOnlyShrinks) {
+  std::vector<Box> Inc;
+  for (int I = 0; I != 10; ++I)
+    Inc.push_back(box(I * 20, I * 20 + I, 0, 9)); // growing volumes
+  PowerBox P(2, Inc, {});
+  BigCount Before = P.size();
+  PowerBox Pruned = P;
+  Pruned.pruneForUnder(4);
+  EXPECT_LE(Pruned.includes().size(), 4u);
+  EXPECT_TRUE(Pruned.subsetOf(P));
+  EXPECT_TRUE(Pruned.size() <= Before);
+  // The largest boxes were kept.
+  EXPECT_TRUE(Pruned.member({186, 5})); // box 9: [180,189]
+}
+
+TEST(PowerBox, EqualityIsSemantic) {
+  PowerBox A(2, {box(0, 9, 0, 9)}, {});
+  PowerBox B(2, {box(0, 4, 0, 9), box(5, 9, 0, 9)}, {});
+  EXPECT_TRUE(A == B);
+}
+
+TEST(PowerBox, FromBox) {
+  PowerBox P = PowerBox::fromBox(box(1, 2, 3, 4));
+  EXPECT_EQ(P.size().toInt64(), 4);
+  PowerBox E = PowerBox::fromBox(Box::bottom(2));
+  EXPECT_TRUE(E.isEmptySet());
+}
+
+TEST(PowerBox, StrRendering) {
+  PowerBox P(2, {box(0, 1, 0, 1)}, {box(0, 0, 0, 0)});
+  EXPECT_EQ(P.str(), "{[0, 1] x [0, 1]} \\ {[0, 0] x [0, 0]}");
+}

@@ -1,0 +1,75 @@
+//===- tests/expr/AnalysisTest.cpp - Fragment analysis unit tests ---------===//
+
+#include "expr/Analysis.h"
+
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema twoField() { return Schema("S", {{"a", 0, 100}, {"b", 0, 100}}); }
+
+ExprRef q(const std::string &Src) {
+  auto R = parseQueryExpr(twoField(), Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return R.value();
+}
+
+} // namespace
+
+TEST(Analysis, FreeFields) {
+  EXPECT_EQ(analyzeQuery(*q("a <= 3")).FreeFields,
+            (std::set<unsigned>{0}));
+  EXPECT_EQ(analyzeQuery(*q("a + b <= 3")).FreeFields,
+            (std::set<unsigned>{0, 1}));
+  EXPECT_TRUE(analyzeQuery(*boolConst(true)).FreeFields.empty());
+}
+
+TEST(Analysis, LinearityAcceptsConstantMultiples) {
+  EXPECT_TRUE(analyzeQuery(*q("2 * a + 3 * b <= 7")).Linear);
+  EXPECT_TRUE(analyzeQuery(*q("a * 5 <= 7")).Linear);
+}
+
+TEST(Analysis, LinearityRejectsProductsOfFields) {
+  EXPECT_FALSE(analyzeQuery(*q("a * b <= 7")).Linear);
+  EXPECT_FALSE(analyzeQuery(*q("(a + 1) * (b + 1) <= 7")).Linear);
+  EXPECT_FALSE(analyzeQuery(*q("a * a <= 7")).Linear);
+}
+
+TEST(Analysis, RelationalDetection) {
+  // B2 Ship-style coupling of two fields in a single atom.
+  EXPECT_TRUE(analyzeQuery(*q("a + b <= 7")).Relational);
+  EXPECT_TRUE(analyzeQuery(*q("abs(a - b) <= 7")).Relational);
+  // Separable conjunctions are not relational.
+  EXPECT_FALSE(analyzeQuery(*q("a <= 7 && b <= 9")).Relational);
+}
+
+TEST(Analysis, AtomCount) {
+  EXPECT_EQ(analyzeQuery(*q("a <= 7 && b <= 9 || a == b")).NumAtoms, 3u);
+}
+
+TEST(Analysis, AdmitAcceptsLinearQueries) {
+  EXPECT_TRUE(admitQuery(*q("2 * a - b <= 7"), 2).ok());
+  EXPECT_TRUE(admitQuery(*q("abs(a - 50) + abs(b - 50) <= 30"), 2).ok());
+}
+
+TEST(Analysis, AdmitRejectsNonlinear) {
+  auto R = admitQuery(*q("a * b <= 7"), 2);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().code(), ErrorCode::UnsupportedQuery);
+  EXPECT_NE(R.error().message().find("linear"), std::string::npos);
+}
+
+TEST(Analysis, AdmitRejectsIntegerSortedTop) {
+  auto R = admitQuery(*add(fieldRef(0), intConst(1)), 2);
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(Analysis, AdmitRejectsOutOfRangeFields) {
+  auto R = admitQuery(*le(fieldRef(5), intConst(1)), 2);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("$5"), std::string::npos);
+}

@@ -1,0 +1,85 @@
+//===- tests/expr/EvalTest.cpp - Concrete evaluation unit tests -----------===//
+
+#include "expr/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+/// The paper's nearby query: abs(x - ox) + abs(y - oy) <= 100.
+ExprRef nearby(int64_t OX, int64_t OY) {
+  return le(add(absOf(sub(fieldRef(0), intConst(OX))),
+                absOf(sub(fieldRef(1), intConst(OY)))),
+            intConst(100));
+}
+
+} // namespace
+
+TEST(Eval, ArithmeticNodes) {
+  Point P{7, -3};
+  EXPECT_EQ(evalInt(*add(fieldRef(0), fieldRef(1)), P), 4);
+  EXPECT_EQ(evalInt(*sub(fieldRef(0), fieldRef(1)), P), 10);
+  EXPECT_EQ(evalInt(*mul(fieldRef(0), fieldRef(1)), P), -21);
+  EXPECT_EQ(evalInt(*neg(fieldRef(1)), P), 3);
+  EXPECT_EQ(evalInt(*absOf(fieldRef(1)), P), 3);
+  EXPECT_EQ(evalInt(*minOf(fieldRef(0), fieldRef(1)), P), -3);
+  EXPECT_EQ(evalInt(*maxOf(fieldRef(0), fieldRef(1)), P), 7);
+}
+
+TEST(Eval, IteSelectsArm) {
+  ExprRef E = intIte(le(fieldRef(0), intConst(0)), intConst(-1), intConst(1));
+  EXPECT_EQ(evalInt(*E, {0}), -1);
+  EXPECT_EQ(evalInt(*E, {1}), 1);
+}
+
+TEST(Eval, BooleanConnectives) {
+  ExprRef A = le(fieldRef(0), intConst(5));
+  ExprRef B = ge(fieldRef(0), intConst(3));
+  ExprRef AndE = andOf(A, B);
+  ExprRef OrE = orOf(A, B);
+  ExprRef NotA = notOf(A);
+  ExprRef Impl = implies(A, B);
+  EXPECT_TRUE(evalBool(*AndE, {4}));
+  EXPECT_FALSE(evalBool(*AndE, {6}));
+  EXPECT_TRUE(evalBool(*OrE, {6}));
+  EXPECT_FALSE(evalBool(*NotA, {4}));
+  EXPECT_TRUE(evalBool(*NotA, {6}));
+  EXPECT_FALSE(evalBool(*Impl, {2})); // A true, B false
+  EXPECT_TRUE(evalBool(*Impl, {6}));  // A false
+}
+
+TEST(Eval, AllComparisons) {
+  ExprRef X = fieldRef(0);
+  EXPECT_TRUE(evalBool(*eq(X, intConst(4)), {4}));
+  EXPECT_TRUE(evalBool(*ne(X, intConst(4)), {5}));
+  EXPECT_TRUE(evalBool(*lt(X, intConst(4)), {3}));
+  EXPECT_FALSE(evalBool(*lt(X, intConst(4)), {4}));
+  EXPECT_TRUE(evalBool(*le(X, intConst(4)), {4}));
+  EXPECT_TRUE(evalBool(*gt(X, intConst(4)), {5}));
+  EXPECT_TRUE(evalBool(*ge(X, intConst(4)), {4}));
+}
+
+TEST(Eval, NearbyMatchesPaperSemantics) {
+  // §2.1: nearby checks Manhattan distance <= 100.
+  ExprRef Q = nearby(200, 200);
+  EXPECT_TRUE(evalBool(*Q, {200, 200}));
+  EXPECT_TRUE(evalBool(*Q, {300, 200}));  // distance exactly 100
+  EXPECT_TRUE(evalBool(*Q, {250, 250}));  // 50 + 50
+  EXPECT_FALSE(evalBool(*Q, {301, 200})); // 101
+  EXPECT_FALSE(evalBool(*Q, {0, 0}));
+}
+
+TEST(Eval, PaperSectionThreeInference) {
+  // §2.1: if nearby(200,200) and nearby(400,200) both hold, the secret is
+  // exactly (300, 200).
+  ExprRef Both = andOf(nearby(200, 200), nearby(400, 200));
+  EXPECT_TRUE(evalBool(*Both, {300, 200}));
+  int Count = 0;
+  for (int64_t X = 0; X <= 400; ++X)
+    for (int64_t Y = 0; Y <= 400; ++Y)
+      if (evalBool(*Both, {X, Y}))
+        ++Count;
+  EXPECT_EQ(Count, 1);
+}

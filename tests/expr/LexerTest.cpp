@@ -1,0 +1,101 @@
+//===- tests/expr/LexerTest.cpp - Lexer unit tests -------------------------===//
+
+#include "expr/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(const std::string &Source) {
+  auto R = tokenize(Source);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : R.value())
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto Kinds = kindsOf("");
+  ASSERT_EQ(Kinds.size(), 1u);
+  EXPECT_EQ(Kinds[0], TokenKind::Eof);
+}
+
+TEST(Lexer, IdentifiersAndIntegers) {
+  auto R = tokenize("nearby 42 x_1");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.value().size(), 4u);
+  EXPECT_EQ(R.value()[0].Text, "nearby");
+  EXPECT_EQ(R.value()[1].IntValue, 42);
+  EXPECT_EQ(R.value()[2].Text, "x_1");
+}
+
+TEST(Lexer, OperatorMaximalMunch) {
+  EXPECT_EQ(kindsOf("= == ==>"),
+            (std::vector<TokenKind>{TokenKind::Assign, TokenKind::EqEq,
+                                    TokenKind::Arrow, TokenKind::Eof}));
+  EXPECT_EQ(kindsOf("< <= > >= ! !="),
+            (std::vector<TokenKind>{TokenKind::Less, TokenKind::LessEq,
+                                    TokenKind::Greater, TokenKind::GreaterEq,
+                                    TokenKind::Bang, TokenKind::NotEq,
+                                    TokenKind::Eof}));
+}
+
+TEST(Lexer, LogicalOperators) {
+  EXPECT_EQ(kindsOf("&& ||"),
+            (std::vector<TokenKind>{TokenKind::AndAnd, TokenKind::OrOr,
+                                    TokenKind::Eof}));
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kindsOf("( ) { } [ ] , : + - *"),
+            (std::vector<TokenKind>{
+                TokenKind::LParen, TokenKind::RParen, TokenKind::LBrace,
+                TokenKind::RBrace, TokenKind::LBracket, TokenKind::RBracket,
+                TokenKind::Comma, TokenKind::Colon, TokenKind::Plus,
+                TokenKind::Minus, TokenKind::Star, TokenKind::Eof}));
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  auto Kinds = kindsOf("1 # everything here is skipped && ||\n2");
+  EXPECT_EQ(Kinds, (std::vector<TokenKind>{TokenKind::Integer,
+                                           TokenKind::Integer,
+                                           TokenKind::Eof}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto R = tokenize("a\n  b");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.value()[0].Line, 1u);
+  EXPECT_EQ(R.value()[0].Column, 1u);
+  EXPECT_EQ(R.value()[1].Line, 2u);
+  EXPECT_EQ(R.value()[1].Column, 3u);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  auto R = tokenize("a @ b");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().code(), ErrorCode::ParseError);
+  EXPECT_NE(R.error().message().find("'@'"), std::string::npos);
+}
+
+TEST(Lexer, RejectsLoneAmpersand) {
+  EXPECT_FALSE(tokenize("a & b").ok());
+  EXPECT_FALSE(tokenize("a | b").ok());
+}
+
+TEST(Lexer, RejectsOverflowingLiteral) {
+  auto R = tokenize("99999999999999999999999999");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("overflow"), std::string::npos);
+}
+
+TEST(Lexer, Int64MaxLiteralAccepted) {
+  auto R = tokenize("9223372036854775807");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.value()[0].IntValue, INT64_MAX);
+}

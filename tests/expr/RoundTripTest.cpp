@@ -1,0 +1,67 @@
+//===- tests/expr/RoundTripTest.cpp - Printer/parser round trips ----------===//
+//
+// Property: pretty-printing any expression in the fragment and re-parsing
+// it yields a semantically identical query (checked pointwise over the
+// whole small secret space). This pins the printer's precedence and
+// parenthesization against the parser's grammar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../fuzz/QueryGen.h"
+
+#include "baselines/Exhaustive.h"
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema smallSchema() { return Schema("F", {{"a", 0, 12}, {"b", 0, 12}}); }
+
+class RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RoundTrip, PrintParseIsSemanticIdentity) {
+  QueryGenConfig Config;
+  Config.ConstLo = -15;
+  Config.ConstHi = 15;
+  QueryGen Gen(GetParam(), Config);
+  Schema S = smallSchema();
+  for (int I = 0; I != 25; ++I) {
+    ExprRef Q = Gen.genQuery();
+    std::string Printed = Q->str(S);
+    auto Reparsed = parseQueryExpr(S, Printed);
+    ASSERT_TRUE(Reparsed.ok())
+        << "failed to reparse: " << Printed << "\n  "
+        << Reparsed.error().str();
+    forEachPoint(Box::top(S), [&](const Point &P) {
+      EXPECT_EQ(evalBool(*Q, P), evalBool(*Reparsed.value(), P))
+          << Printed;
+      return true;
+    });
+  }
+}
+
+TEST_P(RoundTrip, IntTermRoundTripThroughComparison) {
+  QueryGen Gen(GetParam() + 500);
+  Schema S = smallSchema();
+  for (int I = 0; I != 25; ++I) {
+    // Wrap a random linear term as "term <= 0" to route it through the
+    // boolean entry point.
+    ExprRef T = le(Gen.genTerm(), intConst(0));
+    std::string Printed = T->str(S);
+    auto Reparsed = parseQueryExpr(S, Printed);
+    ASSERT_TRUE(Reparsed.ok()) << Printed;
+    forEachPoint(Box::top(S), [&](const Point &P) {
+      EXPECT_EQ(evalBool(*T, P), evalBool(*Reparsed.value(), P)) << Printed;
+      return true;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Values(3, 14, 159, 2653, 58979));

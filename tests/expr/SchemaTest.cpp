@@ -1,0 +1,50 @@
+//===- tests/expr/SchemaTest.cpp - Schema unit tests -----------------------===//
+
+#include "expr/Schema.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+} // namespace
+
+TEST(Schema, Arity) { EXPECT_EQ(userLoc().arity(), 2u); }
+
+TEST(Schema, FieldIndex) {
+  Schema S = userLoc();
+  EXPECT_EQ(S.fieldIndex("x"), 0);
+  EXPECT_EQ(S.fieldIndex("y"), 1);
+  EXPECT_EQ(S.fieldIndex("z"), -1);
+}
+
+TEST(Schema, ContainsChecksBoundsAndArity) {
+  Schema S = userLoc();
+  EXPECT_TRUE(S.contains({0, 0}));
+  EXPECT_TRUE(S.contains({400, 400}));
+  EXPECT_FALSE(S.contains({401, 0}));
+  EXPECT_FALSE(S.contains({-1, 5}));
+  EXPECT_FALSE(S.contains({1}));
+  EXPECT_FALSE(S.contains({1, 2, 3}));
+}
+
+TEST(Schema, TotalSize) {
+  EXPECT_EQ(userLoc().totalSize().toInt64(), 401 * 401);
+  // B1's domain: 365 * 37 = 13505 (the paper's Table 1 total).
+  Schema B1("Birthday", {{"bday", 0, 364}, {"byear", 1956, 1992}});
+  EXPECT_EQ(B1.totalSize().toInt64(), 13505);
+}
+
+TEST(Schema, NegativeBounds) {
+  Schema S("T", {{"lon", -74100000, -74000000}});
+  EXPECT_EQ(S.totalSize().toInt64(), 100001);
+  EXPECT_TRUE(S.contains({-74050000}));
+}
+
+TEST(Schema, Str) {
+  EXPECT_EQ(userLoc().str(),
+            "UserLoc { x: int[0, 400], y: int[0, 400] }");
+}

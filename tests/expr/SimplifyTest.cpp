@@ -1,0 +1,126 @@
+//===- tests/expr/SimplifyTest.cpp - Normalization pass tests -------------===//
+
+#include "expr/Simplify.h"
+
+#include "../fuzz/QueryGen.h"
+#include "baselines/Exhaustive.h"
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema twoField() { return Schema("S", {{"a", 0, 12}, {"b", 0, 12}}); }
+
+ExprRef q(const std::string &Src) {
+  auto R = parseQueryExpr(twoField(), Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return R.value();
+}
+
+} // namespace
+
+TEST(Simplify, SelfDifferenceFolds) {
+  EXPECT_EQ(simplify(q("a - a <= 3"))->kind(), ExprKind::BoolConst);
+  EXPECT_TRUE(simplify(q("a - a <= 3"))->boolValue());
+}
+
+TEST(Simplify, SelfComparisonsFold) {
+  EXPECT_TRUE(simplify(q("a == a"))->boolValue());
+  EXPECT_TRUE(simplify(q("a <= a"))->boolValue());
+  EXPECT_TRUE(simplify(q("a >= a"))->boolValue());
+  EXPECT_FALSE(simplify(q("a != a"))->boolValue());
+  EXPECT_FALSE(simplify(q("a < a"))->boolValue());
+  EXPECT_FALSE(simplify(q("a > a"))->boolValue());
+}
+
+TEST(Simplify, IdempotentConnectivesFold) {
+  ExprRef E = simplify(q("a <= 3 && a <= 3"));
+  EXPECT_EQ(E->kind(), ExprKind::Cmp);
+  ExprRef O = simplify(q("a <= 3 || a <= 3"));
+  EXPECT_EQ(O->kind(), ExprKind::Cmp);
+  ExprRef M = le(simplify(minOf(fieldRef(0), fieldRef(0))), intConst(3));
+  EXPECT_EQ(M->operand(0)->kind(), ExprKind::FieldRef);
+}
+
+TEST(Simplify, NotOverComparisonFlips) {
+  ExprRef E = simplify(q("!(a <= 3)"));
+  ASSERT_EQ(E->kind(), ExprKind::Cmp);
+  EXPECT_EQ(E->cmpOp(), CmpOp::GT);
+}
+
+TEST(Simplify, IteWithEqualArmsFolds) {
+  ExprRef E = simplify(q("(if a < 3 then b else b) <= 5"));
+  // The ite disappears entirely.
+  EXPECT_EQ(E->operand(0)->kind(), ExprKind::FieldRef);
+}
+
+TEST(Simplify, Idempotent) {
+  QueryGen Gen(91);
+  for (int I = 0; I != 40; ++I) {
+    ExprRef Q = Gen.genQuery();
+    ExprRef S1 = simplify(Q);
+    ExprRef S2 = simplify(S1);
+    EXPECT_TRUE(Expr::structurallyEqual(*S1, *S2)) << Q->str();
+  }
+}
+
+TEST(NNF, EliminatesImpliesAndInnerNots) {
+  ExprRef E = toNNF(q("!(a <= 3 && !(b >= 2)) ==> a == b"));
+  // Walk the result: no Not except over nothing, no Implies anywhere.
+  std::function<void(const Expr &)> Walk = [&Walk](const Expr &N) {
+    EXPECT_NE(N.kind(), ExprKind::Implies);
+    EXPECT_NE(N.kind(), ExprKind::Not);
+    if (N.isBoolSorted() && N.kind() != ExprKind::Cmp)
+      for (const ExprRef &Op : N.operands())
+        Walk(*Op);
+  };
+  Walk(*E);
+}
+
+TEST(NNF, DeMorganShape) {
+  ExprRef E = toNNF(q("!(a <= 3 || b <= 4)"));
+  ASSERT_EQ(E->kind(), ExprKind::And);
+  EXPECT_EQ(E->operand(0)->cmpOp(), CmpOp::GT);
+  EXPECT_EQ(E->operand(1)->cmpOp(), CmpOp::GT);
+}
+
+TEST(NNF, ConstantsRespectPolarity) {
+  EXPECT_FALSE(toNNF(notOf(boolConst(true)))->boolValue());
+  EXPECT_TRUE(toNNF(notOf(boolConst(false)))->boolValue());
+}
+
+namespace {
+
+class NormalizationSemantics : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(NormalizationSemantics, PassesPreserveMeaning) {
+  QueryGenConfig Config;
+  Config.ConstLo = -15;
+  Config.ConstHi = 15;
+  QueryGen Gen(GetParam(), Config);
+  Schema S = twoField();
+  for (int I = 0; I != 30; ++I) {
+    ExprRef Q = Gen.genQuery();
+    ExprRef Simp = simplify(Q);
+    ExprRef Nnf = toNNF(Q);
+    ExprRef Both = toNNF(simplify(Q));
+    forEachPoint(Box::top(S), [&](const Point &P) {
+      bool Truth = evalBool(*Q, P);
+      EXPECT_EQ(evalBool(*Simp, P), Truth) << Q->str();
+      EXPECT_EQ(evalBool(*Nnf, P), Truth) << Q->str();
+      EXPECT_EQ(evalBool(*Both, P), Truth) << Q->str();
+      return true;
+    });
+    // simplify never grows the tree.
+    EXPECT_LE(Simp->treeSize(), Q->treeSize()) << Q->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationSemantics,
+                         ::testing::Values(7, 42, 1337, 2024, 31415));

@@ -1,0 +1,95 @@
+//===- tests/expr/SmtLibTest.cpp - SMT-LIB emission unit tests ------------===//
+
+#include "expr/SmtLib.h"
+
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+} // namespace
+
+TEST(SmtLib, TermRendering) {
+  Schema S = userLoc();
+  auto Q = parseQueryExpr(S, "abs(x - 200) + abs(y - 200) <= 100");
+  ASSERT_TRUE(Q.ok());
+  EXPECT_EQ(toSmtLibTerm(*Q.value(), S),
+            "(<= (+ (abs (- x 200)) (abs (- y 200))) 100)");
+}
+
+TEST(SmtLib, NegativeConstants) {
+  Schema S("T", {{"lon", -100, 0}});
+  auto Q = parseQueryExpr(S, "lon <= -50");
+  ASSERT_TRUE(Q.ok());
+  EXPECT_EQ(toSmtLibTerm(*Q.value(), S), "(<= lon (- 50))");
+}
+
+TEST(SmtLib, MinMaxBecomeIte) {
+  Schema S = userLoc();
+  auto Q = parseQueryExpr(S, "min(x, y) <= 3");
+  ASSERT_TRUE(Q.ok());
+  EXPECT_EQ(toSmtLibTerm(*Q.value(), S),
+            "(<= (ite (<= x y) x y) 3)");
+}
+
+TEST(SmtLib, NeRendersAsNotEq) {
+  Schema S = userLoc();
+  auto Q = parseQueryExpr(S, "x != y");
+  ASSERT_TRUE(Q.ok());
+  EXPECT_EQ(toSmtLibTerm(*Q.value(), S), "(not (= x y))");
+}
+
+TEST(SmtLib, ConnectiveRendering) {
+  Schema S = userLoc();
+  auto Q = parseQueryExpr(S, "!(x == 1) && (y == 2 || x >= 3)");
+  ASSERT_TRUE(Q.ok());
+  EXPECT_EQ(toSmtLibTerm(*Q.value(), S),
+            "(and (not (= x 1)) (or (= y 2) (>= x 3)))");
+}
+
+TEST(SmtLib, ScriptDeclaresBoundedFields) {
+  Schema S = userLoc();
+  auto Q = parseQueryExpr(S, "x <= y");
+  ASSERT_TRUE(Q.ok());
+  std::string Script = toSmtLibScript(*Q.value(), S);
+  EXPECT_NE(Script.find("(set-logic QF_LIA)"), std::string::npos);
+  EXPECT_NE(Script.find("(declare-const x Int)"), std::string::npos);
+  EXPECT_NE(Script.find("(assert (and (<= 0 x) (<= x 400)))"),
+            std::string::npos);
+  EXPECT_NE(Script.find("(assert (<= x y))"), std::string::npos);
+  EXPECT_NE(Script.find("(check-sat)"), std::string::npos);
+}
+
+TEST(SmtLib, SynthScriptUnderTrue) {
+  Schema S = userLoc();
+  auto Q = parseQueryExpr(S, "x <= 100");
+  ASSERT_TRUE(Q.ok());
+  std::string Script =
+      toSynthConstraintScript(*Q.value(), S, /*Polarity=*/true,
+                              /*Under=*/true);
+  // The §2.3 (Under-approx, True) constraint: membership implies query.
+  EXPECT_NE(Script.find("(declare-const l_x Int)"), std::string::npos);
+  EXPECT_NE(Script.find("(declare-const u_y Int)"), std::string::npos);
+  EXPECT_NE(Script.find("forall"), std::string::npos);
+  EXPECT_NE(Script.find("(maximize (- u_x l_x))"), std::string::npos);
+  EXPECT_NE(Script.find("(maximize (- u_y l_y))"), std::string::npos);
+}
+
+TEST(SmtLib, SynthScriptOverFalsePolarity) {
+  Schema S = userLoc();
+  auto Q = parseQueryExpr(S, "x <= 100");
+  ASSERT_TRUE(Q.ok());
+  std::string Script =
+      toSynthConstraintScript(*Q.value(), S, /*Polarity=*/false,
+                              /*Under=*/false);
+  // Over-approximation minimizes widths and negates the query.
+  EXPECT_NE(Script.find("(minimize (- u_x l_x))"), std::string::npos);
+  EXPECT_NE(Script.find("(not (<= x 100))"), std::string::npos);
+}

@@ -1,0 +1,101 @@
+//===- tests/fuzz/QueryGen.h - Random query generation ----------*- C++ -*-===//
+//
+// A grammar-directed random generator for the §5.1 query fragment, used by
+// the property-test sweeps: random boolean queries over a fixed small
+// schema, built from the same constructors the parser emits (linear
+// arithmetic with abs/min/max/ite, comparisons, connectives).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_TESTS_FUZZ_QUERYGEN_H
+#define ANOSY_TESTS_FUZZ_QUERYGEN_H
+
+#include "expr/Expr.h"
+#include "support/Rng.h"
+
+namespace anosy {
+
+/// Generator configuration: the schema's arity and constant magnitudes.
+struct QueryGenConfig {
+  unsigned Arity = 2;
+  int64_t ConstLo = -40;
+  int64_t ConstHi = 40;
+  unsigned MaxDepth = 4;
+};
+
+/// Generates random well-sorted expressions within the linear fragment.
+class QueryGen {
+public:
+  QueryGen(uint64_t Seed, QueryGenConfig Config = {})
+      : R(Seed), Config(Config) {}
+
+  /// A random boolean-sorted query.
+  ExprRef genQuery() { return genBool(Config.MaxDepth); }
+
+  /// A random integer-sorted (linear) term.
+  ExprRef genTerm() { return genInt(Config.MaxDepth); }
+
+private:
+  ExprRef genInt(unsigned Depth) {
+    if (Depth == 0)
+      return genLeaf();
+    switch (R.range(0, 8)) {
+    case 0:
+    case 1:
+      return genLeaf();
+    case 2:
+      return add(genInt(Depth - 1), genInt(Depth - 1));
+    case 3:
+      return sub(genInt(Depth - 1), genInt(Depth - 1));
+    case 4:
+      // Constant multiple only: stay linear.
+      return mul(intConst(R.range(-3, 3)), genInt(Depth - 1));
+    case 5:
+      return absOf(genInt(Depth - 1));
+    case 6:
+      return minOf(genInt(Depth - 1), genInt(Depth - 1));
+    case 7:
+      return maxOf(genInt(Depth - 1), genInt(Depth - 1));
+    default:
+      return intIte(genBool(Depth - 1), genInt(Depth - 1),
+                    genInt(Depth - 1));
+    }
+  }
+
+  ExprRef genBool(unsigned Depth) {
+    if (Depth == 0)
+      return genAtom();
+    switch (R.range(0, 5)) {
+    case 0:
+    case 1:
+      return genAtom();
+    case 2:
+      return andOf(genBool(Depth - 1), genBool(Depth - 1));
+    case 3:
+      return orOf(genBool(Depth - 1), genBool(Depth - 1));
+    case 4:
+      return notOf(genBool(Depth - 1));
+    default:
+      return implies(genBool(Depth - 1), genBool(Depth - 1));
+    }
+  }
+
+  ExprRef genAtom() {
+    CmpOp Op = static_cast<CmpOp>(R.range(0, 5));
+    return cmp(Op, genInt(1), genInt(1));
+  }
+
+  ExprRef genLeaf() {
+    if (R.range(0, 2) == 0)
+      return intConst(R.range(Config.ConstLo, Config.ConstHi));
+    return fieldRef(static_cast<unsigned>(
+        R.range(0, static_cast<int64_t>(Config.Arity) - 1)));
+  }
+
+  Rng R;
+  QueryGenConfig Config;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_TESTS_FUZZ_QUERYGEN_H

@@ -1,0 +1,98 @@
+//===- tests/ifc/LabelTest.cpp - Label lattice tests ----------------------===//
+
+#include "ifc/Label.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(SecurityLevel, LatticeOrder) {
+  SecurityLevel Pub(SecurityLevel::Public), Sec(SecurityLevel::Secret);
+  EXPECT_TRUE(Pub.canFlowTo(Sec));
+  EXPECT_FALSE(Sec.canFlowTo(Pub));
+  EXPECT_TRUE(Pub.canFlowTo(Pub));
+  EXPECT_TRUE(SecurityLevel::bottom().canFlowTo(SecurityLevel::top()));
+}
+
+TEST(SecurityLevel, JoinMeet) {
+  SecurityLevel Conf(SecurityLevel::Confidential),
+      Sec(SecurityLevel::Secret);
+  EXPECT_EQ(Conf.join(Sec), Sec);
+  EXPECT_EQ(Conf.meet(Sec), Conf);
+  EXPECT_EQ(Sec.join(Sec), Sec);
+}
+
+TEST(SecurityLevel, LatticeLawsExhaustive) {
+  std::vector<SecurityLevel> All{
+      SecurityLevel(SecurityLevel::Public),
+      SecurityLevel(SecurityLevel::Confidential),
+      SecurityLevel(SecurityLevel::Secret),
+      SecurityLevel(SecurityLevel::TopSecret)};
+  for (const auto &A : All)
+    for (const auto &B : All) {
+      // join is the least upper bound; meet the greatest lower bound.
+      EXPECT_TRUE(A.canFlowTo(A.join(B)));
+      EXPECT_TRUE(B.canFlowTo(A.join(B)));
+      EXPECT_TRUE(A.meet(B).canFlowTo(A));
+      EXPECT_TRUE(A.meet(B).canFlowTo(B));
+      // canFlowTo is antisymmetric: both directions means equality.
+      if (A.canFlowTo(B) && B.canFlowTo(A)) {
+        EXPECT_TRUE(A == B);
+      }
+    }
+}
+
+TEST(SecurityLevel, Names) {
+  EXPECT_EQ(SecurityLevel(SecurityLevel::Secret).str(), "Secret");
+  EXPECT_EQ(SecurityLevel::bottom().str(), "Public");
+}
+
+TEST(ReaderSet, PublicFlowsAnywhere) {
+  ReaderSet Pub;
+  ReaderSet Alice(std::set<std::string>{"alice"});
+  EXPECT_TRUE(Pub.canFlowTo(Alice));
+  EXPECT_TRUE(Pub.canFlowTo(ReaderSet::top()));
+}
+
+TEST(ReaderSet, RestrictedCannotGoPublic) {
+  ReaderSet Alice(std::set<std::string>{"alice"});
+  EXPECT_FALSE(Alice.canFlowTo(ReaderSet::bottom()));
+}
+
+TEST(ReaderSet, FlowShrinksReaders) {
+  ReaderSet AB(std::set<std::string>{"alice", "bob"});
+  ReaderSet A(std::set<std::string>{"alice"});
+  EXPECT_TRUE(AB.canFlowTo(A));   // dropping bob restricts readership
+  EXPECT_FALSE(A.canFlowTo(AB));  // adding bob would leak to bob
+}
+
+TEST(ReaderSet, JoinIntersectsReaders) {
+  ReaderSet AB(std::set<std::string>{"alice", "bob"});
+  ReaderSet BC(std::set<std::string>{"bob", "carol"});
+  ReaderSet J = AB.join(BC);
+  EXPECT_EQ(J.readers(), (std::set<std::string>{"bob"}));
+  // Join with public is the identity.
+  EXPECT_TRUE(AB.join(ReaderSet()) == AB);
+}
+
+TEST(ReaderSet, MeetUnionsReaders) {
+  ReaderSet A(std::set<std::string>{"alice"});
+  ReaderSet B(std::set<std::string>{"bob"});
+  EXPECT_EQ(A.meet(B).readers(), (std::set<std::string>{"alice", "bob"}));
+  EXPECT_TRUE(A.meet(ReaderSet()).isEveryone());
+}
+
+TEST(ReaderSet, TopReadableByNoOne) {
+  ReaderSet Top = ReaderSet::top();
+  EXPECT_TRUE(Top.readers().empty());
+  EXPECT_FALSE(Top.isEveryone());
+  ReaderSet A(std::set<std::string>{"alice"});
+  EXPECT_TRUE(A.canFlowTo(Top));
+  EXPECT_FALSE(Top.canFlowTo(A));
+}
+
+TEST(ReaderSet, Str) {
+  EXPECT_EQ(ReaderSet().str(), "{everyone}");
+  EXPECT_EQ(ReaderSet(std::set<std::string>{"alice", "bob"}).str(),
+            "{alice, bob}");
+}

@@ -1,0 +1,77 @@
+//===- tests/ifc/ReaderSetAnosyTTest.cpp - DC-label stacking tests --------===//
+//
+// AnosyT stacked on a SecureContext with the powerset-of-principals
+// lattice: the paper's claim that the transformer composes with *any*
+// underlying secure monad, exercised with a second label model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnosyT.h"
+
+#include "expr/Parser.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+QueryInfo<Box> synthesizedNearby(const Schema &S) {
+  auto Q = parseQueryExpr(S, "abs(x - 200) + abs(y - 200) <= 100");
+  EXPECT_TRUE(Q.ok());
+  auto Sy = Synthesizer::create(S, Q.value());
+  EXPECT_TRUE(Sy.ok());
+  auto Sets = Sy->synthesizeInterval(ApproxKind::Under);
+  EXPECT_TRUE(Sets.ok());
+  return {"nearby", Q.value(), Sets.takeValue(), ApproxKind::Under};
+}
+
+} // namespace
+
+TEST(ReaderSetAnosyT, DowngradeUnderPrincipalLattice) {
+  Schema S = userLoc();
+  KnowledgeTracker<Box> Tracker(S, minSizePolicy<Box>(100));
+  Tracker.registerQuery(synthesizedNearby(S));
+
+  SecureContext<Point, ReaderSet> Ctx;
+  AnosyT<Box, ReaderSet> Monad(Tracker, Ctx);
+
+  // The location is readable only by alice (the data owner).
+  ReaderSet AliceOnly(std::set<std::string>{"alice"});
+  auto Secret = Ctx.labelValue({200, 200}, AliceOnly);
+  ASSERT_TRUE(Secret.ok());
+
+  auto R = Monad.downgrade(*Secret, "nearby");
+  ASSERT_TRUE(R.ok()) << R.error().str();
+  EXPECT_TRUE(*R);
+
+  // The downgrade did not taint the context: the boolean can be shown to
+  // everyone (that is the point of bounded declassification).
+  EXPECT_TRUE(Ctx.output(ReaderSet(), {*R ? 1 : 0, 0}, nullptr).ok());
+
+  // The raw location still cannot reach the everyone channel.
+  ASSERT_TRUE(Ctx.unlabel(*Secret).ok());
+  EXPECT_FALSE(Ctx.output(ReaderSet(), {200, 200}, nullptr).ok());
+  // It can reach alice's own channel.
+  EXPECT_TRUE(Ctx.output(AliceOnly, {200, 200}, nullptr).ok());
+}
+
+TEST(ReaderSetAnosyT, AuditRecordsPrincipalLabels) {
+  Schema S = userLoc();
+  KnowledgeTracker<Box> Tracker(S, permissivePolicy<Box>());
+  Tracker.registerQuery(synthesizedNearby(S));
+  SecureContext<Point, ReaderSet> Ctx;
+  AnosyT<Box, ReaderSet> Monad(Tracker, Ctx);
+
+  ReaderSet Owners(std::set<std::string>{"alice", "ops"});
+  auto Secret = Ctx.labelValue({10, 10}, Owners);
+  ASSERT_TRUE(Secret.ok());
+  ASSERT_TRUE(Monad.downgrade(*Secret, "nearby").ok());
+  ASSERT_EQ(Ctx.auditLog().size(), 1u);
+  EXPECT_EQ(Ctx.auditLog()[0].FromLabel, "{alice, ops}");
+}

@@ -1,0 +1,122 @@
+//===- tests/ifc/SecureContextTest.cpp - LIO-substrate tests --------------===//
+
+#include "ifc/SecureContext.h"
+
+#include "expr/Schema.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+using Ctx = SecureContext<Point, SecurityLevel>;
+const SecurityLevel Pub(SecurityLevel::Public);
+const SecurityLevel Sec(SecurityLevel::Secret);
+const SecurityLevel TopS(SecurityLevel::TopSecret);
+} // namespace
+
+TEST(SecureContext, StartsAtBottom) {
+  Ctx C;
+  EXPECT_TRUE(C.currentLabel() == SecurityLevel::bottom());
+  EXPECT_TRUE(C.clearance() == SecurityLevel::top());
+}
+
+TEST(SecureContext, LabelAndUnlabelRaisesCurrent) {
+  Ctx C;
+  auto L = C.labelValue({300, 200}, Sec);
+  ASSERT_TRUE(L.ok());
+  EXPECT_TRUE(L->label() == Sec);
+  auto V = C.unlabel(*L);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, (Point{300, 200}));
+  EXPECT_TRUE(C.currentLabel() == Sec); // tainted now
+}
+
+TEST(SecureContext, CannotLabelBelowCurrent) {
+  Ctx C;
+  auto L = C.labelValue({1, 1}, Sec);
+  ASSERT_TRUE(C.unlabel(*L).ok());
+  // Current is Secret; labeling Public data now would launder the taint.
+  auto Bad = C.labelValue({2, 2}, Pub);
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.error().code(), ErrorCode::LabelCheckFailure);
+}
+
+TEST(SecureContext, ClearanceBoundsUnlabel) {
+  Ctx C(Sec); // clearance Secret
+  Labeled<Point, SecurityLevel> TooHigh({9, 9}, TopS);
+  auto V = C.unlabel(TooHigh);
+  ASSERT_FALSE(V.ok());
+  EXPECT_EQ(V.error().code(), ErrorCode::LabelCheckFailure);
+  // The failed unlabel must not taint the context.
+  EXPECT_TRUE(C.currentLabel() == SecurityLevel::bottom());
+}
+
+TEST(SecureContext, ClearanceBoundsLabel) {
+  Ctx C(Sec);
+  EXPECT_FALSE(C.labelValue({1, 2}, TopS).ok());
+  EXPECT_TRUE(C.labelValue({1, 2}, Sec).ok());
+}
+
+TEST(SecureContext, OutputChecksNonInterference) {
+  Ctx C;
+  std::vector<Point> PublicChannel;
+  // Untainted context may write to a public channel.
+  EXPECT_TRUE(C.output(Pub, {7, 7}, &PublicChannel).ok());
+  // Taint the context with a secret...
+  Labeled<Point, SecurityLevel> S({300, 200}, Sec);
+  ASSERT_TRUE(C.unlabel(S).ok());
+  // ...now writing anything public is rejected: this is exactly the leak
+  // `downgrade` exists to mediate (§2.1).
+  auto R = C.output(Pub, {1, 0}, &PublicChannel);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(PublicChannel.size(), 1u);
+  // The secret channel is still writable.
+  EXPECT_TRUE(C.output(Sec, {1, 0}, nullptr).ok());
+}
+
+TEST(SecureContext, RunToLabeledRestoresLabel) {
+  Ctx C;
+  Labeled<Point, SecurityLevel> S({42, 0}, Sec);
+  auto L = C.runToLabeled([&]() -> Result<Point> {
+    auto V = C.unlabel(S); // taints the sub-computation only
+    if (!V.ok())
+      return V.error();
+    return Point{(*V)[0] + 1, 0};
+  });
+  ASSERT_TRUE(L.ok());
+  EXPECT_TRUE(L->label() == Sec); // the result carries the taint
+  EXPECT_TRUE(C.currentLabel() == SecurityLevel::bottom()); // caller clean
+  EXPECT_EQ(L->unprotectTCB(), (Point{43, 0}));
+}
+
+TEST(SecureContext, RunToLabeledPropagatesErrors) {
+  Ctx C;
+  auto L = C.runToLabeled([]() -> Result<Point> {
+    return Error(ErrorCode::Other, "inner failure");
+  });
+  EXPECT_FALSE(L.ok());
+  EXPECT_TRUE(C.currentLabel() == SecurityLevel::bottom());
+}
+
+TEST(SecureContext, DeclassifyTCBDoesNotTaintButAudits) {
+  Ctx C;
+  Labeled<Point, SecurityLevel> S({300, 200}, Sec);
+  const Point &V = C.declassifyTCB(S, "bounded downgrade: nearby200");
+  EXPECT_EQ(V, (Point{300, 200}));
+  EXPECT_TRUE(C.currentLabel() == SecurityLevel::bottom());
+  ASSERT_EQ(C.auditLog().size(), 1u);
+  EXPECT_EQ(C.auditLog()[0].Description, "bounded downgrade: nearby200");
+  EXPECT_EQ(C.auditLog()[0].FromLabel, "Secret");
+}
+
+TEST(SecureContext, ReaderSetContextWorks) {
+  SecureContext<Point, ReaderSet> C;
+  ReaderSet Alice(std::set<std::string>{"alice"});
+  auto L = C.labelValue({5, 5}, Alice);
+  ASSERT_TRUE(L.ok());
+  ASSERT_TRUE(C.unlabel(*L).ok());
+  // Tainted with alice-only data: cannot write to the everyone channel.
+  EXPECT_FALSE(C.output(ReaderSet(), {0, 0}, nullptr).ok());
+  EXPECT_TRUE(C.output(Alice, {0, 0}, nullptr).ok());
+}

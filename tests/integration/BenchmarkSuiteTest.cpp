@@ -1,0 +1,148 @@
+//===- tests/integration/BenchmarkSuiteTest.cpp - B1-B5 suite tests -------===//
+
+#include "benchlib/Problems.h"
+
+#include "expr/Analysis.h"
+#include "solver/ModelCounter.h"
+#include "synth/Synthesizer.h"
+#include "verify/RefinementChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(BenchmarkSuite, AllFiveProblemsLoad) {
+  const auto &Ps = mardzielBenchmarks();
+  ASSERT_EQ(Ps.size(), 5u);
+  EXPECT_EQ(Ps[0].Id, "B1");
+  EXPECT_EQ(Ps[4].Name, "Travel");
+  for (const BenchmarkProblem &P : Ps)
+    EXPECT_FALSE(P.M.queries().empty()) << P.Id;
+}
+
+TEST(BenchmarkSuite, FieldCountsMatchTable1) {
+  // Table 1's "No. of fields" column: 2, 3, 3, 4, 4.
+  EXPECT_EQ(benchmarkById("B1").M.schema().arity(), 2u);
+  EXPECT_EQ(benchmarkById("B2").M.schema().arity(), 3u);
+  EXPECT_EQ(benchmarkById("B3").M.schema().arity(), 3u);
+  EXPECT_EQ(benchmarkById("B4").M.schema().arity(), 4u);
+  EXPECT_EQ(benchmarkById("B5").M.schema().arity(), 4u);
+}
+
+TEST(BenchmarkSuite, AllQueriesInsideFragment) {
+  for (const BenchmarkProblem &P : mardzielBenchmarks())
+    EXPECT_TRUE(
+        admitQuery(*P.query().Body, P.M.schema().arity()).ok())
+        << P.Id;
+}
+
+TEST(BenchmarkSuite, B1ExactSizesPinnedToPaper) {
+  const BenchmarkProblem &B1 = benchmarkById("B1");
+  Box Top = Box::top(B1.M.schema());
+  PredicateRef Q = exprPredicate(B1.query().Body);
+  EXPECT_EQ(countSatExact(*Q, Top).toInt64(), 259);
+  EXPECT_EQ(countSatExact(*notPredicate(Q), Top).toInt64(), 13246);
+}
+
+TEST(BenchmarkSuite, B3ExactSizesPinnedToPaper) {
+  const BenchmarkProblem &B3 = benchmarkById("B3");
+  Box Top = Box::top(B3.M.schema());
+  PredicateRef Q = exprPredicate(B3.query().Body);
+  EXPECT_EQ(countSatExact(*Q, Top).toInt64(), 4);
+  EXPECT_EQ(countSatExact(*notPredicate(Q), Top).toInt64(), 884);
+}
+
+TEST(BenchmarkSuite, OrdersOfMagnitudeMatchTable1) {
+  // B2 ~ 1e6 / 2.4e7; B4 ~ 1.4e10 / 2.8e13; B5 ~ 2e3 / 6.7e6. We assert
+  // the (coarser) decades, since the exact Mardziel encodings are not in
+  // the paper.
+  struct Row {
+    const char *Id;
+    double TrueLo, TrueHi, FalseLo, FalseHi;
+  };
+  const Row Rows[] = {
+      {"B2", 1e5, 1e7, 1e7, 1e8},
+      {"B4", 1e9, 1e11, 1e13, 1e14},
+      {"B5", 1e2, 1e4, 1e6, 1e7},
+  };
+  for (const Row &R : Rows) {
+    const BenchmarkProblem &P = benchmarkById(R.Id);
+    Box Top = Box::top(P.M.schema());
+    PredicateRef Q = exprPredicate(P.query().Body);
+    double T = countSatExact(*Q, Top).toDouble();
+    double F = countSatExact(*notPredicate(Q), Top).toDouble();
+    EXPECT_GE(T, R.TrueLo) << R.Id;
+    EXPECT_LE(T, R.TrueHi) << R.Id;
+    EXPECT_GE(F, R.FalseLo) << R.Id;
+    EXPECT_LE(F, R.FalseHi) << R.Id;
+  }
+}
+
+TEST(BenchmarkSuite, B2IsRelationalOthersAreNot) {
+  // §6.1 singles out B2 as "a relational query that creates a dependency
+  // between two secret fields".
+  EXPECT_TRUE(analyzeQuery(*benchmarkById("B2").query().Body).Relational);
+  EXPECT_FALSE(analyzeQuery(*benchmarkById("B1").query().Body).Relational);
+  EXPECT_FALSE(analyzeQuery(*benchmarkById("B3").query().Body).Relational);
+  EXPECT_FALSE(analyzeQuery(*benchmarkById("B5").query().Body).Relational);
+}
+
+TEST(BenchmarkSuite, NearbyProblemTracksPaperNumbers) {
+  const BenchmarkProblem &NB = nearbyProblem();
+  EXPECT_EQ(NB.M.queries().size(), 3u);
+  PredicateRef Q = exprPredicate(NB.M.findQuery("nearby200")->Body);
+  EXPECT_EQ(countSatExact(*Q, Box::top(NB.M.schema())).toInt64(), 20201);
+}
+
+namespace {
+
+/// Interval synthesis sandwich sweep, one benchmark per TEST_P instance:
+/// under ⊆ exact ⊆ over for both responses, verified end-to-end.
+class SuiteSynthesis : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(SuiteSynthesis, IntervalSandwichAndVerification) {
+  const BenchmarkProblem &P = benchmarkById(GetParam());
+  const Schema &S = P.M.schema();
+  auto Sy = Synthesizer::create(S, P.query().Body);
+  ASSERT_TRUE(Sy.ok()) << Sy.error().str();
+
+  auto Under = Sy->synthesizeInterval(ApproxKind::Under);
+  auto Over = Sy->synthesizeInterval(ApproxKind::Over);
+  ASSERT_TRUE(Under.ok()) << Under.error().str();
+  ASSERT_TRUE(Over.ok()) << Over.error().str();
+
+  PredicateRef Q = exprPredicate(P.query().Body);
+  Box Top = Box::top(S);
+  BigCount ExactT = countSatExact(*Q, Top);
+  BigCount ExactF = countSatExact(*notPredicate(Q), Top);
+
+  EXPECT_TRUE(Under->TrueSet.volume() <= ExactT);
+  EXPECT_TRUE(ExactT <= Over->TrueSet.volume());
+  EXPECT_TRUE(Under->FalseSet.volume() <= ExactF);
+  EXPECT_TRUE(ExactF <= Over->FalseSet.volume());
+
+  RefinementChecker Checker(S, P.query().Body);
+  EXPECT_TRUE(Checker.checkIndSets(*Under, ApproxKind::Under).valid());
+  EXPECT_TRUE(Checker.checkIndSets(*Over, ApproxKind::Over).valid());
+}
+
+TEST_P(SuiteSynthesis, PowersetK3RefinesInterval) {
+  // Fig. 5b vs 5a: the k=3 powerset is at least as precise as the single
+  // interval for under-approximations.
+  const BenchmarkProblem &P = benchmarkById(GetParam());
+  auto Sy = Synthesizer::create(P.M.schema(), P.query().Body);
+  ASSERT_TRUE(Sy.ok());
+  auto Interval = Sy->synthesizeInterval(ApproxKind::Under);
+  auto Powerset = Sy->synthesizePowerset(ApproxKind::Under, 3);
+  ASSERT_TRUE(Interval.ok() && Powerset.ok());
+  EXPECT_TRUE(Interval->TrueSet.volume() <= Powerset->TrueSet.size());
+  EXPECT_TRUE(Interval->FalseSet.volume() <= Powerset->FalseSet.size());
+
+  RefinementChecker Checker(P.M.schema(), P.query().Body);
+  EXPECT_TRUE(Checker.checkIndSets(*Powerset, ApproxKind::Under).valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteSynthesis,
+                         ::testing::Values("B1", "B2", "B3", "B4", "B5"));

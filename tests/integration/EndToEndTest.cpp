@@ -1,0 +1,104 @@
+//===- tests/integration/EndToEndTest.cpp - Full-pipeline tests -----------===//
+
+#include "benchlib/Advertising.h"
+#include "benchlib/Problems.h"
+
+#include "core/AnosyT.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(EndToEnd, AdvertisingModuleIsDeterministic) {
+  AdvertisingConfig Config;
+  Config.NumRestaurants = 5;
+  Module A = buildAdvertisingModule(Config);
+  Module B = buildAdvertisingModule(Config);
+  ASSERT_EQ(A.queries().size(), 5u);
+  for (size_t I = 0; I != 5; ++I)
+    EXPECT_TRUE(Expr::structurallyEqual(*A.queries()[I].Body,
+                                        *B.queries()[I].Body));
+}
+
+TEST(EndToEnd, AdvertisingExperimentSmall) {
+  // A scaled-down Fig. 6 run: survivors must be monotonically
+  // non-increasing in the query index, and every instance stops at its
+  // first violation.
+  AdvertisingConfig Config;
+  Config.NumRestaurants = 12;
+  Config.NumInstances = 6;
+  Config.PowersetSize = 2;
+  AdvertisingResult R = runAdvertisingExperiment(Config);
+  ASSERT_EQ(R.Survivors.size(), 12u);
+  ASSERT_EQ(R.AnsweredPerInstance.size(), 6u);
+  EXPECT_EQ(R.Survivors[0], 6u) << "the first query is always authorized";
+  for (size_t I = 1; I != R.Survivors.size(); ++I)
+    EXPECT_LE(R.Survivors[I], R.Survivors[I - 1]);
+  unsigned MaxAnswered = R.maxAnswered();
+  EXPECT_GE(MaxAnswered, 1u);
+  for (unsigned A : R.AnsweredPerInstance)
+    EXPECT_LE(A, 12u);
+}
+
+TEST(EndToEnd, LargerPowersetAnswersAtLeastAsMany) {
+  // The Fig. 6 headline on a reduced workload: k = 4 must (weakly) beat
+  // k = 1 in total queries answered.
+  AdvertisingConfig Small;
+  Small.NumRestaurants = 10;
+  Small.NumInstances = 5;
+  Small.PowersetSize = 1;
+  AdvertisingConfig Big = Small;
+  Big.PowersetSize = 4;
+  double MeanSmall = runAdvertisingExperiment(Small).meanAnswered();
+  double MeanBig = runAdvertisingExperiment(Big).meanAnswered();
+  EXPECT_GE(MeanBig, MeanSmall);
+}
+
+TEST(EndToEnd, FullStackWithIfcSubstrate) {
+  // The complete §2 story: protected location -> AnosyT downgrade ->
+  // public ad decision, with the IFC substrate enforcing that the secret
+  // itself never flows to the public channel.
+  const BenchmarkProblem &NB = nearbyProblem();
+  SessionOptions Options;
+  Options.PowersetSize = 3;
+  auto Session = AnosySession<PowerBox>::create(
+      NB.M, minSizePolicy<PowerBox>(100), Options);
+  ASSERT_TRUE(Session.ok()) << Session.error().str();
+
+  SecureContext<Point, SecurityLevel> Ctx;
+  AnosyT<PowerBox, SecurityLevel> Monad(Session->tracker(), Ctx);
+  auto Secret =
+      Ctx.labelValue({300, 200}, SecurityLevel(SecurityLevel::Secret));
+  ASSERT_TRUE(Secret.ok());
+
+  // showAdNear: downgrade, then emit the ad decision publicly.
+  std::vector<Point> PublicChannel;
+  auto IsNear = Monad.downgrade(*Secret, "nearby200");
+  ASSERT_TRUE(IsNear.ok());
+  EXPECT_TRUE(
+      Ctx.output(SecurityLevel(SecurityLevel::Public),
+                 {*IsNear ? 1 : 0, 0}, &PublicChannel)
+          .ok());
+  ASSERT_EQ(PublicChannel.size(), 1u);
+
+  // Attempting to output the raw secret is still blocked by the IFC
+  // layer: unlabel taints, output rejects.
+  auto Raw = Ctx.unlabel(*Secret);
+  ASSERT_TRUE(Raw.ok());
+  EXPECT_FALSE(Ctx.output(SecurityLevel(SecurityLevel::Public), *Raw,
+                          &PublicChannel)
+                   .ok());
+  EXPECT_EQ(PublicChannel.size(), 1u);
+}
+
+TEST(EndToEnd, SynthesizedSourceArtifactsRender) {
+  const BenchmarkProblem &B1 = benchmarkById("B1");
+  auto Session =
+      AnosySession<Box>::create(B1.M, permissivePolicy<Box>());
+  ASSERT_TRUE(Session.ok()) << Session.error().str();
+  const auto *Art = Session->artifacts(B1.query().Name);
+  ASSERT_NE(Art, nullptr);
+  // The synthesized literal is B1's exact True box (§6.1: exact for B1).
+  EXPECT_NE(Art->SynthesizedSource.find("AInt 260 266"),
+            std::string::npos);
+}

@@ -1,0 +1,137 @@
+//===- tests/solver/DecideTest.cpp - Branch-and-bound decider tests -------===//
+
+#include "solver/Decide.h"
+
+#include "baselines/Exhaustive.h"
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema grid() { return Schema("G", {{"a", -30, 30}, {"b", -30, 30}}); }
+
+PredicateRef q(const std::string &Src) {
+  auto R = parseQueryExpr(grid(), Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return exprPredicate(R.value());
+}
+
+} // namespace
+
+TEST(Decide, ForallVacuousOnEmptyBox) {
+  SolverBudget Budget;
+  ForallResult R = checkForall(*q("a == 1000"), Box::bottom(2), Budget);
+  EXPECT_TRUE(R.Holds);
+}
+
+TEST(Decide, ForallHoldsOnValidRegion) {
+  SolverBudget Budget;
+  // The diamond |a| + |b| <= 40 contains the box [-20,20]^2? No: corner
+  // (20,20) sums to 40 <= 40 — it does.
+  ForallResult R = checkForall(*q("abs(a) + abs(b) <= 40"),
+                               Box({{-20, 20}, {-20, 20}}), Budget);
+  EXPECT_TRUE(R.Holds);
+}
+
+TEST(Decide, ForallCounterexampleIsReal) {
+  SolverBudget Budget;
+  PredicateRef P = q("abs(a) + abs(b) <= 40");
+  ForallResult R = checkForall(*P, Box({{-21, 21}, {-21, 21}}), Budget);
+  ASSERT_FALSE(R.Holds);
+  ASSERT_TRUE(R.CounterExample.has_value());
+  EXPECT_FALSE(P->evalPoint(*R.CounterExample));
+}
+
+TEST(Decide, ForallNeedsUnitRefinement) {
+  SolverBudget Budget;
+  // a != b holds everywhere off the diagonal; a thin box just off the
+  // diagonal forces refinement down to units.
+  ForallResult R =
+      checkForall(*q("a != b"), Box({{0, 10}, {11, 21}}), Budget);
+  EXPECT_TRUE(R.Holds);
+  ForallResult R2 =
+      checkForall(*q("a != b"), Box({{0, 10}, {5, 15}}), Budget);
+  ASSERT_FALSE(R2.Holds);
+  EXPECT_EQ((*R2.CounterExample)[0], (*R2.CounterExample)[1]);
+}
+
+TEST(Decide, ExistsFindsWitness) {
+  SolverBudget Budget;
+  PredicateRef P = q("a == 17 && b == -23");
+  ExistsResult R = findWitness(*P, Box::top(grid()), Budget);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_EQ(*R.Witness, (Point{17, -23}));
+}
+
+TEST(Decide, ExistsReportsEmptiness) {
+  SolverBudget Budget;
+  ExistsResult R = findWitness(*q("a + b >= 100"), Box::top(grid()), Budget);
+  EXPECT_FALSE(R.Witness.has_value());
+  EXPECT_FALSE(R.Exhausted);
+}
+
+TEST(Decide, ExistsOnEmptyBox) {
+  SolverBudget Budget;
+  ExistsResult R = findWitness(*q("a == a"), Box::bottom(2), Budget);
+  EXPECT_FALSE(R.Witness.has_value());
+}
+
+TEST(Decide, DiverseWitnessesDiffer) {
+  SolverBudget Budget;
+  PredicateRef P = q("abs(a) + abs(b) <= 20");
+  std::set<Point> Witnesses;
+  for (uint64_t Salt = 1; Salt <= 8; ++Salt) {
+    ExistsResult R =
+        findWitnessDiverse(*P, Box::top(grid()), Salt, Budget);
+    ASSERT_TRUE(R.Witness.has_value());
+    EXPECT_TRUE(P->evalPoint(*R.Witness));
+    Witnesses.insert(*R.Witness);
+  }
+  EXPECT_GE(Witnesses.size(), 2u) << "restarts should diversify seeds";
+}
+
+TEST(Decide, BudgetExhaustionIsReported) {
+  SolverBudget Budget;
+  Budget.MaxNodes = 3;
+  ForallResult R =
+      checkForall(*q("a != b"), Box({{0, 10}, {5, 15}}), Budget);
+  EXPECT_TRUE(R.Exhausted);
+  EXPECT_FALSE(R.Holds);
+  EXPECT_FALSE(R.CounterExample.has_value());
+}
+
+TEST(Decide, AgreesWithBruteForceOnRandomQueries) {
+  Rng Rand(7);
+  Schema S("T", {{"a", 0, 15}, {"b", 0, 15}});
+  std::vector<std::string> Sources{
+      "a + b <= 12",          "abs(a - b) >= 4",
+      "a == 3 || b == 9",     "a >= 2 && a <= 13 && b != 7",
+      "2 * a - 3 * b <= -5",  "min(a, b) == 5",
+  };
+  for (const std::string &Src : Sources) {
+    auto Q = parseQueryExpr(S, Src);
+    ASSERT_TRUE(Q.ok()) << Src;
+    PredicateRef P = exprPredicate(Q.value());
+    for (int Trial = 0; Trial != 20; ++Trial) {
+      int64_t XL = Rand.range(0, 15), YL = Rand.range(0, 15);
+      Box B({{XL, Rand.range(XL, 15)}, {YL, Rand.range(YL, 15)}});
+      bool BruteAll = true, BruteAny = false;
+      forEachPoint(B, [&](const Point &Pt) {
+        bool V = P->evalPoint(Pt);
+        BruteAll = BruteAll && V;
+        BruteAny = BruteAny || V;
+        return true;
+      });
+      SolverBudget Budget;
+      EXPECT_EQ(checkForall(*P, B, Budget).Holds, BruteAll)
+          << Src << " over " << B.str();
+      EXPECT_EQ(findWitness(*P, B, Budget).Witness.has_value(), BruteAny)
+          << Src << " over " << B.str();
+    }
+  }
+}

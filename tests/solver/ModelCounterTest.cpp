@@ -1,0 +1,104 @@
+//===- tests/solver/ModelCounterTest.cpp - Exact counting tests -----------===//
+
+#include "solver/ModelCounter.h"
+
+#include "baselines/Exhaustive.h"
+#include "expr/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema grid() { return Schema("G", {{"a", 0, 40}, {"b", 0, 40}}); }
+
+PredicateRef q(const Schema &S, const std::string &Src) {
+  auto R = parseQueryExpr(S, Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return exprPredicate(R.value());
+}
+
+} // namespace
+
+TEST(ModelCounter, CountsDiamondExactly) {
+  // |dx| + |dy| <= r has 2r^2 + 2r + 1 integer points.
+  Schema S("L", {{"x", 0, 400}, {"y", 0, 400}});
+  BigCount C = countSatExact(
+      *q(S, "abs(x - 200) + abs(y - 200) <= 100"), Box::top(S));
+  EXPECT_EQ(C.toInt64(), 2 * 100 * 100 + 2 * 100 + 1);
+}
+
+TEST(ModelCounter, EmptyAndFull) {
+  Schema S = grid();
+  EXPECT_TRUE(countSatExact(*q(S, "a > 100"), Box::top(S)).isZero());
+  EXPECT_EQ(countSatExact(*q(S, "a >= 0"), Box::top(S)).toInt64(),
+            41 * 41);
+  EXPECT_TRUE(
+      countSatExact(*q(S, "a == 0"), Box::bottom(2)).isZero());
+}
+
+TEST(ModelCounter, HugeDomainCoarseResolution) {
+  // A separable query over a ~1e16-point domain must resolve without
+  // visiting points (Table 1's B4 relies on this).
+  Schema S("Big", {{"u", 0, 99999999}, {"v", 0, 99999999}});
+  BigCount C = countSatExact(
+      *q(S, "u >= 50000000 && v <= 25000000"), Box::top(S));
+  EXPECT_EQ(C, BigCount(50000000) * BigCount(25000001));
+}
+
+TEST(ModelCounter, RelationalQueryOverModerateDomain) {
+  Schema S("R", {{"a", 0, 999}, {"b", 0, 999}});
+  // Triangle a < b: 1000*999/2 points.
+  BigCount C = countSatExact(*q(S, "a < b"), Box::top(S));
+  EXPECT_EQ(C.toInt64(), 1000 * 999 / 2);
+}
+
+TEST(ModelCounter, BudgetExhaustionReturnsPartial) {
+  Schema S("R", {{"a", 0, 999}, {"b", 0, 999}});
+  SolverBudget Budget;
+  Budget.MaxNodes = 10;
+  CountResult R = countSat(*q(S, "a < b"), Box::top(S), Budget);
+  EXPECT_TRUE(R.Exhausted);
+}
+
+TEST(ModelCounter, MatchesBruteForceOnRandomBoxes) {
+  Rng Rand(99);
+  Schema S = grid();
+  std::vector<PredicateRef> Ps{
+      q(S, "a + b <= 30"),
+      q(S, "abs(a - 20) + abs(b - 20) <= 11"),
+      q(S, "a == b || a == 2 * b"),
+      q(S, "(a >= 5 ==> b >= 5) && a <= 35"),
+  };
+  for (const PredicateRef &P : Ps)
+    for (int Trial = 0; Trial != 15; ++Trial) {
+      int64_t XL = Rand.range(0, 40), YL = Rand.range(0, 40);
+      Box B({{XL, Rand.range(XL, 40)}, {YL, Rand.range(YL, 40)}});
+      int64_t Brute = 0;
+      forEachPoint(B, [&](const Point &Pt) {
+        if (P->evalPoint(Pt))
+          ++Brute;
+        return true;
+      });
+      EXPECT_EQ(countSatExact(*P, B).toInt64(), Brute) << B.str();
+    }
+}
+
+TEST(ModelCounter, PaperTable1Sizes) {
+  // B1 Birthday: 259 / 13246 (the exactly-pinned Table 1 row).
+  Schema B1("Birthday", {{"bday", 0, 364}, {"byear", 1956, 1992}});
+  PredicateRef Q = q(B1, "bday >= 260 && bday < 267");
+  BigCount T = countSatExact(*Q, Box::top(B1));
+  BigCount F = countSatExact(*notPredicate(Q), Box::top(B1));
+  EXPECT_EQ(T.toInt64(), 259);
+  EXPECT_EQ(F.toInt64(), 13246);
+
+  // B3 Photo: 4 / 884.
+  Schema B3("Photo", {{"gender", 0, 1}, {"rel", 0, 3}, {"age", 0, 110}});
+  PredicateRef Q3 =
+      q(B3, "gender == 1 && rel == 2 && age >= 30 && age <= 33");
+  EXPECT_EQ(countSatExact(*Q3, Box::top(B3)).toInt64(), 4);
+  EXPECT_EQ(countSatExact(*notPredicate(Q3), Box::top(B3)).toInt64(), 884);
+}

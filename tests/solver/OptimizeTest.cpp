@@ -1,0 +1,180 @@
+//===- tests/solver/OptimizeTest.cpp - Box optimizer tests ----------------===//
+
+#include "solver/Optimize.h"
+
+#include "expr/Parser.h"
+#include "solver/ModelCounter.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+PredicateRef q(const Schema &S, const std::string &Src) {
+  auto R = parseQueryExpr(S, Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return exprPredicate(R.value());
+}
+
+/// Checks that \p B cannot be extended by one step in any direction while
+/// staying valid — inclusion maximality, SYNTH's optimality notion.
+void expectMaximal(const Predicate &Valid, const Box &B, const Box &Bounds) {
+  SolverBudget Budget;
+  ASSERT_FALSE(B.isEmpty());
+  EXPECT_TRUE(checkForall(Valid, B, Budget).Holds);
+  for (size_t D = 0; D != B.arity(); ++D) {
+    const Interval &Dim = B.dim(D);
+    if (Dim.Hi < Bounds.dim(D).Hi) {
+      Box Slab = B.withDim(D, {Dim.Hi + 1, Dim.Hi + 1});
+      EXPECT_FALSE(checkForall(Valid, Slab, Budget).Holds)
+          << "extensible upward in dim " << D << ": " << B.str();
+    }
+    if (Dim.Lo > Bounds.dim(D).Lo) {
+      Box Slab = B.withDim(D, {Dim.Lo - 1, Dim.Lo - 1});
+      EXPECT_FALSE(checkForall(Valid, Slab, Budget).Holds)
+          << "extensible downward in dim " << D << ": " << B.str();
+    }
+  }
+}
+
+} // namespace
+
+TEST(Optimize, GrowFindsExactBoxWhenRegionIsBox) {
+  // The satisfying set *is* a box: the grower must recover it exactly.
+  Schema S = userLoc();
+  PredicateRef P = q(S, "x >= 100 && x <= 250 && y >= 30 && y <= 50");
+  SolverBudget Budget;
+  GrowResult R = growMaximalBox(*P, *P, Box::top(S), GrowerConfig(), Budget);
+  ASSERT_TRUE(R.Best.has_value());
+  EXPECT_EQ(*R.Best, Box({{100, 250}, {30, 50}}));
+}
+
+TEST(Optimize, GrownBoxIsMaximalInDiamond) {
+  Schema S = userLoc();
+  PredicateRef P = q(S, "abs(x - 200) + abs(y - 200) <= 100");
+  for (GrowObjective Obj : {GrowObjective::Volume, GrowObjective::Balanced,
+                            GrowObjective::ParetoWidth}) {
+    GrowerConfig Config;
+    Config.Objective = Obj;
+    SolverBudget Budget;
+    GrowResult R = growMaximalBox(*P, *P, Box::top(S), Config, Budget);
+    ASSERT_TRUE(R.Best.has_value()) << growObjectiveName(Obj);
+    expectMaximal(*P, *R.Best, Box::top(S));
+  }
+}
+
+TEST(Optimize, EmptyRegionYieldsNoBox) {
+  Schema S = userLoc();
+  PredicateRef P = q(S, "x + y >= 5000");
+  SolverBudget Budget;
+  GrowResult R = growMaximalBox(*P, *P, Box::top(S), GrowerConfig(), Budget);
+  EXPECT_FALSE(R.Best.has_value());
+  EXPECT_TRUE(R.ParetoFront.empty());
+}
+
+TEST(Optimize, SeedPredicateRestrictsStart) {
+  // Valid region is the whole left half; the seed predicate forces a start
+  // in the top-left corner. The grown box must still be valid everywhere.
+  Schema S = userLoc();
+  PredicateRef Valid = q(S, "x <= 200");
+  PredicateRef Seed = q(S, "x <= 10 && y >= 390");
+  SolverBudget Budget;
+  GrowResult R =
+      growMaximalBox(*Valid, *Seed, Box::top(S), GrowerConfig(), Budget);
+  ASSERT_TRUE(R.Best.has_value());
+  EXPECT_TRUE(checkForall(*Valid, *R.Best, Budget).Holds);
+  EXPECT_TRUE(R.Best->contains({10, 390}) || R.Best->dim(0).Hi <= 200);
+}
+
+TEST(Optimize, ParetoFrontIsNonDominated) {
+  Schema S = userLoc();
+  PredicateRef P = q(S, "abs(x - 200) + abs(y - 200) <= 100");
+  GrowerConfig Config;
+  Config.Objective = GrowObjective::ParetoWidth;
+  Config.Restarts = 8;
+  SolverBudget Budget;
+  GrowResult R = growMaximalBox(*P, *P, Box::top(S), Config, Budget);
+  ASSERT_FALSE(R.ParetoFront.empty());
+  for (const Box &A : R.ParetoFront)
+    for (const Box &B : R.ParetoFront) {
+      if (A == B)
+        continue;
+      bool Dominates = true, Strict = false;
+      for (size_t D = 0; D != 2; ++D) {
+        int64_t WA = A.dim(D).Hi - A.dim(D).Lo;
+        int64_t WB = B.dim(D).Hi - B.dim(D).Lo;
+        if (WA < WB)
+          Dominates = false;
+        if (WA > WB)
+          Strict = true;
+      }
+      EXPECT_FALSE(Dominates && Strict)
+          << A.str() << " dominates " << B.str();
+    }
+}
+
+TEST(Optimize, VolumeObjectiveAtLeastAsBigAsPaperBox) {
+  // The paper's Z3-Pareto box for nearby(200,200) has volume 6837 (§3);
+  // the volume objective must do at least that well.
+  Schema S = userLoc();
+  PredicateRef P = q(S, "abs(x - 200) + abs(y - 200) <= 100");
+  GrowerConfig Config;
+  Config.Objective = GrowObjective::Volume;
+  SolverBudget Budget;
+  GrowResult R = growMaximalBox(*P, *P, Box::top(S), Config, Budget);
+  ASSERT_TRUE(R.Best.has_value());
+  EXPECT_GE(R.Best->volume().toInt64(), 6837);
+}
+
+TEST(Optimize, TightBoundingBoxOfDiamond) {
+  Schema S = userLoc();
+  PredicateRef P = q(S, "abs(x - 200) + abs(y - 200) <= 100");
+  SolverBudget Budget;
+  BoundResult R = tightBoundingBox(*P, Box::top(S), Budget);
+  EXPECT_EQ(R.Bounding, Box({{100, 300}, {100, 300}}));
+}
+
+TEST(Optimize, TightBoundingBoxClipsAtBounds) {
+  Schema S = userLoc();
+  PredicateRef P = q(S, "abs(x - 0) + abs(y - 0) <= 50");
+  SolverBudget Budget;
+  BoundResult R = tightBoundingBox(*P, Box::top(S), Budget);
+  EXPECT_EQ(R.Bounding, Box({{0, 50}, {0, 50}}));
+}
+
+TEST(Optimize, TightBoundingBoxEmptySet) {
+  Schema S = userLoc();
+  PredicateRef P = q(S, "x + y >= 5000");
+  SolverBudget Budget;
+  BoundResult R = tightBoundingBox(*P, Box::top(S), Budget);
+  EXPECT_TRUE(R.Bounding.isEmpty());
+}
+
+TEST(Optimize, TightBoundingBoxDisjointUnion) {
+  // Two separated blobs: the bounding box spans both.
+  Schema S = userLoc();
+  PredicateRef P = q(S, "(x <= 10 && y <= 10) || (x >= 390 && y >= 390)");
+  SolverBudget Budget;
+  BoundResult R = tightBoundingBox(*P, Box::top(S), Budget);
+  EXPECT_EQ(R.Bounding, Box::top(S));
+}
+
+TEST(Optimize, TightBoundingBoxSinglePoint) {
+  Schema S = userLoc();
+  PredicateRef P = q(S, "x == 123 && y == 321");
+  SolverBudget Budget;
+  BoundResult R = tightBoundingBox(*P, Box::top(S), Budget);
+  EXPECT_EQ(R.Bounding, Box::point({123, 321}));
+}
+
+TEST(Optimize, GrowObjectiveNames) {
+  EXPECT_STREQ(growObjectiveName(GrowObjective::Volume), "volume");
+  EXPECT_STREQ(growObjectiveName(GrowObjective::Balanced), "balanced");
+  EXPECT_STREQ(growObjectiveName(GrowObjective::ParetoWidth),
+               "pareto-width");
+}

@@ -1,0 +1,111 @@
+//===- tests/solver/PredicateTest.cpp - Predicate combinator tests --------===//
+
+#include "solver/Predicate.h"
+
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema grid() { return Schema("G", {{"a", 0, 20}, {"b", 0, 20}}); }
+
+Box box(int64_t XL, int64_t XH, int64_t YL, int64_t YH) {
+  return Box({{XL, XH}, {YL, YH}});
+}
+
+PredicateRef q(const std::string &Src) {
+  auto R = parseQueryExpr(grid(), Src);
+  EXPECT_TRUE(R.ok());
+  return exprPredicate(R.value());
+}
+
+} // namespace
+
+TEST(Predicate, ExprPredicateMatchesConcreteEval) {
+  PredicateRef P = q("a + b <= 10");
+  EXPECT_TRUE(P->evalPoint({5, 5}));
+  EXPECT_FALSE(P->evalPoint({6, 5}));
+  EXPECT_EQ(P->evalBox(box(0, 2, 0, 2)), Tribool::True);
+  EXPECT_EQ(P->evalBox(box(10, 20, 10, 20)), Tribool::False);
+}
+
+TEST(Predicate, ConstPredicate) {
+  EXPECT_TRUE(constPredicate(true)->evalPoint({0, 0}));
+  EXPECT_EQ(constPredicate(false)->evalBox(box(0, 1, 0, 1)),
+            Tribool::False);
+}
+
+TEST(Predicate, CombinatorsUseKleeneLogic) {
+  PredicateRef A = q("a <= 10");
+  PredicateRef B = q("b <= 10");
+  PredicateRef Both = andPredicate(A, B);
+  PredicateRef Either = orPredicate(A, B);
+  PredicateRef NotA = notPredicate(A);
+
+  EXPECT_TRUE(Both->evalPoint({10, 10}));
+  EXPECT_FALSE(Both->evalPoint({10, 11}));
+  EXPECT_TRUE(Either->evalPoint({20, 5}));
+  EXPECT_TRUE(NotA->evalPoint({11, 0}));
+
+  EXPECT_EQ(Both->evalBox(box(0, 5, 0, 5)), Tribool::True);
+  EXPECT_EQ(Both->evalBox(box(11, 20, 0, 5)), Tribool::False);
+  EXPECT_EQ(Both->evalBox(box(5, 15, 0, 5)), Tribool::Unknown);
+  // False annihilates Unknown under &&.
+  EXPECT_EQ(andPredicate(q("a >= 100"), Both)->evalBox(box(5, 15, 0, 5)),
+            Tribool::False);
+  // True absorbs Unknown under ||.
+  EXPECT_EQ(orPredicate(q("a >= 0"), Both)->evalBox(box(5, 15, 0, 5)),
+            Tribool::True);
+}
+
+TEST(Predicate, InBoxExactThreeValued) {
+  PredicateRef P = inBoxPredicate(box(5, 10, 5, 10));
+  EXPECT_TRUE(P->evalPoint({5, 10}));
+  EXPECT_FALSE(P->evalPoint({4, 10}));
+  EXPECT_EQ(P->evalBox(box(6, 9, 6, 9)), Tribool::True);
+  EXPECT_EQ(P->evalBox(box(0, 4, 0, 4)), Tribool::False);
+  EXPECT_EQ(P->evalBox(box(0, 7, 5, 10)), Tribool::Unknown);
+}
+
+TEST(Predicate, InEmptyBoxIsFalse) {
+  PredicateRef P = inBoxPredicate(Box::bottom(2));
+  EXPECT_FALSE(P->evalPoint({0, 0}));
+  EXPECT_EQ(P->evalBox(box(0, 5, 0, 5)), Tribool::False);
+}
+
+TEST(Predicate, InUnionSeesJointCoverage) {
+  // Neither half alone covers the probe box, but together they do — the
+  // union predicate must answer True, not Unknown.
+  PredicateRef P =
+      inUnionPredicate({box(0, 10, 0, 20), box(11, 20, 0, 20)});
+  EXPECT_EQ(P->evalBox(box(5, 15, 2, 18)), Tribool::True);
+  EXPECT_EQ(P->evalBox(box(0, 20, 0, 20)), Tribool::True);
+}
+
+TEST(Predicate, InUnionDisjointAndPartial) {
+  PredicateRef P = inUnionPredicate({box(0, 4, 0, 4), box(10, 14, 10, 14)});
+  EXPECT_EQ(P->evalBox(box(6, 8, 6, 8)), Tribool::False);
+  EXPECT_EQ(P->evalBox(box(3, 6, 3, 6)), Tribool::Unknown);
+  EXPECT_TRUE(P->evalPoint({12, 12}));
+  EXPECT_FALSE(P->evalPoint({5, 5}));
+}
+
+TEST(Predicate, InPowerBoxHonorsExcludes) {
+  PowerBox PB(2, {box(0, 10, 0, 10)}, {box(4, 6, 4, 6)});
+  PredicateRef P = inPowerBoxPredicate(PB);
+  EXPECT_TRUE(P->evalPoint({0, 0}));
+  EXPECT_FALSE(P->evalPoint({5, 5}));
+  EXPECT_EQ(P->evalBox(box(0, 2, 0, 2)), Tribool::True);
+  EXPECT_EQ(P->evalBox(box(4, 6, 4, 6)), Tribool::False);
+  EXPECT_EQ(P->evalBox(box(3, 7, 3, 7)), Tribool::Unknown);
+}
+
+TEST(Predicate, StrRenderings) {
+  EXPECT_EQ(constPredicate(true)->str(), "true");
+  EXPECT_NE(inBoxPredicate(box(0, 1, 0, 1))->str().find("in ["),
+            std::string::npos);
+  EXPECT_NE(notPredicate(q("a <= 1"))->str().find("!("), std::string::npos);
+}

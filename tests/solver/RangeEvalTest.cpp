@@ -1,0 +1,117 @@
+//===- tests/solver/RangeEvalTest.cpp - Abstract evaluation tests ---------===//
+
+#include "solver/RangeEval.h"
+
+#include "baselines/Exhaustive.h"
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema twoField() { return Schema("S", {{"a", -50, 50}, {"b", -50, 50}}); }
+
+ExprRef parse(const std::string &Src) {
+  auto R = parseQueryExpr(twoField(), Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return R.value();
+}
+
+} // namespace
+
+TEST(RangeEval, FieldRefReturnsDim) {
+  Box B({{1, 5}, {-3, 3}});
+  EXPECT_EQ(evalRange(*fieldRef(0), B), (Interval{1, 5}));
+  EXPECT_EQ(evalRange(*fieldRef(1), B), (Interval{-3, 3}));
+}
+
+TEST(RangeEval, ArithmeticRanges) {
+  Box B({{1, 5}, {-3, 3}});
+  ExprRef A = fieldRef(0), C = fieldRef(1);
+  EXPECT_EQ(evalRange(*add(A, C), B), (Interval{-2, 8}));
+  EXPECT_EQ(evalRange(*sub(A, C), B), (Interval{-2, 8}));
+  EXPECT_EQ(evalRange(*neg(A), B), (Interval{-5, -1}));
+  EXPECT_EQ(evalRange(*mul(intConst(2), A), B), (Interval{2, 10}));
+  EXPECT_EQ(evalRange(*mul(intConst(-2), A), B), (Interval{-10, -2}));
+  EXPECT_EQ(evalRange(*absOf(C), B), (Interval{0, 3}));
+  EXPECT_EQ(evalRange(*absOf(A), B), (Interval{1, 5}));
+  EXPECT_EQ(evalRange(*minOf(A, C), B), (Interval{-3, 3}));
+  EXPECT_EQ(evalRange(*maxOf(A, C), B), (Interval{1, 5}));
+}
+
+TEST(RangeEval, MulCrossSigns) {
+  Box B({{-2, 3}, {-4, 5}});
+  // min/max over all corner products: {8, -10, -12, 15} -> [-12, 15].
+  EXPECT_EQ(evalRange(*mul(fieldRef(0), fieldRef(1)), B),
+            (Interval{-12, 15}));
+}
+
+TEST(RangeEval, IteHullsWhenUndecided) {
+  Box B({{0, 10}, {0, 0}});
+  ExprRef E = intIte(le(fieldRef(0), intConst(5)), intConst(1), intConst(9));
+  EXPECT_EQ(evalRange(*E, B), (Interval{1, 9}));
+  Box Left({{0, 5}, {0, 0}});
+  EXPECT_EQ(evalRange(*E, Left), (Interval{1, 1}));
+  Box Right({{6, 10}, {0, 0}});
+  EXPECT_EQ(evalRange(*E, Right), (Interval{9, 9}));
+}
+
+TEST(RangeEval, TriboolDecisions) {
+  ExprRef Q = parse("a + b <= 0");
+  EXPECT_EQ(evalTribool(*Q, Box({{-50, -30}, {-50, -30}})), Tribool::True);
+  EXPECT_EQ(evalTribool(*Q, Box({{30, 50}, {30, 50}})), Tribool::False);
+  EXPECT_EQ(evalTribool(*Q, Box({{-50, 50}, {-50, 50}})), Tribool::Unknown);
+}
+
+TEST(RangeEval, EqNeOnUnitBoxes) {
+  ExprRef Q = parse("a == b");
+  EXPECT_EQ(evalTribool(*Q, Box({{3, 3}, {3, 3}})), Tribool::True);
+  EXPECT_EQ(evalTribool(*Q, Box({{3, 3}, {4, 4}})), Tribool::False);
+  EXPECT_EQ(evalTribool(*Q, Box({{3, 4}, {3, 4}})), Tribool::Unknown);
+  ExprRef N = parse("a != b");
+  EXPECT_EQ(evalTribool(*N, Box({{0, 2}, {5, 9}})), Tribool::True);
+}
+
+TEST(RangeEval, SaturationStaysSound) {
+  Schema Wide("W", {{"v", INT64_MIN / 2, INT64_MAX / 2}});
+  Box B = Box::top(Wide);
+  ExprRef E = add(fieldRef(0), fieldRef(0)); // may overflow
+  Interval R = evalRange(*E, B);
+  // Doubling INT64_MIN/2 lands exactly on INT64_MIN; the high side is one
+  // short of saturation. Soundness only needs the range to cover the true
+  // values, which it does.
+  EXPECT_EQ(R.Lo, INT64_MIN);
+  EXPECT_EQ(R.Hi, INT64_MAX - 1);
+}
+
+TEST(RangeEval, SoundnessSweepAgainstConcreteEval) {
+  // Soundness: for every point p in box B and every query q,
+  // evalTribool(q, B) = True implies q(p), and False implies not q(p).
+  Rng Rand(42);
+  std::vector<ExprRef> Queries{
+      parse("abs(a) + abs(b) <= 30"),
+      parse("a + 2 * b >= 10"),
+      parse("a == 3 || b == -7 || a == b"),
+      parse("min(a, b) >= -10 && max(a, b) <= 10"),
+      parse("(if a < 0 then -a else a) <= 20 ==> b >= 0"),
+  };
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    int64_t XL = Rand.range(-50, 50), YL = Rand.range(-50, 50);
+    Box B({{XL, std::min<int64_t>(50, XL + Rand.range(0, 20))},
+           {YL, std::min<int64_t>(50, YL + Rand.range(0, 20))}});
+    for (const ExprRef &Q : Queries) {
+      Tribool T = evalTribool(*Q, B);
+      if (T == Tribool::Unknown)
+        continue;
+      forEachPoint(B, [&](const Point &P) {
+        EXPECT_EQ(evalBool(*Q, P), T == Tribool::True)
+            << Q->str() << " over " << B.str();
+        return true;
+      });
+    }
+  }
+}

@@ -1,0 +1,53 @@
+//===- tests/support/ResultTest.cpp - Result/Error unit tests -------------===//
+
+#include "support/Result.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(Result, ValueRoundtrip) {
+  Result<int> R = 42;
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.value(), 42);
+  EXPECT_EQ(*R, 42);
+}
+
+TEST(Result, ErrorRoundtrip) {
+  Result<int> R = Error(ErrorCode::PolicyViolation, "too revealing");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().code(), ErrorCode::PolicyViolation);
+  EXPECT_EQ(R.error().message(), "too revealing");
+  EXPECT_EQ(R.error().str(), "policy violation: too revealing");
+}
+
+TEST(Result, TakeValueMoves) {
+  Result<std::string> R = std::string("knowledge");
+  std::string S = R.takeValue();
+  EXPECT_EQ(S, "knowledge");
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> Ok;
+  EXPECT_TRUE(Ok.ok());
+  Result<void> Bad = Error(ErrorCode::UnknownQuery, "Can't downgrade foo");
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.error().code(), ErrorCode::UnknownQuery);
+}
+
+TEST(Result, BoolConversion) {
+  Result<int> Good = 1;
+  Result<int> Bad = Error(ErrorCode::Other, "x");
+  EXPECT_TRUE(static_cast<bool>(Good));
+  EXPECT_FALSE(static_cast<bool>(Bad));
+}
+
+TEST(Result, AllErrorCodesHaveNames) {
+  for (ErrorCode Code :
+       {ErrorCode::ParseError, ErrorCode::UnsupportedQuery,
+        ErrorCode::SynthesisFailure, ErrorCode::VerificationFailure,
+        ErrorCode::PolicyViolation, ErrorCode::UnknownQuery,
+        ErrorCode::LabelCheckFailure, ErrorCode::Other}) {
+    EXPECT_NE(std::string(errorCodeName(Code)), "");
+  }
+}

@@ -1,0 +1,56 @@
+//===- tests/support/RngTest.cpp - Rng unit tests --------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace anosy;
+
+TEST(Rng, Deterministic) {
+  Rng A(7), B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, RangeStaysInBounds) {
+  Rng R(99);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.range(-50, 50);
+    EXPECT_GE(V, -50);
+    EXPECT_LE(V, 50);
+  }
+}
+
+TEST(Rng, RangeSingleton) {
+  Rng R(3);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(R.range(42, 42), 42);
+}
+
+TEST(Rng, RangeCoversValues) {
+  Rng R(5);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 200; ++I)
+    Seen.insert(R.range(0, 9));
+  EXPECT_EQ(Seen.size(), 10u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}

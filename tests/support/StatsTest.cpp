@@ -1,0 +1,41 @@
+//===- tests/support/StatsTest.cpp - Stats helpers unit tests -------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, MedianEmpty) { EXPECT_DOUBLE_EQ(median({}), 0.0); }
+
+TEST(Stats, MedianSingleton) { EXPECT_DOUBLE_EQ(median({7.5}), 7.5); }
+
+TEST(Stats, SemiInterquartileOfUniform) {
+  // 1..9: Q1 = 3, Q3 = 7, SIQR = 2.
+  std::vector<double> S{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_DOUBLE_EQ(semiInterquartile(S), 2.0);
+}
+
+TEST(Stats, SemiInterquartileConstantIsZero) {
+  EXPECT_DOUBLE_EQ(semiInterquartile({4.0, 4.0, 4.0, 4.0}), 0.0);
+}
+
+TEST(Stats, MedianPlusMinusFormatting) {
+  EXPECT_EQ(medianPlusMinus({1.0, 2.0, 3.0}, 1), "2.0 +- 0.5");
+}
+
+TEST(Stats, StopwatchAdvances) {
+  Stopwatch W;
+  volatile double Sink = 0;
+  for (int I = 0; I != 100000; ++I)
+    Sink = Sink + 1.0;
+  EXPECT_GE(W.seconds(), 0.0);
+}

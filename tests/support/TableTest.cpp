@@ -1,0 +1,45 @@
+//===- tests/support/TableTest.cpp - TextTable unit tests -----------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"#", "Name"});
+  T.addRow({"B1", "Birthday"});
+  T.addRow({"B2", "Ship"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("#   Name"), std::string::npos);
+  EXPECT_NE(Out.find("B1  Birthday"), std::string::npos);
+  EXPECT_NE(Out.find("B2  Ship"), std::string::npos);
+}
+
+TEST(TextTable, HeaderRule) {
+  TextTable T;
+  T.setHeader({"a", "b"});
+  T.addRow({"1", "2"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderNoRule) {
+  TextTable T;
+  T.addRow({"1", "2"});
+  std::string Out = T.render();
+  EXPECT_EQ(Out.find("-"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRows) {
+  TextTable T;
+  T.setHeader({"a", "b", "c"});
+  T.addRow({"only"});
+  EXPECT_NE(T.render().find("only"), std::string::npos);
+}
+
+TEST(TextTable, EmptyRendersEmpty) {
+  TextTable T;
+  EXPECT_EQ(T.render(), "");
+}

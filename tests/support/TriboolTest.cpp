@@ -1,0 +1,53 @@
+//===- tests/support/TriboolTest.cpp - Kleene logic unit tests ------------===//
+
+#include "support/Tribool.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+const Tribool T = Tribool::True;
+const Tribool F = Tribool::False;
+const Tribool U = Tribool::Unknown;
+} // namespace
+
+TEST(Tribool, OfBool) {
+  EXPECT_EQ(triboolOf(true), T);
+  EXPECT_EQ(triboolOf(false), F);
+}
+
+TEST(Tribool, NotTruthTable) {
+  EXPECT_EQ(triNot(T), F);
+  EXPECT_EQ(triNot(F), T);
+  EXPECT_EQ(triNot(U), U);
+}
+
+TEST(Tribool, AndTruthTable) {
+  EXPECT_EQ(triAnd(T, T), T);
+  EXPECT_EQ(triAnd(T, F), F);
+  EXPECT_EQ(triAnd(F, U), F); // false annihilates even Unknown
+  EXPECT_EQ(triAnd(U, F), F);
+  EXPECT_EQ(triAnd(T, U), U);
+  EXPECT_EQ(triAnd(U, U), U);
+}
+
+TEST(Tribool, OrTruthTable) {
+  EXPECT_EQ(triOr(F, F), F);
+  EXPECT_EQ(triOr(T, U), T); // true absorbs even Unknown
+  EXPECT_EQ(triOr(U, T), T);
+  EXPECT_EQ(triOr(F, U), U);
+  EXPECT_EQ(triOr(U, U), U);
+}
+
+TEST(Tribool, DeMorganHoldsInKleeneLogic) {
+  for (Tribool A : {T, F, U})
+    for (Tribool B : {T, F, U})
+      EXPECT_EQ(triNot(triAnd(A, B)), triOr(triNot(A), triNot(B)));
+}
+
+TEST(Tribool, Names) {
+  EXPECT_STREQ(triboolName(T), "true");
+  EXPECT_STREQ(triboolName(F), "false");
+  EXPECT_STREQ(triboolName(U), "unknown");
+}

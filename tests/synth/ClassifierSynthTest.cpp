@@ -1,0 +1,153 @@
+//===- tests/synth/ClassifierSynthTest.cpp - §5.1 extension tests ---------===//
+
+#include "synth/ClassifierSynth.h"
+
+#include "baselines/Exhaustive.h"
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+#include "solver/ModelCounter.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema ages() { return Schema("Person", {{"age", 0, 120}, {"zip", 0, 99}}); }
+
+/// Age bands: 0 = minor, 1 = adult, 2 = senior.
+ExprRef ageBand(const Schema &S) {
+  auto R = parseQueryExpr(S, "age >= 0"); // placeholder to get sorts right
+  (void)R;
+  auto M = parseModule(R"(
+    secret Person { age: int[0, 120], zip: int[0, 99] }
+    classify band = if age < 18 then 0 else if age < 65 then 1 else 2
+  )");
+  EXPECT_TRUE(M.ok()) << (M.ok() ? "" : M.error().str());
+  return M->classifiers().front().Body;
+}
+
+} // namespace
+
+TEST(ClassifierSynth, ParsesClassifyDeclarations) {
+  auto M = parseModule(R"(
+    secret S { a: int[0, 10] }
+    classify half = if a < 5 then 0 else 1
+    query big = a > 8
+  )");
+  ASSERT_TRUE(M.ok()) << M.error().str();
+  EXPECT_EQ(M->classifiers().size(), 1u);
+  EXPECT_EQ(M->queries().size(), 1u);
+  ASSERT_NE(M->findClassifier("half"), nullptr);
+  EXPECT_EQ(M->findClassifier("nope"), nullptr);
+  EXPECT_TRUE(M->findClassifier("half")->Body->isIntSorted());
+}
+
+TEST(ClassifierSynth, RejectsBooleanBody) {
+  Schema S = ages();
+  auto Q = parseQueryExpr(S, "age > 3");
+  ASSERT_TRUE(Q.ok());
+  auto C = ClassifierSynthesizer::create(S, Q.value());
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.error().code(), ErrorCode::UnsupportedQuery);
+}
+
+TEST(ClassifierSynth, RejectsUnboundedOutputRange) {
+  // The identity on a 121-value field exceeds the 64-output default cap:
+  // "finitely many outputs" made concrete.
+  Schema S = ages();
+  auto C = ClassifierSynthesizer::create(S, fieldRef(0));
+  ASSERT_FALSE(C.ok());
+  EXPECT_NE(C.error().message().find("outputs"), std::string::npos);
+}
+
+TEST(ClassifierSynth, EnumeratesFeasibleOutputsOnly) {
+  Schema S = ages();
+  ExprRef Body = ageBand(S);
+  auto C = ClassifierSynthesizer::create(S, Body);
+  ASSERT_TRUE(C.ok()) << C.error().str();
+  EXPECT_EQ(C->outputs(), (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(C->run({10, 50}), 0);
+  EXPECT_EQ(C->run({30, 50}), 1);
+  EXPECT_EQ(C->run({80, 50}), 2);
+}
+
+TEST(ClassifierSynth, InfeasibleOutputsDropped) {
+  auto M = parseModule(R"(
+    secret S { a: int[0, 10] }
+    classify gap = if a < 5 then 0 else 7
+  )");
+  ASSERT_TRUE(M.ok());
+  auto C = ClassifierSynthesizer::create(M->schema(),
+                                         M->classifiers().front().Body);
+  ASSERT_TRUE(C.ok()) << C.error().str();
+  // The range analysis sees [0, 7] but only 0 and 7 are feasible.
+  EXPECT_EQ(C->outputs(), (std::vector<int64_t>{0, 7}));
+}
+
+TEST(ClassifierSynth, IntervalIndSetsAreExactForBandedClassifier) {
+  // Each band {x | band(x) = v} is a box, so SYNTH recovers it exactly.
+  Schema S = ages();
+  auto C = ClassifierSynthesizer::create(S, ageBand(S));
+  ASSERT_TRUE(C.ok());
+  auto Sets = C->synthesizeInterval(ApproxKind::Under);
+  ASSERT_TRUE(Sets.ok()) << Sets.error().str();
+  ASSERT_EQ(Sets->size(), 3u);
+  EXPECT_EQ((*Sets)[0].Set, Box({{0, 17}, {0, 99}}));
+  EXPECT_EQ((*Sets)[1].Set, Box({{18, 64}, {0, 99}}));
+  EXPECT_EQ((*Sets)[2].Set, Box({{65, 120}, {0, 99}}));
+}
+
+TEST(ClassifierSynth, UnderIndSetsAreSound) {
+  // Every member of an output's under ind. set maps to that output.
+  auto M = parseModule(R"(
+    secret S { a: int[0, 40], b: int[0, 40] }
+    classify zone = (if abs(a - 20) + abs(b - 20) <= 10 then 10 else 0)
+                  + (if a >= 30 then 1 else 0)
+  )");
+  ASSERT_TRUE(M.ok()) << M.error().str();
+  auto C = ClassifierSynthesizer::create(M->schema(),
+                                         M->classifiers().front().Body);
+  ASSERT_TRUE(C.ok()) << C.error().str();
+  auto Sets = C->synthesizePowerset(ApproxKind::Under, 3);
+  ASSERT_TRUE(Sets.ok()) << Sets.error().str();
+  BigCount Covered;
+  for (const OutputIndSet<PowerBox> &O : *Sets) {
+    forEachPoint(Box::top(M->schema()), [&](const Point &P) {
+      if (O.Set.member(P)) {
+        EXPECT_EQ(C->run(P), O.Value);
+      }
+      return true;
+    });
+    Covered = Covered + O.Set.size();
+  }
+  // The per-output sets are disjoint, so coverage is their sum; it cannot
+  // exceed the domain.
+  EXPECT_TRUE(Covered <= M->schema().totalSize());
+}
+
+TEST(ClassifierSynth, OverIndSetsCoverEachOutput) {
+  Schema S = ages();
+  auto C = ClassifierSynthesizer::create(S, ageBand(S));
+  ASSERT_TRUE(C.ok());
+  auto Sets = C->synthesizeInterval(ApproxKind::Over);
+  ASSERT_TRUE(Sets.ok());
+  for (const OutputIndSet<Box> &O : *Sets) {
+    // Every secret mapping to O.Value lies inside O.Set.
+    PredicateRef Is = exprPredicate(C->outputQuery(O.Value));
+    PredicateRef Escapee =
+        andPredicate(Is, notPredicate(inBoxPredicate(O.Set)));
+    EXPECT_TRUE(countSatExact(*Escapee, Box::top(S)).isZero())
+        << "output " << O.Value;
+  }
+}
+
+TEST(ClassifierSynth, OutputQueryShape) {
+  Schema S = ages();
+  auto C = ClassifierSynthesizer::create(S, ageBand(S));
+  ASSERT_TRUE(C.ok());
+  ExprRef Q = C->outputQuery(1);
+  EXPECT_TRUE(Q->isBoolSorted());
+  EXPECT_TRUE(evalBool(*Q, {30, 5}));
+  EXPECT_FALSE(evalBool(*Q, {80, 5}));
+}

@@ -1,0 +1,70 @@
+//===- tests/synth/DeterminismTest.cpp - Reproducibility tests ------------===//
+//
+// Every table and figure regenerates byte-identically (DESIGN.md §4);
+// that rests on synthesis being a pure function of (query, options).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "benchlib/Problems.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+TEST(Determinism, IntervalSynthesisIsReproducible) {
+  for (const BenchmarkProblem &P : mardzielBenchmarks()) {
+    auto Sy1 = Synthesizer::create(P.M.schema(), P.query().Body);
+    auto Sy2 = Synthesizer::create(P.M.schema(), P.query().Body);
+    ASSERT_TRUE(Sy1.ok() && Sy2.ok());
+    for (ApproxKind Kind : {ApproxKind::Under, ApproxKind::Over}) {
+      auto A = Sy1->synthesizeInterval(Kind);
+      auto B = Sy2->synthesizeInterval(Kind);
+      ASSERT_TRUE(A.ok() && B.ok()) << P.Id;
+      EXPECT_EQ(A->TrueSet, B->TrueSet) << P.Id;
+      EXPECT_EQ(A->FalseSet, B->FalseSet) << P.Id;
+    }
+  }
+}
+
+TEST(Determinism, PowersetSynthesisIsReproducible) {
+  const BenchmarkProblem &NB = nearbyProblem();
+  auto Sy = Synthesizer::create(NB.M.schema(),
+                                NB.M.findQuery("nearby200")->Body);
+  ASSERT_TRUE(Sy.ok());
+  auto A = Sy->synthesizePowerset(ApproxKind::Under, 5);
+  auto B = Sy->synthesizePowerset(ApproxKind::Under, 5);
+  ASSERT_TRUE(A.ok() && B.ok());
+  ASSERT_EQ(A->TrueSet.includes().size(), B->TrueSet.includes().size());
+  for (size_t I = 0; I != A->TrueSet.includes().size(); ++I)
+    EXPECT_EQ(A->TrueSet.includes()[I], B->TrueSet.includes()[I]);
+}
+
+TEST(Determinism, SeedChangesExploration) {
+  // Different seeds may legitimately pick different maximal boxes; the
+  // results must still all be correct. (Equality is not required — this
+  // guards against the seed being silently ignored.)
+  const BenchmarkProblem &NB = nearbyProblem();
+  ExprRef Q = NB.M.findQuery("nearby200")->Body;
+  SynthOptions O1, O2;
+  O2.Seed = O1.Seed + 12345;
+  auto S1 = Synthesizer::create(NB.M.schema(), Q, O1);
+  auto S2 = Synthesizer::create(NB.M.schema(), Q, O2);
+  auto A = S1->synthesizeInterval(ApproxKind::Under);
+  auto B = S2->synthesizeInterval(ApproxKind::Under);
+  ASSERT_TRUE(A.ok() && B.ok());
+  // Both are maximal boxes inside the diamond.
+  EXPECT_GT(A->TrueSet.volume().toInt64(), 0);
+  EXPECT_GT(B->TrueSet.volume().toInt64(), 0);
+}
+
+TEST(Determinism, StatsAreStableAcrossRuns) {
+  const BenchmarkProblem &B3 = benchmarkById("B3");
+  auto Sy = Synthesizer::create(B3.M.schema(), B3.query().Body);
+  SynthStats S1, S2;
+  ASSERT_TRUE(Sy->synthesizeInterval(ApproxKind::Under, &S1).ok());
+  ASSERT_TRUE(Sy->synthesizeInterval(ApproxKind::Under, &S2).ok());
+  EXPECT_EQ(S1.SolverNodes, S2.SolverNodes);
+  EXPECT_EQ(S1.BoxesSynthesized, S2.BoxesSynthesized);
+}

@@ -1,0 +1,77 @@
+//===- tests/synth/SketchTest.cpp - Sketch rendering tests ----------------===//
+
+#include "synth/Sketch.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+} // namespace
+
+TEST(Sketch, ApproxKindNames) {
+  EXPECT_STREQ(approxKindName(ApproxKind::Under), "under");
+  EXPECT_STREQ(approxKindName(ApproxKind::Over), "over");
+}
+
+TEST(Sketch, SpecUsesPaperNotation) {
+  IndSetSketch SK("nearby", userLoc(), ApproxKind::Under);
+  std::string Spec = SK.spec();
+  // Fig. 4's positive index for the under ind. sets.
+  EXPECT_NE(Spec.find("under_indset_nearby ::"), std::string::npos);
+  EXPECT_NE(Spec.find("A<{\\x -> nearby x, true}>"), std::string::npos);
+  EXPECT_NE(Spec.find("A<{\\x -> not (nearby x), true}>"),
+            std::string::npos);
+}
+
+TEST(Sketch, OverSpecUsesNegativeIndex) {
+  IndSetSketch SK("nearby", userLoc(), ApproxKind::Over);
+  std::string Spec = SK.spec();
+  EXPECT_NE(Spec.find("A<{true, \\x -> not (nearby x)}>"),
+            std::string::npos);
+}
+
+TEST(Sketch, TemplateHasOneHolePerFieldPerSet) {
+  IndSetSketch SK("nearby", userLoc(), ApproxKind::Under);
+  std::string T = SK.renderTemplate();
+  // Two fields -> holes l1/u1 and l2/u2, in both tuple components.
+  size_t Count = 0;
+  for (size_t Pos = T.find("?l1"); Pos != std::string::npos;
+       Pos = T.find("?l1", Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, 2u);
+  EXPECT_NE(T.find("?u2"), std::string::npos);
+}
+
+TEST(Sketch, FilledIntervalProgramShowsBounds) {
+  IndSetSketch SK("nearby", userLoc(), ApproxKind::Under);
+  Box T({{121, 279}, {179, 221}});
+  Box F({{0, 400}, {0, 99}});
+  std::string Out = SK.renderFilled(T, F);
+  // §2.2's under_indset literal.
+  EXPECT_NE(Out.find("A [AInt 121 279, AInt 179 221]"), std::string::npos);
+  EXPECT_NE(Out.find("A [AInt 0 400, AInt 0 99]"), std::string::npos);
+}
+
+TEST(Sketch, FilledEmptyDomainRendersBot) {
+  IndSetSketch SK("q", userLoc(), ApproxKind::Under);
+  std::string Out = SK.renderFilled(Box::bottom(2), Box::top(userLoc()));
+  EXPECT_NE(Out.find("Bot"), std::string::npos);
+}
+
+TEST(Sketch, FilledPowersetShowsBothLists) {
+  IndSetSketch SK("q", userLoc(), ApproxKind::Over);
+  PowerBox T(2, {Box({{0, 10}, {0, 10}})}, {Box({{5, 6}, {5, 6}})});
+  PowerBox F(2, {Box({{20, 30}, {20, 30}})}, {});
+  std::string Out = SK.renderFilled(T, F);
+  EXPECT_NE(Out.find("dom_i = [A [AInt 0 10, AInt 0 10]]"),
+            std::string::npos);
+  EXPECT_NE(Out.find("dom_o = [A [AInt 5 6, AInt 5 6]]"),
+            std::string::npos);
+  EXPECT_NE(Out.find("dom_o = []"), std::string::npos);
+}

@@ -1,0 +1,216 @@
+//===- tests/synth/SynthesizerTest.cpp - SYNTH/ITERSYNTH tests ------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "expr/Parser.h"
+#include "solver/ModelCounter.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema userLoc() {
+  return Schema("UserLoc", {{"x", 0, 400}, {"y", 0, 400}});
+}
+
+ExprRef q(const Schema &S, const std::string &Src) {
+  auto R = parseQueryExpr(S, Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return R.value();
+}
+
+Synthesizer makeSynth(const Schema &S, const std::string &Src,
+                      SynthOptions Options = {}) {
+  auto R = Synthesizer::create(S, q(S, Src), Options);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return R.takeValue();
+}
+
+/// All members of an under ind. set must produce the polarity's response.
+void expectUnderSound(const Schema &S, const ExprRef &Query, const Box &Dom,
+                      bool Polarity) {
+  SolverBudget Budget;
+  PredicateRef P = exprPredicate(Query);
+  if (!Polarity)
+    P = notPredicate(P);
+  EXPECT_TRUE(checkForall(*P, Dom, Budget).Holds)
+      << "unsound under ind. set: " << Dom.str();
+  (void)S;
+}
+
+} // namespace
+
+TEST(Synthesizer, RejectsNonlinearQueries) {
+  Schema S("S", {{"a", 0, 10}, {"b", 0, 10}});
+  auto R = Synthesizer::create(S, q(S, "a * b <= 7"));
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().code(), ErrorCode::UnsupportedQuery);
+}
+
+TEST(Synthesizer, RejectsNullQuery) {
+  EXPECT_FALSE(Synthesizer::create(userLoc(), nullptr).ok());
+}
+
+TEST(Synthesizer, IntervalUnderIsSoundAndNonTrivial) {
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "abs(x - 200) + abs(y - 200) <= 100");
+  SynthStats Stats;
+  auto Sets = Sy.synthesizeInterval(ApproxKind::Under, &Stats);
+  ASSERT_TRUE(Sets.ok()) << Sets.error().str();
+  expectUnderSound(S, Sy.query(), Sets->TrueSet, true);
+  expectUnderSound(S, Sy.query(), Sets->FalseSet, false);
+  EXPECT_FALSE(Sets->TrueSet.isEmpty());
+  EXPECT_FALSE(Sets->FalseSet.isEmpty());
+  EXPECT_GT(Stats.SolverNodes, 0u);
+  EXPECT_EQ(Stats.BoxesSynthesized, 2u);
+}
+
+TEST(Synthesizer, IntervalOverIsExactBoundingBoxes) {
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "abs(x - 200) + abs(y - 200) <= 100");
+  auto Sets = Sy.synthesizeInterval(ApproxKind::Over);
+  ASSERT_TRUE(Sets.ok());
+  EXPECT_EQ(Sets->TrueSet, Box({{100, 300}, {100, 300}}));
+  // Every falsifying point exists up to the corners: over-False is ⊤.
+  EXPECT_EQ(Sets->FalseSet, Box::top(S));
+}
+
+TEST(Synthesizer, ExactWhenIndSetIsABox) {
+  // B1-style: the True set is a box, so under == over == exact (the 0 %
+  // diff. rows of Fig. 5a).
+  Schema S("Birthday", {{"bday", 0, 364}, {"byear", 1956, 1992}});
+  Synthesizer Sy = makeSynth(S, "bday >= 260 && bday < 267");
+  auto Under = Sy.synthesizeInterval(ApproxKind::Under);
+  auto Over = Sy.synthesizeInterval(ApproxKind::Over);
+  ASSERT_TRUE(Under.ok() && Over.ok());
+  Box Expected({{260, 266}, {1956, 1992}});
+  EXPECT_EQ(Under->TrueSet, Expected);
+  EXPECT_EQ(Over->TrueSet, Expected);
+  EXPECT_EQ(Under->TrueSet.volume().toInt64(), 259);
+}
+
+TEST(Synthesizer, UnderSandwichOverOnTrueSet) {
+  // under ⊆ exact ⊆ over in cardinality.
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "abs(x - 123) + 2 * abs(y - 77) <= 90");
+  auto Under = Sy.synthesizeInterval(ApproxKind::Under);
+  auto Over = Sy.synthesizeInterval(ApproxKind::Over);
+  ASSERT_TRUE(Under.ok() && Over.ok());
+  BigCount Exact =
+      countSatExact(*exprPredicate(Sy.query()), Box::top(S));
+  EXPECT_TRUE(Under->TrueSet.volume() <= Exact);
+  EXPECT_TRUE(Exact <= Over->TrueSet.volume());
+}
+
+TEST(Synthesizer, UnsatisfiableQueryGivesBottomUnder) {
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "x + y >= 5000");
+  auto Under = Sy.synthesizeInterval(ApproxKind::Under);
+  auto Over = Sy.synthesizeInterval(ApproxKind::Over);
+  ASSERT_TRUE(Under.ok() && Over.ok());
+  EXPECT_TRUE(Under->TrueSet.isEmpty());
+  EXPECT_TRUE(Over->TrueSet.isEmpty());
+  // The False response covers everything.
+  EXPECT_EQ(Over->FalseSet, Box::top(S));
+}
+
+TEST(Synthesizer, PowersetUnderGrowsWithK) {
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "abs(x - 200) + abs(y - 200) <= 100");
+  BigCount Exact = countSatExact(*exprPredicate(Sy.query()), Box::top(S));
+  BigCount Prev;
+  for (unsigned K : {1u, 2u, 3u, 5u}) {
+    auto Sets = Sy.synthesizePowerset(ApproxKind::Under, K);
+    ASSERT_TRUE(Sets.ok()) << Sets.error().str();
+    BigCount Size = Sets->TrueSet.size();
+    EXPECT_TRUE(Prev <= Size) << "precision must not drop with larger k";
+    EXPECT_TRUE(Size <= Exact) << "under-approx exceeds the exact set";
+    EXPECT_LE(Sets->TrueSet.includes().size(), K);
+    Prev = Size;
+  }
+  // With several boxes we must beat the single-interval approximation.
+  auto K1 = Sy.synthesizePowerset(ApproxKind::Under, 1);
+  auto K5 = Sy.synthesizePowerset(ApproxKind::Under, 5);
+  EXPECT_TRUE(K1->TrueSet.size() < K5->TrueSet.size());
+}
+
+TEST(Synthesizer, PowersetUnderCoversExactlyRepresentableSet) {
+  // §6.1: "ANOSY successfully synthesizes both exact ind. sets for B1
+  // using powersets, even though the False set was not representable
+  // using just a single interval."
+  Schema S("Birthday", {{"bday", 0, 364}, {"byear", 1956, 1992}});
+  Synthesizer Sy = makeSynth(S, "bday >= 260 && bday < 267");
+  auto Sets = Sy.synthesizePowerset(ApproxKind::Under, 3);
+  ASSERT_TRUE(Sets.ok());
+  EXPECT_EQ(Sets->TrueSet.size().toInt64(), 259);
+  EXPECT_EQ(Sets->FalseSet.size().toInt64(), 13246); // two strips suffice
+}
+
+TEST(Synthesizer, PowersetOverShrinksWithK) {
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "abs(x - 200) + abs(y - 200) <= 100");
+  BigCount Exact = countSatExact(*exprPredicate(Sy.query()), Box::top(S));
+  BigCount Prev = BigCount::saturated();
+  for (unsigned K : {1u, 2u, 3u, 5u}) {
+    auto Sets = Sy.synthesizePowerset(ApproxKind::Over, K);
+    ASSERT_TRUE(Sets.ok()) << Sets.error().str();
+    BigCount Size = Sets->TrueSet.size();
+    EXPECT_TRUE(Size <= Prev) << "precision must not drop with larger k";
+    EXPECT_TRUE(Exact <= Size) << "over-approx misses satisfying points";
+    Prev = Size;
+  }
+}
+
+TEST(Synthesizer, PowersetK1MatchesInterval) {
+  // §5.4: "for k=1 the returned powerset has a single interval" — the
+  // general algorithm degenerates to SYNTH.
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "x <= 137 && y >= 40");
+  auto PB = Sy.synthesizePowerset(ApproxKind::Under, 1);
+  auto IB = Sy.synthesizeInterval(ApproxKind::Under);
+  ASSERT_TRUE(PB.ok() && IB.ok());
+  ASSERT_EQ(PB->TrueSet.includes().size(), 1u);
+  EXPECT_EQ(PB->TrueSet.includes()[0], IB->TrueSet);
+}
+
+TEST(Synthesizer, PowersetStopsEarlyWhenRegionCovered) {
+  // The True region is a single box; extra iterations have nothing to add.
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "x <= 100");
+  auto Sets = Sy.synthesizePowerset(ApproxKind::Under, 5);
+  ASSERT_TRUE(Sets.ok());
+  EXPECT_EQ(Sets->TrueSet.includes().size(), 1u);
+  EXPECT_EQ(Sets->TrueSet.size().toInt64(), 101 * 401);
+}
+
+TEST(Synthesizer, PowersetZeroKRejected) {
+  Schema S = userLoc();
+  Synthesizer Sy = makeSynth(S, "x <= 100");
+  EXPECT_FALSE(Sy.synthesizePowerset(ApproxKind::Under, 0).ok());
+}
+
+TEST(Synthesizer, RelationalQuerySynthesizes) {
+  // B2-style relational coupling: still sound, just harder.
+  Schema S("Ship", {{"x", 0, 200}, {"y", 0, 100}, {"cap", 0, 20}});
+  Synthesizer Sy =
+      makeSynth(S, "abs(x - 100) + abs(y - 50) <= 20 + cap");
+  auto Under = Sy.synthesizeInterval(ApproxKind::Under);
+  ASSERT_TRUE(Under.ok());
+  SolverBudget Budget;
+  EXPECT_TRUE(
+      checkForall(*exprPredicate(Sy.query()), Under->TrueSet, Budget).Holds);
+  EXPECT_FALSE(Under->TrueSet.isEmpty());
+}
+
+TEST(Synthesizer, BudgetExhaustionSurfacesAsError) {
+  Schema S = userLoc();
+  SynthOptions Options;
+  Options.MaxSolverNodes = 5;
+  Synthesizer Sy =
+      makeSynth(S, "abs(x - 200) + abs(y - 200) <= 100", Options);
+  auto Sets = Sy.synthesizeInterval(ApproxKind::Under);
+  ASSERT_FALSE(Sets.ok());
+  EXPECT_EQ(Sets.error().code(), ErrorCode::SynthesisFailure);
+}
