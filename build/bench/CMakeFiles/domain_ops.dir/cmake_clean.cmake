@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_ops.dir/domain_ops.cpp.o"
+  "CMakeFiles/domain_ops.dir/domain_ops.cpp.o.d"
+  "domain_ops"
+  "domain_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

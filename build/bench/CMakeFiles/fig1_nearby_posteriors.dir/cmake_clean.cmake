@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_nearby_posteriors.dir/fig1_nearby_posteriors.cpp.o"
+  "CMakeFiles/fig1_nearby_posteriors.dir/fig1_nearby_posteriors.cpp.o.d"
+  "fig1_nearby_posteriors"
+  "fig1_nearby_posteriors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_nearby_posteriors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_interval_synthesis.dir/fig5a_interval_synthesis.cpp.o"
+  "CMakeFiles/fig5a_interval_synthesis.dir/fig5a_interval_synthesis.cpp.o.d"
+  "fig5a_interval_synthesis"
+  "fig5a_interval_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_interval_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

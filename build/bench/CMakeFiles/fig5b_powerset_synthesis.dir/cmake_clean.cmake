@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_powerset_synthesis.dir/fig5b_powerset_synthesis.cpp.o"
+  "CMakeFiles/fig5b_powerset_synthesis.dir/fig5b_powerset_synthesis.cpp.o.d"
+  "fig5b_powerset_synthesis"
+  "fig5b_powerset_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_powerset_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sequential_queries.dir/fig6_sequential_queries.cpp.o"
+  "CMakeFiles/fig6_sequential_queries.dir/fig6_sequential_queries.cpp.o.d"
+  "fig6_sequential_queries"
+  "fig6_sequential_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sequential_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

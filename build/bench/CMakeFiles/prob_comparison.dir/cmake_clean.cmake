@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_comparison.dir/prob_comparison.cpp.o"
+  "CMakeFiles/prob_comparison.dir/prob_comparison.cpp.o.d"
+  "prob_comparison"
+  "prob_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_exact_indsets.dir/table1_exact_indsets.cpp.o"
+  "CMakeFiles/table1_exact_indsets.dir/table1_exact_indsets.cpp.o.d"
+  "table1_exact_indsets"
+  "table1_exact_indsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_exact_indsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

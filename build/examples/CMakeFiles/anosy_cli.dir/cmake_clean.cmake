@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_cli.dir/anosy_cli.cpp.o"
+  "CMakeFiles/anosy_cli.dir/anosy_cli.cpp.o.d"
+  "anosy_cli"
+  "anosy_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birthday_service.dir/birthday_service.cpp.o"
+  "CMakeFiles/birthday_service.dir/birthday_service.cpp.o.d"
+  "birthday_service"
+  "birthday_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birthday_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

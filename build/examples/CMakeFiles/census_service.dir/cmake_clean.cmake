@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_service.dir/census_service.cpp.o"
+  "CMakeFiles/census_service.dir/census_service.cpp.o.d"
+  "census_service"
+  "census_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

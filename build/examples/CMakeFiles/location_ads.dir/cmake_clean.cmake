@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_ads.dir/location_ads.cpp.o"
+  "CMakeFiles/location_ads.dir/location_ads.cpp.o.d"
+  "location_ads"
+  "location_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

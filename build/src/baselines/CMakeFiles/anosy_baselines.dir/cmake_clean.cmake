@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_baselines.dir/AbstractInterpreter.cpp.o"
+  "CMakeFiles/anosy_baselines.dir/AbstractInterpreter.cpp.o.d"
+  "CMakeFiles/anosy_baselines.dir/Exhaustive.cpp.o"
+  "CMakeFiles/anosy_baselines.dir/Exhaustive.cpp.o.d"
+  "libanosy_baselines.a"
+  "libanosy_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_benchlib.dir/Advertising.cpp.o"
+  "CMakeFiles/anosy_benchlib.dir/Advertising.cpp.o.d"
+  "CMakeFiles/anosy_benchlib.dir/Problems.cpp.o"
+  "CMakeFiles/anosy_benchlib.dir/Problems.cpp.o.d"
+  "libanosy_benchlib.a"
+  "libanosy_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

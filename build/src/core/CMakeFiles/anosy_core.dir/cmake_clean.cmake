@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_core.dir/ArtifactIO.cpp.o"
+  "CMakeFiles/anosy_core.dir/ArtifactIO.cpp.o.d"
+  "CMakeFiles/anosy_core.dir/Qif.cpp.o"
+  "CMakeFiles/anosy_core.dir/Qif.cpp.o.d"
+  "libanosy_core.a"
+  "libanosy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

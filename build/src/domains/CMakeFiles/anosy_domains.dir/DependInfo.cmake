@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domains/Box.cpp" "src/domains/CMakeFiles/anosy_domains.dir/Box.cpp.o" "gcc" "src/domains/CMakeFiles/anosy_domains.dir/Box.cpp.o.d"
+  "/root/repo/src/domains/BoxAlgebra.cpp" "src/domains/CMakeFiles/anosy_domains.dir/BoxAlgebra.cpp.o" "gcc" "src/domains/CMakeFiles/anosy_domains.dir/BoxAlgebra.cpp.o.d"
+  "/root/repo/src/domains/PowerBox.cpp" "src/domains/CMakeFiles/anosy_domains.dir/PowerBox.cpp.o" "gcc" "src/domains/CMakeFiles/anosy_domains.dir/PowerBox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/anosy_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anosy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_domains.dir/Box.cpp.o"
+  "CMakeFiles/anosy_domains.dir/Box.cpp.o.d"
+  "CMakeFiles/anosy_domains.dir/BoxAlgebra.cpp.o"
+  "CMakeFiles/anosy_domains.dir/BoxAlgebra.cpp.o.d"
+  "CMakeFiles/anosy_domains.dir/PowerBox.cpp.o"
+  "CMakeFiles/anosy_domains.dir/PowerBox.cpp.o.d"
+  "libanosy_domains.a"
+  "libanosy_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/Analysis.cpp" "src/expr/CMakeFiles/anosy_expr.dir/Analysis.cpp.o" "gcc" "src/expr/CMakeFiles/anosy_expr.dir/Analysis.cpp.o.d"
+  "/root/repo/src/expr/Eval.cpp" "src/expr/CMakeFiles/anosy_expr.dir/Eval.cpp.o" "gcc" "src/expr/CMakeFiles/anosy_expr.dir/Eval.cpp.o.d"
+  "/root/repo/src/expr/Expr.cpp" "src/expr/CMakeFiles/anosy_expr.dir/Expr.cpp.o" "gcc" "src/expr/CMakeFiles/anosy_expr.dir/Expr.cpp.o.d"
+  "/root/repo/src/expr/Lexer.cpp" "src/expr/CMakeFiles/anosy_expr.dir/Lexer.cpp.o" "gcc" "src/expr/CMakeFiles/anosy_expr.dir/Lexer.cpp.o.d"
+  "/root/repo/src/expr/Parser.cpp" "src/expr/CMakeFiles/anosy_expr.dir/Parser.cpp.o" "gcc" "src/expr/CMakeFiles/anosy_expr.dir/Parser.cpp.o.d"
+  "/root/repo/src/expr/Schema.cpp" "src/expr/CMakeFiles/anosy_expr.dir/Schema.cpp.o" "gcc" "src/expr/CMakeFiles/anosy_expr.dir/Schema.cpp.o.d"
+  "/root/repo/src/expr/Simplify.cpp" "src/expr/CMakeFiles/anosy_expr.dir/Simplify.cpp.o" "gcc" "src/expr/CMakeFiles/anosy_expr.dir/Simplify.cpp.o.d"
+  "/root/repo/src/expr/SmtLib.cpp" "src/expr/CMakeFiles/anosy_expr.dir/SmtLib.cpp.o" "gcc" "src/expr/CMakeFiles/anosy_expr.dir/SmtLib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anosy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

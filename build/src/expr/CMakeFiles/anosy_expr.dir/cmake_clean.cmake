@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_expr.dir/Analysis.cpp.o"
+  "CMakeFiles/anosy_expr.dir/Analysis.cpp.o.d"
+  "CMakeFiles/anosy_expr.dir/Eval.cpp.o"
+  "CMakeFiles/anosy_expr.dir/Eval.cpp.o.d"
+  "CMakeFiles/anosy_expr.dir/Expr.cpp.o"
+  "CMakeFiles/anosy_expr.dir/Expr.cpp.o.d"
+  "CMakeFiles/anosy_expr.dir/Lexer.cpp.o"
+  "CMakeFiles/anosy_expr.dir/Lexer.cpp.o.d"
+  "CMakeFiles/anosy_expr.dir/Parser.cpp.o"
+  "CMakeFiles/anosy_expr.dir/Parser.cpp.o.d"
+  "CMakeFiles/anosy_expr.dir/Schema.cpp.o"
+  "CMakeFiles/anosy_expr.dir/Schema.cpp.o.d"
+  "CMakeFiles/anosy_expr.dir/Simplify.cpp.o"
+  "CMakeFiles/anosy_expr.dir/Simplify.cpp.o.d"
+  "CMakeFiles/anosy_expr.dir/SmtLib.cpp.o"
+  "CMakeFiles/anosy_expr.dir/SmtLib.cpp.o.d"
+  "libanosy_expr.a"
+  "libanosy_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/Decide.cpp" "src/solver/CMakeFiles/anosy_solver.dir/Decide.cpp.o" "gcc" "src/solver/CMakeFiles/anosy_solver.dir/Decide.cpp.o.d"
+  "/root/repo/src/solver/ModelCounter.cpp" "src/solver/CMakeFiles/anosy_solver.dir/ModelCounter.cpp.o" "gcc" "src/solver/CMakeFiles/anosy_solver.dir/ModelCounter.cpp.o.d"
+  "/root/repo/src/solver/Optimize.cpp" "src/solver/CMakeFiles/anosy_solver.dir/Optimize.cpp.o" "gcc" "src/solver/CMakeFiles/anosy_solver.dir/Optimize.cpp.o.d"
+  "/root/repo/src/solver/Predicate.cpp" "src/solver/CMakeFiles/anosy_solver.dir/Predicate.cpp.o" "gcc" "src/solver/CMakeFiles/anosy_solver.dir/Predicate.cpp.o.d"
+  "/root/repo/src/solver/RangeEval.cpp" "src/solver/CMakeFiles/anosy_solver.dir/RangeEval.cpp.o" "gcc" "src/solver/CMakeFiles/anosy_solver.dir/RangeEval.cpp.o.d"
+  "/root/repo/src/solver/SplitHints.cpp" "src/solver/CMakeFiles/anosy_solver.dir/SplitHints.cpp.o" "gcc" "src/solver/CMakeFiles/anosy_solver.dir/SplitHints.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/domains/CMakeFiles/anosy_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/anosy_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anosy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

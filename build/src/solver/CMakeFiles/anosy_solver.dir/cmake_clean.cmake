@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_solver.dir/Decide.cpp.o"
+  "CMakeFiles/anosy_solver.dir/Decide.cpp.o.d"
+  "CMakeFiles/anosy_solver.dir/ModelCounter.cpp.o"
+  "CMakeFiles/anosy_solver.dir/ModelCounter.cpp.o.d"
+  "CMakeFiles/anosy_solver.dir/Optimize.cpp.o"
+  "CMakeFiles/anosy_solver.dir/Optimize.cpp.o.d"
+  "CMakeFiles/anosy_solver.dir/Predicate.cpp.o"
+  "CMakeFiles/anosy_solver.dir/Predicate.cpp.o.d"
+  "CMakeFiles/anosy_solver.dir/RangeEval.cpp.o"
+  "CMakeFiles/anosy_solver.dir/RangeEval.cpp.o.d"
+  "CMakeFiles/anosy_solver.dir/SplitHints.cpp.o"
+  "CMakeFiles/anosy_solver.dir/SplitHints.cpp.o.d"
+  "libanosy_solver.a"
+  "libanosy_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

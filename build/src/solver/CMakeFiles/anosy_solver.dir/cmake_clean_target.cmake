@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanosy_solver.a"
+)

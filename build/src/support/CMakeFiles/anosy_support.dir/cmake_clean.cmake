@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_support.dir/Count.cpp.o"
+  "CMakeFiles/anosy_support.dir/Count.cpp.o.d"
+  "CMakeFiles/anosy_support.dir/Result.cpp.o"
+  "CMakeFiles/anosy_support.dir/Result.cpp.o.d"
+  "CMakeFiles/anosy_support.dir/Stats.cpp.o"
+  "CMakeFiles/anosy_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/anosy_support.dir/Table.cpp.o"
+  "CMakeFiles/anosy_support.dir/Table.cpp.o.d"
+  "libanosy_support.a"
+  "libanosy_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

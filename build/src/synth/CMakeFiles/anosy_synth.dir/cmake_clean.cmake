@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_synth.dir/ClassifierSynth.cpp.o"
+  "CMakeFiles/anosy_synth.dir/ClassifierSynth.cpp.o.d"
+  "CMakeFiles/anosy_synth.dir/Sketch.cpp.o"
+  "CMakeFiles/anosy_synth.dir/Sketch.cpp.o.d"
+  "CMakeFiles/anosy_synth.dir/Synthesizer.cpp.o"
+  "CMakeFiles/anosy_synth.dir/Synthesizer.cpp.o.d"
+  "libanosy_synth.a"
+  "libanosy_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

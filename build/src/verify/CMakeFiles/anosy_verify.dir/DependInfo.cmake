@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/Certificate.cpp" "src/verify/CMakeFiles/anosy_verify.dir/Certificate.cpp.o" "gcc" "src/verify/CMakeFiles/anosy_verify.dir/Certificate.cpp.o.d"
+  "/root/repo/src/verify/RefinementChecker.cpp" "src/verify/CMakeFiles/anosy_verify.dir/RefinementChecker.cpp.o" "gcc" "src/verify/CMakeFiles/anosy_verify.dir/RefinementChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/anosy_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/anosy_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/anosy_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/anosy_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anosy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anosy_verify.dir/Certificate.cpp.o"
+  "CMakeFiles/anosy_verify.dir/Certificate.cpp.o.d"
+  "CMakeFiles/anosy_verify.dir/RefinementChecker.cpp.o"
+  "CMakeFiles/anosy_verify.dir/RefinementChecker.cpp.o.d"
+  "libanosy_verify.a"
+  "libanosy_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anosy_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/AnosySessionTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/AnosySessionTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/AnosyTTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/AnosyTTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ArtifactIOTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/ArtifactIOTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ClassifierDowngradeTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/ClassifierDowngradeTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/KnowledgeTrackerTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/KnowledgeTrackerTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/OverMonitorTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/OverMonitorTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/PolicyTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/PolicyTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/QifTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/QifTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

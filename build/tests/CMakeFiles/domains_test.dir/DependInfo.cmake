@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/domains/ArityLawsTest.cpp" "tests/CMakeFiles/domains_test.dir/domains/ArityLawsTest.cpp.o" "gcc" "tests/CMakeFiles/domains_test.dir/domains/ArityLawsTest.cpp.o.d"
+  "/root/repo/tests/domains/BoxAlgebraTest.cpp" "tests/CMakeFiles/domains_test.dir/domains/BoxAlgebraTest.cpp.o" "gcc" "tests/CMakeFiles/domains_test.dir/domains/BoxAlgebraTest.cpp.o.d"
+  "/root/repo/tests/domains/BoxTest.cpp" "tests/CMakeFiles/domains_test.dir/domains/BoxTest.cpp.o" "gcc" "tests/CMakeFiles/domains_test.dir/domains/BoxTest.cpp.o.d"
+  "/root/repo/tests/domains/DomainLawsTest.cpp" "tests/CMakeFiles/domains_test.dir/domains/DomainLawsTest.cpp.o" "gcc" "tests/CMakeFiles/domains_test.dir/domains/DomainLawsTest.cpp.o.d"
+  "/root/repo/tests/domains/IntervalTest.cpp" "tests/CMakeFiles/domains_test.dir/domains/IntervalTest.cpp.o" "gcc" "tests/CMakeFiles/domains_test.dir/domains/IntervalTest.cpp.o.d"
+  "/root/repo/tests/domains/PowerBoxTest.cpp" "tests/CMakeFiles/domains_test.dir/domains/PowerBoxTest.cpp.o" "gcc" "tests/CMakeFiles/domains_test.dir/domains/PowerBoxTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/anosy_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anosy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/anosy_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/anosy_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/anosy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/anosy_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/anosy_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/anosy_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anosy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

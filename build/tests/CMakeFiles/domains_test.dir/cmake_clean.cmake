@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domains_test.dir/domains/ArityLawsTest.cpp.o"
+  "CMakeFiles/domains_test.dir/domains/ArityLawsTest.cpp.o.d"
+  "CMakeFiles/domains_test.dir/domains/BoxAlgebraTest.cpp.o"
+  "CMakeFiles/domains_test.dir/domains/BoxAlgebraTest.cpp.o.d"
+  "CMakeFiles/domains_test.dir/domains/BoxTest.cpp.o"
+  "CMakeFiles/domains_test.dir/domains/BoxTest.cpp.o.d"
+  "CMakeFiles/domains_test.dir/domains/DomainLawsTest.cpp.o"
+  "CMakeFiles/domains_test.dir/domains/DomainLawsTest.cpp.o.d"
+  "CMakeFiles/domains_test.dir/domains/IntervalTest.cpp.o"
+  "CMakeFiles/domains_test.dir/domains/IntervalTest.cpp.o.d"
+  "CMakeFiles/domains_test.dir/domains/PowerBoxTest.cpp.o"
+  "CMakeFiles/domains_test.dir/domains/PowerBoxTest.cpp.o.d"
+  "domains_test"
+  "domains_test.pdb"
+  "domains_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/expr/AnalysisTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/expr/EvalTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/EvalTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/EvalTest.cpp.o.d"
+  "/root/repo/tests/expr/ExprTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/ExprTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/ExprTest.cpp.o.d"
+  "/root/repo/tests/expr/LexerTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/LexerTest.cpp.o.d"
+  "/root/repo/tests/expr/ParserTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/ParserTest.cpp.o.d"
+  "/root/repo/tests/expr/RoundTripTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/RoundTripTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/RoundTripTest.cpp.o.d"
+  "/root/repo/tests/expr/SchemaTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/SchemaTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/SchemaTest.cpp.o.d"
+  "/root/repo/tests/expr/SimplifyTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/SimplifyTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/SimplifyTest.cpp.o.d"
+  "/root/repo/tests/expr/SmtLibTest.cpp" "tests/CMakeFiles/expr_test.dir/expr/SmtLibTest.cpp.o" "gcc" "tests/CMakeFiles/expr_test.dir/expr/SmtLibTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/anosy_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anosy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/anosy_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/anosy_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/anosy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/anosy_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/anosy_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/anosy_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anosy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_test.dir/expr/AnalysisTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/AnalysisTest.cpp.o.d"
+  "CMakeFiles/expr_test.dir/expr/EvalTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/EvalTest.cpp.o.d"
+  "CMakeFiles/expr_test.dir/expr/ExprTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/ExprTest.cpp.o.d"
+  "CMakeFiles/expr_test.dir/expr/LexerTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/LexerTest.cpp.o.d"
+  "CMakeFiles/expr_test.dir/expr/ParserTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/ParserTest.cpp.o.d"
+  "CMakeFiles/expr_test.dir/expr/RoundTripTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/RoundTripTest.cpp.o.d"
+  "CMakeFiles/expr_test.dir/expr/SchemaTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/SchemaTest.cpp.o.d"
+  "CMakeFiles/expr_test.dir/expr/SimplifyTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/SimplifyTest.cpp.o.d"
+  "CMakeFiles/expr_test.dir/expr/SmtLibTest.cpp.o"
+  "CMakeFiles/expr_test.dir/expr/SmtLibTest.cpp.o.d"
+  "expr_test"
+  "expr_test.pdb"
+  "expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

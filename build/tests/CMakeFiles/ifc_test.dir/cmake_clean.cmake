@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifc_test.dir/ifc/LabelTest.cpp.o"
+  "CMakeFiles/ifc_test.dir/ifc/LabelTest.cpp.o.d"
+  "CMakeFiles/ifc_test.dir/ifc/ReaderSetAnosyTTest.cpp.o"
+  "CMakeFiles/ifc_test.dir/ifc/ReaderSetAnosyTTest.cpp.o.d"
+  "CMakeFiles/ifc_test.dir/ifc/SecureContextTest.cpp.o"
+  "CMakeFiles/ifc_test.dir/ifc/SecureContextTest.cpp.o.d"
+  "ifc_test"
+  "ifc_test.pdb"
+  "ifc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

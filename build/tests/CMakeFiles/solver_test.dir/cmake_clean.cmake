@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_test.dir/solver/DecideTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/DecideTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/ModelCounterTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/ModelCounterTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/OptimizeTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/OptimizeTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/PredicateTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/PredicateTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/RangeEvalTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/RangeEvalTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/SplitHintsTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/SplitHintsTest.cpp.o.d"
+  "solver_test"
+  "solver_test.pdb"
+  "solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/CountTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/CountTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/ResultTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/ResultTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/RngTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/StatsTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/StatsTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/TableTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/TableTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/TriboolTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/TriboolTest.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_test.dir/synth/ClassifierSynthTest.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/ClassifierSynthTest.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/DeterminismTest.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/DeterminismTest.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/SketchTest.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/SketchTest.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/SynthesizerTest.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/SynthesizerTest.cpp.o.d"
+  "synth_test"
+  "synth_test.pdb"
+  "synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/verify/RefinementCheckerTest.cpp" "tests/CMakeFiles/verify_test.dir/verify/RefinementCheckerTest.cpp.o" "gcc" "tests/CMakeFiles/verify_test.dir/verify/RefinementCheckerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/anosy_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anosy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/anosy_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/anosy_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/anosy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/anosy_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/anosy_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/anosy_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anosy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
