@@ -17,7 +17,9 @@
 #include "benchlib/Problems.h"
 #include "solver/ModelCounter.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +72,18 @@ inline std::string timeRepeated(unsigned Runs,
   return medianPlusMinus(Samples, 3);
 }
 
+/// Runs \p Body \p Runs times and reports the median in seconds.
+inline double medianSeconds(unsigned Runs, const std::function<void()> &Body) {
+  std::vector<double> Samples;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Stopwatch W;
+    Body();
+    Samples.push_back(W.seconds());
+  }
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
 /// Parses a "--runs N" override (the paper uses 11; smaller values make
 /// quick local runs cheaper).
 inline unsigned parseRuns(int Argc, char **Argv, unsigned Default) {
@@ -77,6 +91,56 @@ inline unsigned parseRuns(int Argc, char **Argv, unsigned Default) {
     if (std::strcmp(Argv[I], "--runs") == 0)
       return static_cast<unsigned>(std::atoi(Argv[I + 1]));
   return Default;
+}
+
+/// Parses a "--threads N" / "--threads=N" override for the parallel
+/// sections; 0 means hardware concurrency.
+inline unsigned parseThreads(int Argc, char **Argv, unsigned Default) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc)
+      return static_cast<unsigned>(std::atoi(Argv[I + 1]));
+    if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      return static_cast<unsigned>(std::atoi(Argv[I] + 10));
+  }
+  return Default;
+}
+
+/// One serial-vs-parallel wall-time comparison for the BENCH_parallel
+/// JSON reports.
+struct ParallelSample {
+  std::string Name;
+  unsigned Threads = 1;
+  double SerialSeconds = 0;
+  double ParallelSeconds = 0;
+};
+
+/// Writes \p Samples to \p Path as a JSON array with derived speedups.
+/// Speedups only materialize with real cores: on a single-core host the
+/// parallel engine pays its (small) decomposition overhead for nothing.
+inline void writeParallelBenchJson(const std::string &Path,
+                                   const std::vector<ParallelSample> &Samples,
+                                   unsigned HardwareThreads) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (F == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"hardware_threads\": %u,\n  \"samples\": [\n",
+               HardwareThreads);
+  for (size_t I = 0; I != Samples.size(); ++I) {
+    const ParallelSample &S = Samples[I];
+    double Speedup =
+        S.ParallelSeconds > 0 ? S.SerialSeconds / S.ParallelSeconds : 0;
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"threads\": %u, "
+                 "\"serial_s\": %.6f, \"parallel_s\": %.6f, "
+                 "\"speedup\": %.3f}%s\n",
+                 S.Name.c_str(), S.Threads, S.SerialSeconds,
+                 S.ParallelSeconds, Speedup,
+                 I + 1 == Samples.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
 }
 
 } // namespace anosy

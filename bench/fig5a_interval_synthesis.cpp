@@ -23,6 +23,64 @@
 
 using namespace anosy;
 
+namespace {
+
+/// Serial-vs-parallel synthesis wall times over the suite, written to
+/// BENCH_parallel.json. The synthesized sets are bit-identical (asserted
+/// here as well as in tests/solver/ParallelDifferentialTest.cpp); only the
+/// wall clock may differ, and only on multi-core hosts.
+void runParallelSection(unsigned Runs, unsigned Threads) {
+  std::printf("== parallel synthesis: serial vs %u threads ==\n", Threads);
+  ThreadPool Pool(Threads);
+  std::vector<ParallelSample> Samples;
+  for (const BenchmarkProblem &P : mardzielBenchmarks()) {
+    const Schema &S = P.M.schema();
+    auto Serial = Synthesizer::create(S, P.query().Body);
+    SynthOptions ParOptions;
+    ParOptions.Par.Pool = &Pool;
+    auto Par = Synthesizer::create(S, P.query().Body, ParOptions);
+    if (!Serial || !Par)
+      continue;
+
+    auto SynthBoth = [](const Synthesizer &Sy) {
+      auto U = Sy.synthesizeInterval(ApproxKind::Under);
+      auto O = Sy.synthesizeInterval(ApproxKind::Over);
+      if (!U || !O) {
+        std::fprintf(stderr, "synthesis failed in parallel section\n");
+        std::exit(1);
+      }
+      return std::make_pair(U.takeValue(), O.takeValue());
+    };
+    auto Want = SynthBoth(*Serial);
+    auto Got = SynthBoth(*Par);
+    if (Want.first.TrueSet != Got.first.TrueSet ||
+        Want.first.FalseSet != Got.first.FalseSet ||
+        Want.second.TrueSet != Got.second.TrueSet ||
+        Want.second.FalseSet != Got.second.FalseSet) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION on %s\n", P.Id.c_str());
+      std::exit(1);
+    }
+
+    ParallelSample Sample;
+    Sample.Name = P.Id;
+    Sample.Threads = Threads;
+    Sample.SerialSeconds = medianSeconds(Runs, [&] { SynthBoth(*Serial); });
+    Sample.ParallelSeconds = medianSeconds(Runs, [&] { SynthBoth(*Par); });
+    std::printf("  %s: serial %.4fs, %u threads %.4fs (%.2fx)\n",
+                P.Id.c_str(), Sample.SerialSeconds, Threads,
+                Sample.ParallelSeconds,
+                Sample.ParallelSeconds > 0
+                    ? Sample.SerialSeconds / Sample.ParallelSeconds
+                    : 0.0);
+    Samples.push_back(Sample);
+  }
+  writeParallelBenchJson("BENCH_parallel.json", Samples,
+                         Parallelism{}.resolved());
+  std::printf("  wrote BENCH_parallel.json\n");
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   unsigned Runs = parseRuns(Argc, Argv, 11);
   std::printf("Fig. 5a: interval-domain synthesis and verification "
@@ -71,5 +129,12 @@ int main(int Argc, char **Argv) {
     }
     std::printf("%s\n", T.render().c_str());
   }
+
+  // Serial-vs-parallel comparison (--threads N overrides; needs real
+  // cores to show speedup).
+  unsigned Threads =
+      parseThreads(Argc, Argv, std::max(4u, Parallelism{}.resolved()));
+  if (Threads > 1)
+    runParallelSection(Runs, Threads);
   return 0;
 }

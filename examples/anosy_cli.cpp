@@ -6,6 +6,7 @@
 //   anosy_cli <file.anosy> [--domain interval|powerset] [--k N]
 //             [--kind under|over] [--objective volume|balanced|pareto]
 //             [--emit-smtlib] [--no-verify] [--export <kb-file>]
+//             [--threads N]
 //
 // For each query in the module it prints the refinement-type spec, the
 // sketch, the synthesized (hole-filled) program, the verification
@@ -28,6 +29,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -44,6 +46,9 @@ struct CliOptions {
   bool EmitSmtLib = false;
   bool Verify = true;
   std::string ExportPath;
+  /// Solver threads; 1 (default) is the serial engine, 0 means hardware
+  /// concurrency. Synthesized artifacts are identical for every value.
+  unsigned Threads = 1;
 };
 
 int usage(const char *Argv0) {
@@ -51,7 +56,9 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [file.anosy] [--domain interval|powerset] [--k N]\n"
       "          [--kind under|over] [--objective volume|balanced|pareto]\n"
-      "          [--emit-smtlib] [--no-verify] [--export <kb-file>]\n",
+      "          [--emit-smtlib] [--no-verify] [--export <kb-file>]\n"
+      "          [--threads N]   (0 = all cores; results are identical\n"
+      "                          for every thread count)\n",
       Argv0);
   return 2;
 }
@@ -103,6 +110,13 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       Opt.ExportPath = V;
+    } else if (Arg == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Opt.Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
     } else if (Arg == "--emit-smtlib") {
       Opt.EmitSmtLib = true;
     } else if (Arg == "--no-verify") {
@@ -143,6 +157,14 @@ int main(int Argc, char **Argv) {
 
   SynthOptions SOpt;
   SOpt.Objective = Opt.Objective;
+  Parallelism Par{Opt.Threads};
+  std::unique_ptr<ThreadPool> Pool;
+  if (!Par.serial()) {
+    Pool = std::make_unique<ThreadPool>(Par);
+    SOpt.Par.Pool = Pool.get();
+    std::printf("(running synthesis and verification on %u threads)\n\n",
+                Pool->threadCount());
+  }
   for (const QueryDef &Q : M->queries()) {
     std::printf("=== query %s ===\n", Q.Name.c_str());
     std::printf("    %s\n\n", Q.Body->str(S).c_str());
@@ -174,7 +196,8 @@ int main(int Argc, char **Argv) {
       }
       Filled = Sketch.renderFilled(Sets->TrueSet, Sets->FalseSet);
       if (Opt.Verify)
-        Certs = RefinementChecker(S, Q.Body).checkIndSets(*Sets, Opt.Kind);
+        Certs = RefinementChecker(S, Q.Body, SOpt.MaxSolverNodes, SOpt.Par)
+                    .checkIndSets(*Sets, Opt.Kind);
     } else {
       auto Sets = Sy->synthesizeInterval(Opt.Kind, &Stats);
       if (!Sets) {
@@ -183,7 +206,8 @@ int main(int Argc, char **Argv) {
       }
       Filled = Sketch.renderFilled(Sets->TrueSet, Sets->FalseSet);
       if (Opt.Verify)
-        Certs = RefinementChecker(S, Q.Body).checkIndSets(*Sets, Opt.Kind);
+        Certs = RefinementChecker(S, Q.Body, SOpt.MaxSolverNodes, SOpt.Par)
+                    .checkIndSets(*Sets, Opt.Kind);
     }
     double Secs = W.seconds();
 

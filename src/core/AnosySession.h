@@ -20,6 +20,12 @@
 /// the one-time cost, downgrades are intersections — the Prob-comparison
 /// economics of §6.1.
 ///
+/// Registration parallelizes across queries/classifiers and inside each
+/// solver call (SessionOptions::Par): building artifacts for a
+/// declaration is a pure function of (module, options), so independent
+/// declarations synthesize and verify concurrently and the results are
+/// installed in declaration order, byte-identical to a serial session.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANOSY_CORE_ANOSYSESSION_H
@@ -32,6 +38,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 
 namespace anosy {
 
@@ -55,22 +62,66 @@ struct SessionOptions {
   bool Verify = true;
   /// Knowledge-representation cap (see KnowledgeTracker).
   size_t MaxKnowledgeBoxes = 256;
+  /// Thread budget for registration (synthesis + verification).
+  /// Threads = 0 uses hardware concurrency, 1 selects the exact legacy
+  /// serial code path. When Synth.Par.Pool is pre-set the session uses
+  /// that pool and this knob is ignored. Artifacts are bit-identical for
+  /// every thread count.
+  Parallelism Par = {};
 };
 
 template <AbstractDomain D> class AnosySession {
 public:
   /// Synthesizes and verifies ind. sets for every query in \p M, then
   /// builds the knowledge tracker. Fails with the offending query's error
-  /// if any step rejects.
+  /// if any step rejects; with several offenders, the first in
+  /// declaration order wins (as in a serial registration loop).
   static Result<AnosySession> create(Module M, KnowledgePolicy<D> Policy,
                                      SessionOptions Options = {}) {
     AnosySession Session(std::move(M), std::move(Policy), Options);
-    for (const QueryDef &Q : Session.M.queries())
-      if (auto R = Session.registerQuery(Q); !R)
-        return R.error();
-    for (const ClassifierDef &C : Session.M.classifiers())
-      if (auto R = Session.registerClassifier(C); !R)
-        return R.error();
+    const std::vector<QueryDef> &Queries = Session.M.queries();
+    const std::vector<ClassifierDef> &Classifiers = Session.M.classifiers();
+
+    ThreadPool *Pool = Session.Options.Synth.Par.Pool;
+    if (Pool != nullptr && Pool->threadCount() > 1) {
+      // Build every declaration's artifacts concurrently (builds are
+      // independent and pure), then install serially in declaration
+      // order so tracker state and error choice match a serial session.
+      size_t NQ = Queries.size();
+      std::vector<std::optional<Result<QueryArtifacts<D>>>> QSlots(NQ);
+      std::vector<std::optional<Result<ClassifierInfo<D>>>> CSlots(
+          Classifiers.size());
+      Pool->parallelFor(NQ + Classifiers.size(), [&](size_t I) {
+        if (I < NQ)
+          QSlots[I].emplace(Session.buildQueryArtifacts(Queries[I]));
+        else
+          CSlots[I - NQ].emplace(
+              Session.buildClassifierInfo(Classifiers[I - NQ]));
+      });
+      for (size_t I = 0; I != QSlots.size(); ++I) {
+        if (!*QSlots[I])
+          return QSlots[I]->error();
+        Session.installQuery(Queries[I], QSlots[I]->takeValue());
+      }
+      for (size_t I = 0; I != CSlots.size(); ++I) {
+        if (!*CSlots[I])
+          return CSlots[I]->error();
+        Session.Tracker->registerClassifier(CSlots[I]->takeValue());
+      }
+    } else {
+      for (const QueryDef &Q : Queries) {
+        auto Art = Session.buildQueryArtifacts(Q);
+        if (!Art)
+          return Art.error();
+        Session.installQuery(Q, Art.takeValue());
+      }
+      for (const ClassifierDef &C : Classifiers) {
+        auto Info = Session.buildClassifierInfo(C);
+        if (!Info)
+          return Info.error();
+        Session.Tracker->registerClassifier(Info.takeValue());
+      }
+    }
     return Session;
   }
 
@@ -96,12 +147,21 @@ public:
   }
 
 private:
-  AnosySession(Module M, KnowledgePolicy<D> Policy, SessionOptions Options)
-      : M(std::move(M)), Options(Options),
+  AnosySession(Module M, KnowledgePolicy<D> Policy, SessionOptions InOptions)
+      : M(std::move(M)), Options(InOptions),
         Tracker(std::make_unique<KnowledgeTracker<D>>(
-            this->M.schema(), std::move(Policy), Options.MaxKnowledgeBoxes)) {}
+            this->M.schema(), std::move(Policy), Options.MaxKnowledgeBoxes)) {
+    // One pool serves the whole session unless the caller brought their
+    // own; Threads == 1 keeps the legacy serial path (no pool at all).
+    if (Options.Synth.Par.Pool == nullptr && !Options.Par.serial()) {
+      OwnedPool = std::make_unique<ThreadPool>(Options.Par);
+      Options.Synth.Par.Pool = OwnedPool.get();
+    }
+  }
 
-  Result<void> registerQuery(const QueryDef &Q) {
+  /// Steps I–IV for one query, with no session mutation: safe to run
+  /// concurrently for independent queries.
+  Result<QueryArtifacts<D>> buildQueryArtifacts(const QueryDef &Q) const {
     const Schema &S = M.schema();
     auto Synth = Synthesizer::create(S, Q.Body, Options.Synth);
     if (!Synth)
@@ -129,7 +189,8 @@ private:
 
     // Step IV: machine-check the artifact before trusting it.
     if (Options.Verify) {
-      RefinementChecker Checker(S, Q.Body);
+      RefinementChecker Checker(S, Q.Body, Options.Synth.MaxSolverNodes,
+                                Options.Synth.Par);
       Art.Certificates = Checker.checkIndSets(Art.Ind, ApproxKind::Under);
       if (!Art.Certificates.valid())
         return Error(ErrorCode::VerificationFailure,
@@ -137,7 +198,12 @@ private:
                          "' failed verification:\n" +
                          Art.Certificates.firstFailure()->str());
     }
+    return Art;
+  }
 
+  /// Installs verified artifacts into the tracker; serial, in
+  /// declaration order.
+  void installQuery(const QueryDef &Q, QueryArtifacts<D> Art) {
     QueryInfo<D> Info;
     Info.Name = Q.Name;
     Info.QueryExpr = Q.Body;
@@ -145,13 +211,12 @@ private:
     Info.Kind = ApproxKind::Under;
     Tracker->registerQuery(std::move(Info));
     Artifacts.emplace(Q.Name, std::move(Art));
-    return Result<void>();
   }
 
-  /// Registers one `classify` declaration: synthesizes one under ind. set
-  /// per feasible output, verifies each against the Fig. 4 spec of its
-  /// "body == value" reduction, and installs the ClassifierInfo.
-  Result<void> registerClassifier(const ClassifierDef &C) {
+  /// Synthesizes and verifies one `classify` declaration: one under ind.
+  /// set per feasible output, each checked against the Fig. 4 spec of its
+  /// "body == value" reduction. No session mutation.
+  Result<ClassifierInfo<D>> buildClassifierInfo(const ClassifierDef &C) const {
     const Schema &S = M.schema();
     auto Synth = ClassifierSynthesizer::create(S, C.Body, Options.Synth);
     if (!Synth)
@@ -177,7 +242,9 @@ private:
 
     if (Options.Verify) {
       for (const OutputIndSet<D> &O : Info.Ind) {
-        RefinementChecker Checker(S, Synth->outputQuery(O.Value));
+        RefinementChecker Checker(S, Synth->outputQuery(O.Value),
+                                  Options.Synth.MaxSolverNodes,
+                                  Options.Synth.Par);
         // Per-output obligation: every member of the set maps to O.Value.
         IndSets<D> AsPair{O.Set, DomainTraits<D>::bottom(S)};
         CertificateBundle B = Checker.checkIndSets(AsPair, ApproxKind::Under);
@@ -189,12 +256,12 @@ private:
                            B.firstFailure()->str());
       }
     }
-    Tracker->registerClassifier(std::move(Info));
-    return Result<void>();
+    return Info;
   }
 
   Module M;
   SessionOptions Options;
+  std::unique_ptr<ThreadPool> OwnedPool;
   std::unique_ptr<KnowledgeTracker<D>> Tracker;
   std::map<std::string, QueryArtifacts<D>> Artifacts;
 };

@@ -2,25 +2,39 @@
 
 #include "solver/Decide.h"
 
-#include "support/Rng.h"
+#include "solver/ParallelBnB.h"
 
 #include <vector>
 
 using namespace anosy;
+using namespace anosy::bnb;
 
-ForallResult anosy::checkForall(const Predicate &P, const Box &B,
-                                SolverBudget &Budget) {
+namespace {
+
+struct NoCancel {
+  bool operator()() const { return false; }
+};
+
+/// Lowers \p Min to \p I if \p I is smaller (atomic fetch-min).
+void casMin(std::atomic<size_t> &Min, size_t I) {
+  size_t Cur = Min.load();
+  while (I < Cur && !Min.compare_exchange_weak(Cur, I))
+    ;
+}
+
+/// The ∀-search over one subtree; exactly the legacy serial loop, plus a
+/// cancellation probe. A cancelled search returns a neutral Holds=true —
+/// callers only cancel subtrees whose result can no longer matter.
+template <typename CancelFn>
+ForallResult forallSubtree(const Predicate &P, const SplitHints &Hints,
+                           Box Root, SolverBudget &Budget, CancelFn Cancel) {
   ForallResult Result;
   Result.Holds = true;
-  if (B.isEmpty())
-    return Result;
-
-  SplitHints Hints;
-  P.splitHints(Hints);
-  normalizeSplitHints(Hints);
-
-  std::vector<Box> Stack{B};
+  std::vector<Box> Stack;
+  Stack.push_back(std::move(Root));
   while (!Stack.empty()) {
+    if (Cancel())
+      return Result;
     if (!Budget.charge()) {
       Result.Exhausted = true;
       Result.Holds = false;
@@ -54,67 +68,233 @@ ForallResult anosy::checkForall(const Predicate &P, const Box &B,
   return Result;
 }
 
-namespace {
-
-/// Shared ∃-search; \p Salt permutes the exploration order (0 = plain DFS,
-/// left half first).
-ExistsResult findWitnessImpl(const Predicate &P, const Box &B, uint64_t Salt,
-                             SolverBudget &Budget) {
+/// The ∃-search over one subtree. Which half is explored first is a pure
+/// function of (Salt, path code) — see ParallelBnB.h — so the order is
+/// the same whether this subtree is reached serially or as a pool task.
+template <typename CancelFn>
+ExistsResult existsSubtree(const Predicate &P, const SplitHints &Hints,
+                           Box Root, uint64_t RootPathCode, uint64_t Salt,
+                           SolverBudget &Budget, CancelFn Cancel) {
   ExistsResult Result;
-  if (B.isEmpty())
-    return Result;
-  Rng R(Salt * 0x9e3779b97f4a7c15ULL + 1);
-
-  SplitHints Hints;
-  P.splitHints(Hints);
-  normalizeSplitHints(Hints);
-
-  std::vector<Box> Stack{B};
+  struct Entry {
+    Box B;
+    uint64_t Code;
+  };
+  std::vector<Entry> Stack;
+  Stack.push_back({std::move(Root), RootPathCode});
   while (!Stack.empty()) {
+    if (Cancel())
+      return Result;
     if (!Budget.charge()) {
       Result.Exhausted = true;
       return Result;
     }
-    Box Cur = std::move(Stack.back());
+    Entry Cur = std::move(Stack.back());
     Stack.pop_back();
 
-    Tribool T = P.evalBox(Cur);
+    Tribool T = P.evalBox(Cur.B);
     if (T == Tribool::False)
       continue;
     if (T == Tribool::True) {
-      Result.Witness = Cur.center();
+      Result.Witness = Cur.B.center();
       return Result;
     }
-    if (Cur.isUnit()) {
-      Point Pt = Cur.center();
+    if (Cur.B.isUnit()) {
+      Point Pt = Cur.B.center();
       if (P.evalPoint(Pt)) {
         Result.Witness = std::move(Pt);
         return Result;
       }
       continue;
     }
-    auto [Left, Right] = splitWithHints(Cur, Hints);
-    bool LeftFirst = Salt == 0 || (R.next() & 1) == 0;
-    if (LeftFirst) {
-      Stack.push_back(std::move(Right));
-      Stack.push_back(std::move(Left));
+    auto [Left, Right] = splitWithHints(Cur.B, Hints);
+    Entry L{std::move(Left), childCode(Cur.Code, true)};
+    Entry R{std::move(Right), childCode(Cur.Code, false)};
+    if (saltedLeftFirst(Salt, Cur.Code)) {
+      Stack.push_back(std::move(R));
+      Stack.push_back(std::move(L));
     } else {
-      Stack.push_back(std::move(Left));
-      Stack.push_back(std::move(Right));
+      Stack.push_back(std::move(L));
+      Stack.push_back(std::move(R));
     }
   }
   return Result;
 }
 
+ForallResult parallelForall(const Predicate &P, const SplitHints &Hints,
+                            const Box &B, SolverBudget &Budget,
+                            const SolverParallel &Par) {
+  Decomposition D = decomposeSearch(P, Hints, B, ExploreOrder::SecondHalfFirst,
+                                    /*Salt=*/0, Par.targetTasks(),
+                                    Par.SequentialCutoffVolume, Tribool::False,
+                                    Budget);
+  if (D.Exhausted) {
+    ForallResult R;
+    R.Exhausted = true;
+    return R;
+  }
+  size_t N = D.Leaves.size();
+  std::vector<ForallResult> Slots(N);
+  for (ForallResult &S : Slots)
+    S.Holds = true;
+  // Smallest frontier index with a decisive event (counterexample or
+  // budget exhaustion). Subtrees past it cannot affect the answer.
+  std::atomic<size_t> MinDecided{N};
+
+  // Resolve terminal and unit leaves inline, in frontier order, charging
+  // each exactly as the serial engine would on pop.
+  for (size_t I = 0; I != N; ++I) {
+    const SearchLeaf &L = D.Leaves[I];
+    if (L.pending())
+      continue;
+    if (!Budget.charge()) {
+      Slots[I].Holds = false;
+      Slots[I].Exhausted = true;
+      casMin(MinDecided, I);
+      break;
+    }
+    if (L.State == Tribool::True)
+      continue;
+    Point Pt = L.B.center();
+    if (L.State == Tribool::False || !P.evalPoint(Pt)) {
+      Slots[I].Holds = false;
+      Slots[I].CounterExample = std::move(Pt);
+      casMin(MinDecided, I);
+      break;
+    }
+  }
+
+  std::vector<size_t> Pending;
+  for (size_t I = 0, Stop = MinDecided.load(); I != N && I < Stop; ++I)
+    if (D.Leaves[I].pending())
+      Pending.push_back(I);
+
+  Par.Pool->parallelFor(Pending.size(), [&](size_t J) {
+    size_t I = Pending[J];
+    if (I > MinDecided.load(std::memory_order_relaxed))
+      return;
+    auto Cancel = [&MinDecided, I] {
+      return I > MinDecided.load(std::memory_order_relaxed);
+    };
+    ForallResult R = forallSubtree(P, Hints, D.Leaves[I].B, Budget, Cancel);
+    if (!R.Holds && !Cancel()) {
+      Slots[I] = std::move(R);
+      casMin(MinDecided, I);
+    }
+  });
+
+  size_t Stop = MinDecided.load();
+  if (Stop < N)
+    return std::move(Slots[Stop]);
+  ForallResult Result;
+  Result.Holds = true;
+  return Result;
+}
+
+ExistsResult parallelExists(const Predicate &P, const SplitHints &Hints,
+                            const Box &B, uint64_t Salt, SolverBudget &Budget,
+                            const SolverParallel &Par) {
+  Decomposition D =
+      decomposeSearch(P, Hints, B, ExploreOrder::Salted, Salt,
+                      Par.targetTasks(), Par.SequentialCutoffVolume,
+                      Tribool::True, Budget);
+  if (D.Exhausted) {
+    ExistsResult R;
+    R.Exhausted = true;
+    return R;
+  }
+  size_t N = D.Leaves.size();
+  std::vector<ExistsResult> Slots(N);
+  std::atomic<size_t> MinDecided{N};
+
+  for (size_t I = 0; I != N; ++I) {
+    const SearchLeaf &L = D.Leaves[I];
+    if (L.pending())
+      continue;
+    if (!Budget.charge()) {
+      Slots[I].Exhausted = true;
+      casMin(MinDecided, I);
+      break;
+    }
+    if (L.State == Tribool::False)
+      continue;
+    Point Pt = L.B.center();
+    if (L.State == Tribool::True || P.evalPoint(Pt)) {
+      Slots[I].Witness = std::move(Pt);
+      casMin(MinDecided, I);
+      break;
+    }
+  }
+
+  std::vector<size_t> Pending;
+  for (size_t I = 0, Stop = MinDecided.load(); I != N && I < Stop; ++I)
+    if (D.Leaves[I].pending())
+      Pending.push_back(I);
+
+  Par.Pool->parallelFor(Pending.size(), [&](size_t J) {
+    size_t I = Pending[J];
+    if (I > MinDecided.load(std::memory_order_relaxed))
+      return;
+    auto Cancel = [&MinDecided, I] {
+      return I > MinDecided.load(std::memory_order_relaxed);
+    };
+    ExistsResult R = existsSubtree(P, Hints, D.Leaves[I].B, D.Leaves[I].Code,
+                                   Salt, Budget, Cancel);
+    if ((R.Witness || R.Exhausted) && !Cancel()) {
+      Slots[I] = std::move(R);
+      casMin(MinDecided, I);
+    }
+  });
+
+  size_t Stop = MinDecided.load();
+  if (Stop < N)
+    return std::move(Slots[Stop]);
+  return ExistsResult{};
+}
+
+ExistsResult findWitnessImpl(const Predicate &P, const Box &B, uint64_t Salt,
+                             SolverBudget &Budget, const SolverParallel &Par) {
+  if (B.isEmpty())
+    return ExistsResult{};
+
+  SplitHints Hints;
+  P.splitHints(Hints);
+  normalizeSplitHints(Hints);
+
+  if (!Par.enabled())
+    return existsSubtree(P, Hints, B, rootCode(Salt), Salt, Budget,
+                         NoCancel{});
+  return parallelExists(P, Hints, B, Salt, Budget, Par);
+}
+
 } // namespace
 
+ForallResult anosy::checkForall(const Predicate &P, const Box &B,
+                                SolverBudget &Budget,
+                                const SolverParallel &Par) {
+  if (B.isEmpty()) {
+    ForallResult Result;
+    Result.Holds = true;
+    return Result;
+  }
+
+  SplitHints Hints;
+  P.splitHints(Hints);
+  normalizeSplitHints(Hints);
+
+  if (!Par.enabled())
+    return forallSubtree(P, Hints, B, Budget, NoCancel{});
+  return parallelForall(P, Hints, B, Budget, Par);
+}
+
 ExistsResult anosy::findWitness(const Predicate &P, const Box &B,
-                                SolverBudget &Budget) {
-  return findWitnessImpl(P, B, /*Salt=*/0, Budget);
+                                SolverBudget &Budget,
+                                const SolverParallel &Par) {
+  return findWitnessImpl(P, B, /*Salt=*/0, Budget, Par);
 }
 
 ExistsResult anosy::findWitnessDiverse(const Predicate &P, const Box &B,
-                                       uint64_t SeedSalt,
-                                       SolverBudget &Budget) {
-  return findWitnessImpl(P, B, SeedSalt == 0 ? 1 : SeedSalt, Budget);
+                                       uint64_t SeedSalt, SolverBudget &Budget,
+                                       const SolverParallel &Par) {
+  return findWitnessImpl(P, B, SeedSalt == 0 ? 1 : SeedSalt, Budget, Par);
 }

@@ -18,27 +18,78 @@
 /// verification) can bound total work; exhausting the budget is reported
 /// explicitly, never converted into a wrong answer.
 ///
+/// Entry points optionally run the search in parallel (SolverParallel):
+/// the box is decomposed into DFS-ordered subboxes which are searched as
+/// pool tasks. Results are bit-identical to the serial engine for any
+/// thread count as long as the budget does not run out mid-search (see
+/// DESIGN.md "Parallel execution").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANOSY_SOLVER_DECIDE_H
 #define ANOSY_SOLVER_DECIDE_H
 
 #include "solver/Predicate.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
 namespace anosy {
 
-/// Work budget shared across solver calls; counts split nodes.
+/// Work budget shared across solver calls; counts split nodes. Charging is
+/// thread-safe so concurrent subtree searches can share one budget: the
+/// counter saturates at the limit instead of wrapping, so an exhausted
+/// budget can never flip back to "not exhausted" no matter how many
+/// callers race on it.
 struct SolverBudget {
   uint64_t MaxNodes = 200'000'000;
-  uint64_t NodesUsed = 0;
+  std::atomic<uint64_t> NodesUsed{0};
 
-  bool exhausted() const { return NodesUsed >= MaxNodes; }
+  SolverBudget() = default;
+  explicit SolverBudget(uint64_t Max) : MaxNodes(Max) {}
+  SolverBudget(const SolverBudget &) = delete;
+  SolverBudget &operator=(const SolverBudget &) = delete;
+
+  uint64_t used() const { return NodesUsed.load(std::memory_order_relaxed); }
+  bool exhausted() const { return used() >= MaxNodes; }
+
+  /// Charges \p N nodes; returns false once the budget is exhausted. The
+  /// serial contract is unchanged: the charge that reaches MaxNodes is
+  /// itself rejected. Concurrency-safe: a CAS loop adds with saturation at
+  /// UINT64_MAX, and nothing is added once the limit has been reached, so
+  /// NodesUsed can never wrap past MaxNodes back into legal range.
   bool charge(uint64_t N = 1) {
-    NodesUsed += N;
-    return !exhausted();
+    uint64_t Cur = NodesUsed.load(std::memory_order_relaxed);
+    while (true) {
+      if (Cur >= MaxNodes)
+        return false;
+      uint64_t Next = Cur > UINT64_MAX - N ? UINT64_MAX : Cur + N;
+      if (NodesUsed.compare_exchange_weak(Cur, Next,
+                                          std::memory_order_relaxed))
+        return Next < MaxNodes;
+    }
+  }
+};
+
+/// How (and whether) a solver call may parallelize. Default-constructed,
+/// it selects the exact legacy serial code path. The pool is borrowed, not
+/// owned; passing a 1-thread pool is equivalent to no pool.
+struct SolverParallel {
+  ThreadPool *Pool = nullptr;
+
+  /// Subboxes at most this many points are not decomposed further; they
+  /// run inside one task. Keeps per-task overhead amortized.
+  uint64_t SequentialCutoffVolume = 4096;
+
+  /// Decomposition target: aim for about this many tasks per pool thread,
+  /// so work stealing can balance uneven subtrees.
+  unsigned TasksPerThread = 16;
+
+  bool enabled() const { return Pool != nullptr && Pool->threadCount() > 1; }
+  size_t targetTasks() const {
+    return enabled() ? size_t(Pool->threadCount()) * TasksPerThread : 1;
   }
 };
 
@@ -55,7 +106,8 @@ struct ForallResult {
 
 /// Decides ∀x ∈ B. P(x). \p B may be empty (vacuously true).
 ForallResult checkForall(const Predicate &P, const Box &B,
-                         SolverBudget &Budget);
+                         SolverBudget &Budget,
+                         const SolverParallel &Par = {});
 
 /// Outcome of an ∃-search.
 struct ExistsResult {
@@ -66,13 +118,17 @@ struct ExistsResult {
 
 /// Decides ∃x ∈ B. P(x) and produces a witness. \p B may be empty.
 ExistsResult findWitness(const Predicate &P, const Box &B,
-                         SolverBudget &Budget);
+                         SolverBudget &Budget,
+                         const SolverParallel &Par = {});
 
 /// Like findWitness but explores subboxes in an order derived from
 /// \p SeedSalt, yielding diverse witnesses across calls — the restart
-/// mechanism of the box grower.
+/// mechanism of the box grower. The order is a pure function of the
+/// subbox's position in the split tree and the salt, so it is identical
+/// for serial and parallel searches.
 ExistsResult findWitnessDiverse(const Predicate &P, const Box &B,
-                                uint64_t SeedSalt, SolverBudget &Budget);
+                                uint64_t SeedSalt, SolverBudget &Budget,
+                                const SolverParallel &Par = {});
 
 } // namespace anosy
 

@@ -1,0 +1,78 @@
+//===- solver/ParallelBnB.cpp - Deterministic search decomposition ---------===//
+
+#include "solver/ParallelBnB.h"
+
+#include <algorithm>
+
+using namespace anosy;
+using namespace anosy::bnb;
+
+Decomposition bnb::decomposeSearch(const Predicate &P, const SplitHints &Hints,
+                                   const Box &B, ExploreOrder Order,
+                                   uint64_t Salt, size_t TargetTasks,
+                                   uint64_t CutoffVolume, Tribool StopState,
+                                   SolverBudget &Budget) {
+  Decomposition D;
+  if (B.isEmpty())
+    return D;
+
+  D.Leaves.push_back({B, rootCode(Salt), P.evalBox(B)});
+  if (StopState != Tribool::Unknown && D.Leaves.front().State == StopState)
+    return D;
+
+  BigCount Cutoff(static_cast<int64_t>(
+      std::min<uint64_t>(CutoffVolume, uint64_t(INT64_MAX))));
+  // Hard cap on frontier size so degenerate trees (everything Unknown at
+  // every depth) cannot balloon the leaf list.
+  size_t MaxLeaves = TargetTasks * 4 + 64;
+
+  auto Expandable = [&](const SearchLeaf &L) {
+    return L.pending() && L.B.volume() > Cutoff;
+  };
+
+  while (D.Leaves.size() < MaxLeaves) {
+    size_t PendingCount = 0;
+    size_t Pick = D.Leaves.size();
+    for (size_t I = 0; I != D.Leaves.size(); ++I) {
+      if (!D.Leaves[I].pending())
+        continue;
+      ++PendingCount;
+      if (!Expandable(D.Leaves[I]))
+        continue;
+      // Largest volume wins; ties break toward the earliest leaf so the
+      // choice is fully deterministic.
+      if (Pick == D.Leaves.size() ||
+          D.Leaves[Pick].B.volume() < D.Leaves[I].B.volume())
+        Pick = I;
+    }
+    if (PendingCount >= TargetTasks || Pick == D.Leaves.size())
+      return D;
+
+    // The picked leaf becomes an interior node: charge it exactly as the
+    // serial engine would when popping it.
+    if (!Budget.charge()) {
+      D.Exhausted = true;
+      return D;
+    }
+    SearchLeaf Cur = std::move(D.Leaves[Pick]);
+    auto [Left, Right] = splitWithHints(Cur.B, Hints);
+    SearchLeaf L{std::move(Left), childCode(Cur.Code, true), Tribool::Unknown};
+    SearchLeaf R{std::move(Right), childCode(Cur.Code, false),
+                 Tribool::Unknown};
+    L.State = P.evalBox(L.B);
+    R.State = P.evalBox(R.B);
+
+    bool LeftFirst = Order == ExploreOrder::Salted
+                         ? saltedLeftFirst(Salt, Cur.Code)
+                         : false;
+    SearchLeaf First = LeftFirst ? std::move(L) : std::move(R);
+    SearchLeaf Second = LeftFirst ? std::move(R) : std::move(L);
+    bool Stop = StopState != Tribool::Unknown &&
+                (First.State == StopState || Second.State == StopState);
+    D.Leaves[Pick] = std::move(First);
+    D.Leaves.insert(D.Leaves.begin() + Pick + 1, std::move(Second));
+    if (Stop)
+      return D; // The answer sits on this frontier already.
+  }
+  return D;
+}

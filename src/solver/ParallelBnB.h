@@ -1,0 +1,106 @@
+//===- solver/ParallelBnB.h - Deterministic search decomposition -*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for running branch-and-bound searches on a thread pool
+/// while keeping results bit-identical to the serial engine.
+///
+/// The split tree of a search is a deterministic object: which dimension a
+/// box splits on depends only on the box and the predicate's hints, never
+/// on execution order. Parallelization therefore works by *decomposing*
+/// the root box into a frontier of subtrees listed in exactly the order
+/// the serial engine would visit them (decomposeSearch), running each
+/// pending subtree as a pool task, and combining per-subtree results in
+/// frontier order. Early exits (the first counterexample / witness in
+/// serial visitation order) are recovered by taking the minimum frontier
+/// index that produced one.
+///
+/// Exploration orders:
+///  * SecondHalfFirst — the ∀-decider and the model counter push
+///    (Left, Right) and pop Right first, so the second half of every split
+///    is visited before the first.
+///  * Salted — the ∃-searches choose per-split which half to visit first
+///    as a pure function of (salt, path code). Path codes are derived
+///    hash-chain style from the root (childCode), so any subtree search
+///    reproduces the exact order of the full serial search. Salt 0 always
+///    visits the left half first (plain findWitness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SOLVER_PARALLELBNB_H
+#define ANOSY_SOLVER_PARALLELBNB_H
+
+#include "solver/Decide.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace anosy {
+namespace bnb {
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Path code of the search root for a given salt.
+inline uint64_t rootCode(uint64_t Salt) { return mix64(Salt ^ 0xa905a905ULL); }
+
+/// Path code of a split child, chained from the parent's code.
+inline uint64_t childCode(uint64_t Code, bool LeftChild) {
+  return mix64(Code ^ (LeftChild ? 0x632be59bd9b4e019ULL
+                                 : 0xe220a8397b1dcdafULL));
+}
+
+/// Which half of a salted ∃-split is explored first. Pure in
+/// (Salt, Code), hence identical whether the node is reached by the
+/// serial search or inside a parallel subtree task.
+inline bool saltedLeftFirst(uint64_t Salt, uint64_t Code) {
+  return Salt == 0 || (mix64(Code ^ Salt) & 1) == 0;
+}
+
+enum class ExploreOrder {
+  SecondHalfFirst, ///< checkForall / countSat order.
+  Salted,          ///< findWitness(Diverse) order.
+};
+
+/// One frontier entry: a subtree root in serial visitation order.
+struct SearchLeaf {
+  Box B;
+  uint64_t Code;         ///< Path code (meaningful for Salted searches).
+  Tribool State;         ///< Cached evalBox(B); not yet budget-charged.
+  bool pending() const { return State == Tribool::Unknown && !B.isUnit(); }
+};
+
+/// A frontier of the split tree, listed in serial visitation order.
+/// Budget-wise, decomposeSearch has charged exactly the *interior* nodes
+/// it expanded; every leaf remains to be charged by whoever resolves it
+/// (inline for terminal/unit leaves, the subtree kernel for pending
+/// ones), so a fully explored search charges exactly as many nodes as the
+/// serial engine.
+struct Decomposition {
+  std::vector<SearchLeaf> Leaves;
+  bool Exhausted = false;
+};
+
+/// Expands \p B into at least \p TargetTasks pending leaves (when the tree
+/// allows), always splitting the largest pending leaf, never splitting
+/// leaves of volume <= \p CutoffVolume. Expansion stops early when a leaf
+/// reaches \p StopState (pass Tribool::False for ∀, Tribool::True for ∃,
+/// Tribool::Unknown to never stop) — the search is already decided at
+/// that frontier, so further splitting is wasted work.
+Decomposition decomposeSearch(const Predicate &P, const SplitHints &Hints,
+                              const Box &B, ExploreOrder Order, uint64_t Salt,
+                              size_t TargetTasks, uint64_t CutoffVolume,
+                              Tribool StopState, SolverBudget &Budget);
+
+} // namespace bnb
+} // namespace anosy
+
+#endif // ANOSY_SOLVER_PARALLELBNB_H

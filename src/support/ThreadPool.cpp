@@ -1,0 +1,164 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Rng.h"
+
+using namespace anosy;
+
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to, so
+/// spawns from inside a task land on the spawning worker's own deque.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorkerIndex = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned ThreadCount)
+    : NumThreads(ThreadCount == 0 ? Parallelism{0}.resolved() : ThreadCount) {
+  // N-way parallelism = N - 1 workers + the joining caller. Each worker
+  // (and the external-injection slot 0) gets its own deque.
+  unsigned WorkerCount = NumThreads - 1;
+  for (unsigned I = 0; I != WorkerCount + 1; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  for (unsigned I = 0; I != WorkerCount; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I + 1); });
+}
+
+ThreadPool::~ThreadPool() {
+  Stopping.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+  }
+  SleepCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  // 1-thread pools have no worker to drain a deque reliably; run inline.
+  if (NumThreads <= 1) {
+    Task();
+    return;
+  }
+  Worker *Target;
+  if (CurrentPool == this) {
+    Target = Workers[CurrentWorkerIndex].get();
+  } else {
+    // External submitter: spread across deques round-robin (slot 0 is the
+    // shared injection deque plus any worker's).
+    size_t I = InjectIndex.fetch_add(1, std::memory_order_relaxed);
+    Target = Workers[I % Workers.size()].get();
+  }
+  {
+    std::lock_guard<std::mutex> L(Target->M);
+    // LIFO end for the owner: depth-first execution keeps the working set
+    // small; thieves take from the other end.
+    Target->Deque.push_back(std::move(Task));
+  }
+  QueuedTasks.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+  }
+  SleepCV.notify_one();
+}
+
+bool ThreadPool::runOneTask() {
+  if (QueuedTasks.load(std::memory_order_acquire) == 0)
+    return false;
+
+  std::function<void()> Task;
+  size_t Own = CurrentPool == this ? CurrentWorkerIndex : 0;
+
+  // Own deque first, newest task (LIFO).
+  {
+    Worker &W = *Workers[Own];
+    std::lock_guard<std::mutex> L(W.M);
+    if (!W.Deque.empty()) {
+      Task = std::move(W.Deque.back());
+      W.Deque.pop_back();
+    }
+  }
+  // Then steal the oldest task from a random victim (FIFO end).
+  if (!Task) {
+    thread_local Rng StealRng(
+        0x5eed ^ std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    size_t N = Workers.size();
+    size_t Start = static_cast<size_t>(StealRng.next()) % N;
+    for (size_t K = 0; K != N && !Task; ++K) {
+      Worker &V = *Workers[(Start + K) % N];
+      std::lock_guard<std::mutex> L(V.M);
+      if (!V.Deque.empty()) {
+        Task = std::move(V.Deque.front());
+        V.Deque.pop_front();
+      }
+    }
+  }
+  if (!Task)
+    return false;
+  QueuedTasks.fetch_sub(1, std::memory_order_release);
+  Task();
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentPool = this;
+  CurrentWorkerIndex = Index;
+  while (true) {
+    if (runOneTask())
+      continue;
+    std::unique_lock<std::mutex> L(SleepM);
+    SleepCV.wait(L, [this] {
+      return Stopping.load(std::memory_order_acquire) ||
+             QueuedTasks.load(std::memory_order_acquire) != 0;
+    });
+    if (Stopping.load(std::memory_order_acquire) &&
+        QueuedTasks.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+void ThreadPool::TaskGroup::spawn(std::function<void()> Fn) {
+  if (Pool.NumThreads <= 1) {
+    Fn(); // Inline: a 1-thread pool is the serial path.
+    return;
+  }
+  Pending.fetch_add(1, std::memory_order_relaxed);
+  Pool.submit([this, Task = std::move(Fn)] {
+    Task();
+    Pending.fetch_sub(1, std::memory_order_release);
+  });
+}
+
+void ThreadPool::TaskGroup::wait() {
+  while (Pending.load(std::memory_order_acquire) != 0) {
+    if (!Pool.runOneTask())
+      std::this_thread::yield();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (NumThreads <= 1 || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  // Dynamic index claiming: runners race on Next, so uneven iterations
+  // balance automatically. Indices are claimed in increasing order, which
+  // lets earliest-wins early-exit schemes (solver deciders) cancel the
+  // tail cheaply.
+  std::atomic<size_t> Next{0};
+  auto Runner = [&Next, &Fn, N] {
+    for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) < N;)
+      Fn(I);
+  };
+  size_t Runners = std::min<size_t>(NumThreads, N);
+  TaskGroup G(*this);
+  for (size_t R = 1; R < Runners; ++R)
+    G.spawn(Runner);
+  Runner(); // The caller is runner 0.
+  G.wait();
+}

@@ -1,0 +1,127 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the solver layer. Each worker owns
+/// a deque: new tasks go to the owner's LIFO end (cache-hot, depth-first),
+/// idle workers steal from random victims' FIFO ends (oldest, biggest
+/// chunks). Joins are *helping* joins — a thread waiting on a TaskGroup
+/// executes queued tasks instead of blocking, so nested fork-join (a task
+/// spawning subtasks and waiting on them) cannot deadlock even when every
+/// worker is inside a join.
+///
+/// The pool follows the repo's no-exceptions convention: tasks communicate
+/// failure through Result-typed slots (or solver budgets), never by
+/// throwing. A pool of thread count 1 runs everything inline on the calling
+/// thread — that is the "exact legacy serial path" guarantee the parallel
+/// solver builds on (see DESIGN.md "Parallel execution").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SUPPORT_THREADPOOL_H
+#define ANOSY_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anosy {
+
+/// How much parallelism a component should use. The struct travels through
+/// option objects (SessionOptions, bench flags) so every layer agrees on
+/// one knob.
+struct Parallelism {
+  /// Total thread count including the caller. 0 ⇒ use
+  /// std::thread::hardware_concurrency(); 1 ⇒ strictly serial (no pool is
+  /// created and the legacy single-threaded code paths run unchanged).
+  unsigned Threads = 0;
+
+  unsigned resolved() const {
+    if (Threads != 0)
+      return Threads;
+    unsigned H = std::thread::hardware_concurrency();
+    return H == 0 ? 1 : H;
+  }
+  bool serial() const { return resolved() <= 1; }
+};
+
+/// Work-stealing pool. Thread count N means N-way parallelism: N - 1
+/// worker threads plus the caller, which participates while joining.
+class ThreadPool {
+public:
+  /// \p Threads as in Parallelism::Threads (0 ⇒ hardware concurrency).
+  explicit ThreadPool(unsigned Threads = 0);
+  explicit ThreadPool(Parallelism Par) : ThreadPool(Par.resolved()) {}
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned threadCount() const { return NumThreads; }
+
+  /// A fork-join scope: spawn() forks tasks onto the pool, wait() joins
+  /// them, executing queued tasks while waiting. Destruction joins.
+  class TaskGroup {
+  public:
+    explicit TaskGroup(ThreadPool &Pool) : Pool(Pool) {}
+    ~TaskGroup() { wait(); }
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /// Forks \p Fn. On a 1-thread pool the task runs inline immediately.
+    void spawn(std::function<void()> Fn);
+
+    /// Blocks until every spawned task has finished, helping to run
+    /// pool tasks in the meantime.
+    void wait();
+
+  private:
+    ThreadPool &Pool;
+    std::atomic<size_t> Pending{0};
+  };
+
+  /// Runs Fn(0), ..., Fn(N-1), returning when all calls completed. The
+  /// calling thread participates. Indices are claimed dynamically in
+  /// increasing order, but completion order across threads is unspecified:
+  /// callers needing deterministic output must write results into
+  /// index-addressed slots and combine them in index order afterwards.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  struct Worker {
+    std::mutex M;
+    std::deque<std::function<void()>> Deque;
+  };
+
+  /// Enqueues one task (worker threads push to their own deque, external
+  /// threads to a round-robin victim) and wakes a sleeper.
+  void submit(std::function<void()> Task);
+
+  /// Pops and runs one task if any is available; returns false when every
+  /// deque was empty.
+  bool runOneTask();
+
+  void workerLoop(unsigned Index);
+
+  unsigned NumThreads;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+  std::atomic<size_t> QueuedTasks{0};
+  std::atomic<size_t> InjectIndex{0};
+  std::atomic<bool> Stopping{false};
+  std::mutex SleepM;
+  std::condition_variable SleepCV;
+};
+
+} // namespace anosy
+
+#endif // ANOSY_SUPPORT_THREADPOOL_H

@@ -6,7 +6,27 @@
 #include "expr/Eval.h"
 #include "solver/RangeEval.h"
 
+#include <optional>
+
 using namespace anosy;
+
+namespace {
+
+/// Runs Fn(0..N-1) on the pool when parallelism is enabled, serially
+/// otherwise. Per-output work is independent; callers write into
+/// index-addressed slots and combine in output order, so results are
+/// identical either way.
+void forEachOutput(const SolverParallel &Par, size_t N,
+                   const std::function<void(size_t)> &Fn) {
+  if (Par.enabled()) {
+    Par.Pool->parallelFor(N, Fn);
+    return;
+  }
+  for (size_t I = 0; I != N; ++I)
+    Fn(I);
+}
+
+} // namespace
 
 Result<ClassifierSynthesizer>
 ClassifierSynthesizer::create(const Schema &S, ExprRef Body,
@@ -34,18 +54,25 @@ ClassifierSynthesizer::create(const Schema &S, ExprRef Body,
                      std::to_string(MaxOutputs) +
                      ") are supported (§5.1)");
 
-  // Keep the feasible outputs: values some secret actually produces.
+  // Keep the feasible outputs: values some secret actually produces. The
+  // per-value ∃-searches are independent, so they run as pool tasks;
+  // scanning the slots in value order preserves the serial result.
+  size_t NumVals = static_cast<size_t>(Range.Hi - Range.Lo + 1);
+  std::vector<ExistsResult> Found(NumVals);
+  SolverBudget Budget(Options.MaxSolverNodes);
+  forEachOutput(Options.Par, NumVals, [&](size_t I) {
+    PredicateRef Is =
+        exprPredicate(eq(Body, intConst(Range.Lo + static_cast<int64_t>(I))));
+    Found[I] = findWitness(*Is, Top, Budget, Options.Par);
+  });
+
   std::vector<int64_t> Outputs;
-  SolverBudget Budget;
-  Budget.MaxNodes = Options.MaxSolverNodes;
-  for (int64_t V = Range.Lo; V <= Range.Hi; ++V) {
-    PredicateRef Is = exprPredicate(eq(Body, intConst(V)));
-    ExistsResult E = findWitness(*Is, Top, Budget);
-    if (E.Exhausted)
+  for (size_t I = 0; I != NumVals; ++I) {
+    if (Found[I].Exhausted)
       return Error(ErrorCode::SynthesisFailure,
                    "solver budget exhausted enumerating outputs");
-    if (E.Witness)
-      Outputs.push_back(V);
+    if (Found[I].Witness)
+      Outputs.push_back(Range.Lo + static_cast<int64_t>(I));
   }
   assert(!Outputs.empty() && "range was non-empty");
   return ClassifierSynthesizer(S, std::move(Body), Options,
@@ -63,18 +90,31 @@ int64_t ClassifierSynthesizer::run(const Point &Secret) const {
 Result<std::vector<OutputIndSet<Box>>>
 ClassifierSynthesizer::synthesizeInterval(ApproxKind Kind,
                                           SynthStats *Stats) const {
+  size_t N = Outputs.size();
+  std::vector<std::optional<Result<IndSets<Box>>>> Slots(N);
+  std::vector<SynthStats> Local(N);
+  forEachOutput(Options.Par, N, [&](size_t I) {
+    auto Sy = Synthesizer::create(S, outputQuery(Outputs[I]), Options);
+    if (!Sy) {
+      Slots[I].emplace(Sy.error());
+      return;
+    }
+    Slots[I].emplace(Sy->synthesizeInterval(Kind, Stats ? &Local[I] : nullptr));
+  });
+
   std::vector<OutputIndSet<Box>> Sets;
-  for (int64_t V : Outputs) {
-    auto Sy = Synthesizer::create(S, outputQuery(V), Options);
-    if (!Sy)
-      return Sy.error();
-    auto Ind = Sy->synthesizeInterval(Kind, Stats);
-    if (!Ind)
-      return Ind.error();
+  for (size_t I = 0; I != N; ++I) {
+    // First failure in output order wins, as in the serial loop.
+    if (!*Slots[I])
+      return Slots[I]->error();
+    if (Stats) {
+      Stats->SolverNodes += Local[I].SolverNodes;
+      Stats->BoxesSynthesized += Local[I].BoxesSynthesized;
+    }
     // Only the True half matters: the False set of "f == v" is the union
     // of the other outputs' sets, which are synthesized in their own
     // right.
-    Sets.push_back({V, Ind->TrueSet});
+    Sets.push_back({Outputs[I], (*Slots[I])->TrueSet});
   }
   return Sets;
 }
@@ -82,15 +122,28 @@ ClassifierSynthesizer::synthesizeInterval(ApproxKind Kind,
 Result<std::vector<OutputIndSet<PowerBox>>>
 ClassifierSynthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
                                           SynthStats *Stats) const {
+  size_t N = Outputs.size();
+  std::vector<std::optional<Result<IndSets<PowerBox>>>> Slots(N);
+  std::vector<SynthStats> Local(N);
+  forEachOutput(Options.Par, N, [&](size_t I) {
+    auto Sy = Synthesizer::create(S, outputQuery(Outputs[I]), Options);
+    if (!Sy) {
+      Slots[I].emplace(Sy.error());
+      return;
+    }
+    Slots[I].emplace(
+        Sy->synthesizePowerset(Kind, K, Stats ? &Local[I] : nullptr));
+  });
+
   std::vector<OutputIndSet<PowerBox>> Sets;
-  for (int64_t V : Outputs) {
-    auto Sy = Synthesizer::create(S, outputQuery(V), Options);
-    if (!Sy)
-      return Sy.error();
-    auto Ind = Sy->synthesizePowerset(Kind, K, Stats);
-    if (!Ind)
-      return Ind.error();
-    Sets.push_back({V, Ind->TrueSet});
+  for (size_t I = 0; I != N; ++I) {
+    if (!*Slots[I])
+      return Slots[I]->error();
+    if (Stats) {
+      Stats->SolverNodes += Local[I].SolverNodes;
+      Stats->BoxesSynthesized += Local[I].BoxesSynthesized;
+    }
+    Sets.push_back({Outputs[I], (*Slots[I])->TrueSet});
   }
   return Sets;
 }

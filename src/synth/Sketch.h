@@ -33,8 +33,8 @@ const char *approxKindName(ApproxKind Kind);
 /// A sketch for one query's pair of ind. sets.
 class IndSetSketch {
 public:
-  IndSetSketch(std::string QueryName, const Schema &S, ApproxKind Kind)
-      : QueryName(std::move(QueryName)), S(S), Kind(Kind) {}
+  IndSetSketch(std::string QueryName, Schema S, ApproxKind Kind)
+      : QueryName(std::move(QueryName)), S(std::move(S)), Kind(Kind) {}
 
   /// The refinement-type specification this sketch is synthesized against
   /// (Fig. 4), rendered in the paper's notation.
@@ -56,7 +56,9 @@ private:
   std::string domainLiteral(const PowerBox &P) const;
 
   std::string QueryName;
-  const Schema &S;
+  // Owned copy: sketches outlive the callers' schema temporaries (the
+  // reference member this replaces dangled under ASan).
+  Schema S;
   ApproxKind Kind;
 };
 

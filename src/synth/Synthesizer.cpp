@@ -36,6 +36,7 @@ Result<Box> Synthesizer::synthUnderBox(const PredicateRef &Valid,
   Config.Objective = Options.Objective;
   Config.Restarts = Options.Restarts;
   Config.Seed = Options.Seed;
+  Config.Par = Options.Par;
   GrowResult R = growMaximalBox(*Valid, *Valid, Bounds, Config, Budget);
   if (R.Exhausted)
     return exhaustedError();
@@ -67,10 +68,10 @@ Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
     Sets.TrueSet = T.takeValue();
     Sets.FalseSet = F.takeValue();
   } else {
-    BoundResult T = tightBoundingBox(*Q, Bounds, Budget);
+    BoundResult T = tightBoundingBox(*Q, Bounds, Budget, Options.Par);
     if (T.Exhausted)
       return exhaustedError();
-    BoundResult F = tightBoundingBox(*NotQ, Bounds, Budget);
+    BoundResult F = tightBoundingBox(*NotQ, Bounds, Budget, Options.Par);
     if (F.Exhausted)
       return exhaustedError();
     Sets.TrueSet = T.Bounding;
@@ -79,7 +80,7 @@ Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
       Stats->BoxesSynthesized += 2;
   }
   if (Stats)
-    Stats->SolverNodes += Budget.NodesUsed;
+    Stats->SolverNodes += Budget.used();
   return Sets;
 }
 
@@ -102,6 +103,7 @@ Result<PowerBox> Synthesizer::synthUnderPowerset(const PredicateRef &Valid,
     Config.Objective = Options.Objective;
     Config.Restarts = Options.Restarts;
     Config.Seed = Options.Seed + I * 7919;
+    Config.Par = Options.Par;
     GrowResult R = growMaximalBox(*Grow, *Grow, Bounds, Config, Budget);
     if (R.Exhausted)
       return exhaustedError();
@@ -120,7 +122,7 @@ Result<PowerBox> Synthesizer::synthOverPowerset(const PredicateRef &SatSet,
                                                 SynthStats *Stats) const {
   // Algorithm 1, over arm: start from the exact bounding box, then carve
   // out maximal all-invalid boxes to sharpen the over-approximation.
-  BoundResult First = tightBoundingBox(*SatSet, Bounds, Budget);
+  BoundResult First = tightBoundingBox(*SatSet, Bounds, Budget, Options.Par);
   if (First.Exhausted)
     return exhaustedError();
   if (First.Bounding.isEmpty())
@@ -142,6 +144,7 @@ Result<PowerBox> Synthesizer::synthOverPowerset(const PredicateRef &SatSet,
     Config.Objective = GrowObjective::Volume;
     Config.Restarts = Options.Restarts;
     Config.Seed = Options.Seed + I * 104729;
+    Config.Par = Options.Par;
     GrowResult R =
         growMaximalBox(*Grow, *Grow, First.Bounding, Config, Budget);
     if (R.Exhausted)
@@ -188,6 +191,6 @@ Synthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
     Sets.FalseSet = F.takeValue();
   }
   if (Stats)
-    Stats->SolverNodes += Budget.NodesUsed;
+    Stats->SolverNodes += Budget.used();
   return Sets;
 }

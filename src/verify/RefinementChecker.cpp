@@ -5,9 +5,10 @@
 using namespace anosy;
 
 RefinementChecker::RefinementChecker(const Schema &InS, ExprRef InQuery,
-                                     uint64_t MaxSolverNodes)
+                                     uint64_t MaxSolverNodes,
+                                     SolverParallel InPar)
     : S(InS), Query(std::move(InQuery)), Bounds(Box::top(InS)),
-      MaxSolverNodes(MaxSolverNodes) {
+      MaxSolverNodes(MaxSolverNodes), Par(InPar) {
   assert(this->Query && this->Query->isBoolSorted() &&
          "refinement checking needs a boolean query");
 }
@@ -18,8 +19,8 @@ RefinementChecker::checkForallObligation(const std::string &Obligation,
                                          const Box &Over) const {
   SolverBudget Budget;
   Budget.MaxNodes = MaxSolverNodes;
-  ForallResult R = checkForall(*P, Over, Budget);
-  NodesUsed += Budget.NodesUsed;
+  ForallResult R = checkForall(*P, Over, Budget, Par);
+  NodesUsed += Budget.used();
 
   Certificate C;
   C.Obligation = Obligation;

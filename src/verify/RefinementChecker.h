@@ -34,7 +34,8 @@ namespace anosy {
 class RefinementChecker {
 public:
   RefinementChecker(const Schema &S, ExprRef Query,
-                    uint64_t MaxSolverNodes = 200'000'000);
+                    uint64_t MaxSolverNodes = 200'000'000,
+                    SolverParallel Par = {});
 
   /// Checks an ind. set pair against its Fig. 4 spec.
   template <AbstractDomain D>
@@ -62,6 +63,7 @@ private:
   ExprRef Query;
   Box Bounds;
   uint64_t MaxSolverNodes;
+  SolverParallel Par;
   mutable uint64_t NodesUsed = 0;
 };
 

@@ -1,0 +1,259 @@
+//===- tests/solver/ParallelDifferentialTest.cpp - Serial/parallel diff ---===//
+//
+// The tentpole invariant of the parallel engine: for ANY thread count the
+// solver, counter, grower, synthesizer, and session produce bit-identical
+// results to the serial code path. Every test here runs the same problem
+// serially and through pools of 2 and 8 threads (with an aggressively
+// small sequential cutoff so the decomposition machinery is actually
+// exercised) and requires exact equality — answers, witnesses,
+// counterexamples, counts, boxes, Pareto fronts, rendered artifacts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/Problems.h"
+#include "core/AnosySession.h"
+#include "solver/ModelCounter.h"
+#include "solver/Optimize.h"
+#include "synth/Synthesizer.h"
+
+#include "../fuzz/QueryGen.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace anosy;
+
+namespace {
+
+/// Thread counts the differential sweep compares against serial.
+constexpr unsigned PoolSizes[] = {2, 8};
+
+/// A parallel config that forces deep decomposition: cutoff volume 1 means
+/// every non-unit Unknown subbox is eligible to become a task.
+SolverParallel aggressive(ThreadPool &Pool) {
+  SolverParallel Par;
+  Par.Pool = &Pool;
+  Par.SequentialCutoffVolume = 1;
+  Par.TasksPerThread = 4;
+  return Par;
+}
+
+struct DeciderSnapshot {
+  // countSat
+  BigCount Count;
+  uint64_t CountNodes = 0;
+  // checkForall of "query => x in boundingBox" (holds; full exploration)
+  bool ImplicationHolds = false;
+  uint64_t ForallNodes = 0;
+  // checkForall of the query itself (early exit on the counterexample)
+  bool QueryHolds = false;
+  std::optional<Point> CounterExample;
+  // existential searches
+  std::optional<Point> Witness;
+  std::optional<Point> Diverse1;
+  std::optional<Point> Diverse7;
+
+  bool operator==(const DeciderSnapshot &O) const {
+    return Count == O.Count && CountNodes == O.CountNodes &&
+           ImplicationHolds == O.ImplicationHolds &&
+           ForallNodes == O.ForallNodes && QueryHolds == O.QueryHolds &&
+           CounterExample == O.CounterExample && Witness == O.Witness &&
+           Diverse1 == O.Diverse1 && Diverse7 == O.Diverse7;
+  }
+};
+
+/// Runs every decision procedure once over (P, B) under \p Par.
+DeciderSnapshot snapshotDeciders(const PredicateRef &P, const Box &B,
+                                 const SolverParallel &Par) {
+  DeciderSnapshot S;
+  {
+    SolverBudget Budget;
+    CountResult R = countSat(*P, B, Budget, Par);
+    EXPECT_FALSE(R.Exhausted);
+    S.Count = R.Count;
+    S.CountNodes = Budget.used();
+  }
+  {
+    // A ∀ that genuinely holds — query x ⇒ x ∈ boundingBox(query) — so the
+    // search explores the full tree and even the node count must match.
+    SolverBudget BBudget;
+    BoundResult BB = tightBoundingBox(*P, B, BBudget, Par);
+    EXPECT_FALSE(BB.Exhausted);
+    PredicateRef Implication =
+        orPredicate(notPredicate(P), inBoxPredicate(BB.Bounding));
+    SolverBudget Budget;
+    ForallResult R = checkForall(*Implication, B, Budget, Par);
+    EXPECT_FALSE(R.Exhausted);
+    S.ImplicationHolds = R.Holds;
+    S.ForallNodes = Budget.used();
+  }
+  {
+    SolverBudget Budget;
+    ForallResult R = checkForall(*P, B, Budget, Par);
+    EXPECT_FALSE(R.Exhausted);
+    S.QueryHolds = R.Holds;
+    S.CounterExample = R.CounterExample;
+  }
+  {
+    SolverBudget Budget;
+    S.Witness = findWitness(*P, B, Budget, Par).Witness;
+  }
+  {
+    SolverBudget Budget;
+    S.Diverse1 = findWitnessDiverse(*P, B, 1, Budget, Par).Witness;
+  }
+  {
+    SolverBudget Budget;
+    S.Diverse7 = findWitnessDiverse(*P, B, 7, Budget, Par).Witness;
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(ParallelDifferential, DecidersMatchOnMardzielSuite) {
+  for (const BenchmarkProblem &Prob : mardzielBenchmarks()) {
+    PredicateRef P = exprPredicate(Prob.query().Body);
+    Box Top = Box::top(Prob.M.schema());
+    DeciderSnapshot Serial = snapshotDeciders(P, Top, SolverParallel{});
+    for (unsigned N : PoolSizes) {
+      ThreadPool Pool(N);
+      DeciderSnapshot Par = snapshotDeciders(P, Top, aggressive(Pool));
+      EXPECT_TRUE(Serial == Par)
+          << Prob.Id << " diverges with " << N << " threads";
+    }
+  }
+}
+
+TEST(ParallelDifferential, GrowerMatchesOnMardzielSuite) {
+  for (const BenchmarkProblem &Prob : mardzielBenchmarks()) {
+    PredicateRef P = exprPredicate(Prob.query().Body);
+    Box Top = Box::top(Prob.M.schema());
+
+    GrowerConfig Serial;
+    Serial.Restarts = 4;
+    SolverBudget SerialBudget;
+    GrowResult Want = growMaximalBox(*P, *P, Top, Serial, SerialBudget);
+    ASSERT_FALSE(Want.Exhausted) << Prob.Id;
+
+    for (unsigned N : PoolSizes) {
+      ThreadPool Pool(N);
+      GrowerConfig Cfg;
+      Cfg.Restarts = 4;
+      Cfg.Par = aggressive(Pool);
+      SolverBudget Budget;
+      GrowResult Got = growMaximalBox(*P, *P, Top, Cfg, Budget);
+      ASSERT_FALSE(Got.Exhausted) << Prob.Id;
+      EXPECT_EQ(Want.Best, Got.Best)
+          << Prob.Id << " best box diverges with " << N << " threads";
+      EXPECT_EQ(Want.ParetoFront, Got.ParetoFront)
+          << Prob.Id << " Pareto front diverges with " << N << " threads";
+    }
+  }
+}
+
+TEST(ParallelDifferential, IntervalSynthesisMatchesOnMardzielSuite) {
+  for (const BenchmarkProblem &Prob : mardzielBenchmarks()) {
+    const Schema &S = Prob.M.schema();
+    auto Serial = Synthesizer::create(S, Prob.query().Body);
+    ASSERT_TRUE(Serial.ok()) << Serial.error().str();
+    for (ApproxKind Kind : {ApproxKind::Under, ApproxKind::Over}) {
+      auto Want = Serial->synthesizeInterval(Kind);
+      ASSERT_TRUE(Want.ok()) << Want.error().str();
+      for (unsigned N : PoolSizes) {
+        ThreadPool Pool(N);
+        SynthOptions Options;
+        Options.Par = aggressive(Pool);
+        auto Par = Synthesizer::create(S, Prob.query().Body, Options);
+        ASSERT_TRUE(Par.ok()) << Par.error().str();
+        auto Got = Par->synthesizeInterval(Kind);
+        ASSERT_TRUE(Got.ok()) << Got.error().str();
+        EXPECT_EQ(Want->TrueSet, Got->TrueSet)
+            << Prob.Id << " TrueSet diverges with " << N << " threads";
+        EXPECT_EQ(Want->FalseSet, Got->FalseSet)
+            << Prob.Id << " FalseSet diverges with " << N << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelDifferential, PowersetSynthesisMatchesOnNearby) {
+  const BenchmarkProblem &Prob = nearbyProblem();
+  const Schema &S = Prob.M.schema();
+  auto Serial = Synthesizer::create(S, Prob.query().Body);
+  ASSERT_TRUE(Serial.ok()) << Serial.error().str();
+  for (ApproxKind Kind : {ApproxKind::Under, ApproxKind::Over}) {
+    auto Want = Serial->synthesizePowerset(Kind, /*K=*/3);
+    ASSERT_TRUE(Want.ok()) << Want.error().str();
+    for (unsigned N : PoolSizes) {
+      ThreadPool Pool(N);
+      SynthOptions Options;
+      Options.Par = aggressive(Pool);
+      auto Par = Synthesizer::create(S, Prob.query().Body, Options);
+      ASSERT_TRUE(Par.ok()) << Par.error().str();
+      auto Got = Par->synthesizePowerset(Kind, /*K=*/3);
+      ASSERT_TRUE(Got.ok()) << Got.error().str();
+      EXPECT_EQ(Want->TrueSet, Got->TrueSet)
+          << "TrueSet diverges with " << N << " threads";
+      EXPECT_EQ(Want->FalseSet, Got->FalseSet)
+          << "FalseSet diverges with " << N << " threads";
+    }
+  }
+}
+
+TEST(ParallelDifferential, SessionArtifactsMatchAcrossThreadCounts) {
+  // End to end: registration with 1, 2, and 8 threads must install the
+  // same rendered artifacts, certificates, and ind. sets.
+  const Module &M = nearbyProblem().M;
+  std::vector<std::string> QueryNames;
+  for (const QueryDef &Q : M.queries())
+    QueryNames.push_back(Q.Name);
+
+  SessionOptions SerialOptions;
+  SerialOptions.Par = Parallelism{1};
+  auto Serial =
+      AnosySession<Box>::create(M, permissivePolicy<Box>(), SerialOptions);
+  ASSERT_TRUE(Serial.ok()) << Serial.error().str();
+
+  for (unsigned N : PoolSizes) {
+    SessionOptions Options;
+    Options.Par = Parallelism{N};
+    // Exercise the decomposition inside each solver call too.
+    Options.Synth.Par.SequentialCutoffVolume = 1;
+    Options.Synth.Par.TasksPerThread = 4;
+    auto Par = AnosySession<Box>::create(M, permissivePolicy<Box>(), Options);
+    ASSERT_TRUE(Par.ok()) << Par.error().str();
+    for (const std::string &Name : QueryNames) {
+      const QueryArtifacts<Box> *Want = Serial->artifacts(Name);
+      const QueryArtifacts<Box> *Got = Par->artifacts(Name);
+      ASSERT_NE(Want, nullptr);
+      ASSERT_NE(Got, nullptr);
+      EXPECT_EQ(Want->SynthesizedSource, Got->SynthesizedSource)
+          << Name << " artifact diverges with " << N << " threads";
+      EXPECT_EQ(Want->Ind.TrueSet, Got->Ind.TrueSet) << Name;
+      EXPECT_EQ(Want->Ind.FalseSet, Got->Ind.FalseSet) << Name;
+      EXPECT_EQ(Want->Certificates.valid(), Got->Certificates.valid()) << Name;
+    }
+  }
+}
+
+TEST(ParallelDifferential, RandomQueriesMatch) {
+  // Randomized sweep: the generated fragment hits abs/min/max/ite shapes
+  // the curated benchmarks do not.
+  Schema S("F", {{"a", 0, 24}, {"b", 0, 24}});
+  Box Top = Box::top(S);
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    QueryGen Gen(Seed * 7919);
+    ExprRef Q = Gen.genQuery();
+    PredicateRef P = exprPredicate(Q);
+    DeciderSnapshot Serial = snapshotDeciders(P, Top, SolverParallel{});
+    for (unsigned N : PoolSizes) {
+      ThreadPool Pool(N);
+      DeciderSnapshot Par = snapshotDeciders(P, Top, aggressive(Pool));
+      EXPECT_TRUE(Serial == Par)
+          << "seed " << Seed << " diverges with " << N << " threads";
+    }
+  }
+}

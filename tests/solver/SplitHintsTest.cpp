@@ -102,7 +102,7 @@ TEST(SplitHints, GuidedCountingVisitsFewNodes) {
   CountResult R = countSat(*exprPredicate(Q.value()), Box::top(S), Budget);
   ASSERT_FALSE(R.Exhausted);
   EXPECT_EQ(R.Count, BigCount(10000000 - 1234567) * BigCount(7654322));
-  EXPECT_LT(Budget.NodesUsed, 64u);
+  EXPECT_LT(Budget.used(), 64u);
 }
 
 TEST(SplitHints, NormalizeSortsAndDedups) {

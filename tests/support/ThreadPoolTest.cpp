@@ -1,0 +1,211 @@
+//===- tests/support/ThreadPoolTest.cpp - Pool unit + stress tests --------===//
+//
+// Fork-join semantics, nested task groups, early-exit cancellation,
+// shared-budget exhaustion, and a 10k-task stress case. The whole file is
+// expected to pass under ThreadSanitizer (the CI tsan job runs it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "solver/Decide.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace anosy;
+
+TEST(Parallelism, ResolvedAndSerial) {
+  Parallelism Default;
+  EXPECT_GE(Default.resolved(), 1u);
+
+  Parallelism One{1};
+  EXPECT_EQ(One.resolved(), 1u);
+  EXPECT_TRUE(One.serial());
+
+  Parallelism Four{4};
+  EXPECT_EQ(Four.resolved(), 4u);
+  EXPECT_FALSE(Four.serial());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(0, [&](size_t) { Calls.fetch_add(1); });
+  EXPECT_EQ(Calls.load(), 0);
+  Pool.parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    Calls.fetch_add(1);
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  // Threads == 1 is the serial contract: everything executes on the
+  // calling thread, immediately.
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  std::thread::id Caller = std::this_thread::get_id();
+  int Order = 0;
+  ThreadPool::TaskGroup G(Pool);
+  G.spawn([&] {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    EXPECT_EQ(Order, 0);
+    Order = 1;
+  });
+  EXPECT_EQ(Order, 1); // Ran inline inside spawn, before wait.
+  G.wait();
+  Pool.parallelFor(5, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    ++Order;
+  });
+  EXPECT_EQ(Order, 6);
+}
+
+TEST(ThreadPool, TaskGroupJoinsAllSpawns) {
+  ThreadPool Pool(4);
+  std::atomic<int> Done{0};
+  {
+    ThreadPool::TaskGroup G(Pool);
+    for (int I = 0; I != 200; ++I)
+      G.spawn([&] { Done.fetch_add(1); });
+    G.wait();
+    EXPECT_EQ(Done.load(), 200);
+  }
+  // Destructor join is idempotent after an explicit wait.
+  EXPECT_EQ(Done.load(), 200);
+}
+
+TEST(ThreadPool, NestedForkJoinDoesNotDeadlock) {
+  // Tasks that spawn subtasks and join them exercise the helping join: a
+  // worker stuck in wait() must execute queued tasks, or a pool smaller
+  // than the nesting width would deadlock.
+  ThreadPool Pool(2);
+  std::atomic<int> LeafCount{0};
+  ThreadPool::TaskGroup Outer(Pool);
+  for (int I = 0; I != 4; ++I) {
+    Outer.spawn([&] {
+      ThreadPool::TaskGroup Mid(Pool);
+      for (int J = 0; J != 4; ++J) {
+        Mid.spawn([&] {
+          ThreadPool::TaskGroup Inner(Pool);
+          for (int K = 0; K != 4; ++K)
+            Inner.spawn([&] { LeafCount.fetch_add(1); });
+          Inner.wait();
+        });
+      }
+      Mid.wait();
+    });
+  }
+  Outer.wait();
+  EXPECT_EQ(LeafCount.load(), 4 * 4 * 4);
+}
+
+TEST(ThreadPool, EarlyExitCancellationSkipsLateWork) {
+  // The solver's early-exit protocol: tasks check a shared atomic index
+  // and skip their payload when a lower-index task has already decided
+  // the search. The winner must always be the minimum deciding index.
+  ThreadPool Pool(4);
+  constexpr size_t N = 512;
+  std::atomic<size_t> MinFound{N};
+  std::atomic<size_t> Executed{0};
+  Pool.parallelFor(N, [&](size_t I) {
+    if (I > MinFound.load(std::memory_order_relaxed))
+      return; // cancelled
+    Executed.fetch_add(1);
+    if (I % 7 == 3) { // the "found a witness" condition
+      size_t Cur = MinFound.load();
+      while (I < Cur && !MinFound.compare_exchange_weak(Cur, I))
+        ;
+    }
+  });
+  // Smallest index with I % 7 == 3 is 3; later tasks may or may not have
+  // been cancelled, but the winner is deterministic.
+  EXPECT_EQ(MinFound.load(), 3u);
+  EXPECT_GE(Executed.load(), 1u);
+  EXPECT_LE(Executed.load(), N);
+}
+
+TEST(ThreadPool, SharedBudgetExhaustionPropagates) {
+  // Concurrent charges against one SolverBudget: exactly MaxNodes - 1
+  // charges succeed (the one reaching the limit is rejected, as in the
+  // serial contract), the counter never wraps past the limit, and every
+  // task observes exhaustion afterwards.
+  ThreadPool Pool(8);
+  SolverBudget Budget(1000);
+  std::atomic<uint64_t> Succeeded{0};
+  Pool.parallelFor(16, [&](size_t) {
+    while (Budget.charge())
+      Succeeded.fetch_add(1);
+    EXPECT_TRUE(Budget.exhausted());
+  });
+  EXPECT_EQ(Succeeded.load(), Budget.MaxNodes - 1);
+  EXPECT_EQ(Budget.used(), Budget.MaxNodes);
+  EXPECT_TRUE(Budget.exhausted());
+  EXPECT_FALSE(Budget.charge());
+  EXPECT_EQ(Budget.used(), Budget.MaxNodes); // saturated, no further adds
+}
+
+TEST(ThreadPool, BudgetChargeIsOverflowSafe) {
+  // A counter close to UINT64_MAX must saturate, not wrap back below
+  // MaxNodes (the bug this release fixes: wrapping NodesUsed turned an
+  // exhausted budget back into "not exhausted").
+  SolverBudget Budget(UINT64_MAX);
+  Budget.NodesUsed.store(UINT64_MAX - 5);
+  EXPECT_FALSE(Budget.charge(10)); // would overflow; clamps to UINT64_MAX
+  EXPECT_EQ(Budget.used(), UINT64_MAX);
+  EXPECT_TRUE(Budget.exhausted());
+  EXPECT_FALSE(Budget.charge(10));
+  EXPECT_EQ(Budget.used(), UINT64_MAX);
+
+  SolverBudget Small(100);
+  Small.NodesUsed.store(100);
+  EXPECT_FALSE(Small.charge(UINT64_MAX)); // exhausted: nothing is added
+  EXPECT_EQ(Small.used(), 100u);
+}
+
+TEST(ThreadPool, StressTenThousandTasks) {
+  // 10k small tasks through task groups plus a concurrent parallelFor;
+  // run under TSan in CI to certify the pool's synchronization.
+  ThreadPool Pool(8);
+  std::atomic<uint64_t> Sum{0};
+  {
+    ThreadPool::TaskGroup G(Pool);
+    for (uint64_t I = 0; I != 10000; ++I)
+      G.spawn([&Sum, I] { Sum.fetch_add(I + 1); });
+    G.wait();
+  }
+  EXPECT_EQ(Sum.load(), 10000ull * 10001 / 2);
+
+  std::atomic<uint64_t> Sum2{0};
+  Pool.parallelFor(10000, [&](size_t I) { Sum2.fetch_add(I + 1); });
+  EXPECT_EQ(Sum2.load(), 10000ull * 10001 / 2);
+}
+
+TEST(ThreadPool, PoolsAreIndependent) {
+  // Two pools in flight at once: tasks spawned on one must not leak onto
+  // the other's workers (each pool tracks its own deques and sleep CV).
+  ThreadPool A(3), B(2);
+  std::atomic<int> CA{0}, CB{0};
+  ThreadPool::TaskGroup GA(A), GB(B);
+  for (int I = 0; I != 100; ++I) {
+    GA.spawn([&] { CA.fetch_add(1); });
+    GB.spawn([&] { CB.fetch_add(1); });
+  }
+  GA.wait();
+  GB.wait();
+  EXPECT_EQ(CA.load(), 100);
+  EXPECT_EQ(CB.load(), 100);
+}
