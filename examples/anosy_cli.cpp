@@ -6,21 +6,33 @@
 //   anosy_cli <file.anosy> [--domain interval|powerset] [--k N]
 //             [--kind under|over] [--objective volume|balanced|pareto]
 //             [--emit-smtlib] [--no-verify] [--export <kb-file>]
-//             [--threads N]
+//             [--threads N] [--timeout-ms N] [--max-session-nodes N]
+//             [--retry N] [--fault-inject SPEC]
 //
 // For each query in the module it prints the refinement-type spec, the
 // sketch, the synthesized (hole-filled) program, the verification
 // certificates, and optionally the SMT-LIB constraint system SYNTH
 // solved. `classify` declarations get one ind. set per feasible output
 // (§5.1 extension). --export writes the verified under-approximations to
-// a knowledge base loadable without re-synthesis (core/ArtifactIO.h).
-// With no file argument it runs on the built-in §2 module.
+// a v2 (checksummed) knowledge base, atomically, loadable without
+// re-synthesis (core/ArtifactIO.h). With no file argument it runs on the
+// built-in §2 module.
+//
+// Failure domains (DESIGN.md §6): --timeout-ms arms a wall-clock
+// deadline, --max-session-nodes a cumulative solver-node cap, --retry N
+// retries exhausted queries with a 4x budget before degrading. Under
+// those flags the tool degrades per query — ⊥ artifacts and a printed
+// degradation note — instead of aborting. --fault-inject (or the
+// ANOSY_FAULT_INJECT environment variable) arms the deterministic fault
+// harness, e.g. "seed=7,solver-charge@100,kb-write@1x2".
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/AnosySession.h"
 #include "core/ArtifactIO.h"
 #include "expr/Parser.h"
 #include "expr/SmtLib.h"
+#include "support/FaultInjection.h"
 #include "support/Stats.h"
 #include "synth/ClassifierSynth.h"
 #include "synth/Synthesizer.h"
@@ -49,6 +61,15 @@ struct CliOptions {
   /// Solver threads; 1 (default) is the serial engine, 0 means hardware
   /// concurrency. Synthesized artifacts are identical for every value.
   unsigned Threads = 1;
+  /// Degradation knobs (0 = unlimited / single attempt).
+  uint64_t TimeoutMs = 0;
+  uint64_t MaxSessionNodes = 0;
+  unsigned Retry = 1;
+  std::string FaultSpec;
+
+  bool degradable() const {
+    return TimeoutMs != 0 || MaxSessionNodes != 0 || Retry > 1;
+  }
 };
 
 int usage(const char *Argv0) {
@@ -58,7 +79,9 @@ int usage(const char *Argv0) {
       "          [--kind under|over] [--objective volume|balanced|pareto]\n"
       "          [--emit-smtlib] [--no-verify] [--export <kb-file>]\n"
       "          [--threads N]   (0 = all cores; results are identical\n"
-      "                          for every thread count)\n",
+      "                          for every thread count)\n"
+      "          [--timeout-ms N] [--max-session-nodes N] [--retry N]\n"
+      "          [--fault-inject seed=S,<site>@<one-in>[x<max>],...]\n",
       Argv0);
   return 2;
 }
@@ -68,6 +91,88 @@ const char *builtinModule() {
 def nearby(ox: int, oy: int): bool = abs(x - ox) + abs(y - oy) <= 100
 query nearby200 = nearby(200, 200)
 )";
+}
+
+/// The degradation-aware pipeline (DESIGN.md §6): one AnosySession under
+/// the requested budgets; exhausted queries degrade (partial or ⊥
+/// artifacts, with a printed note) instead of aborting the run. Also the
+/// path every --export takes: the session's verified artifacts are
+/// written as a checksummed v2 knowledge base, atomically.
+template <AbstractDomain D>
+int sessionRun(const Module &M, const CliOptions &Opt,
+               const SynthOptions &SOpt) {
+  SessionOptions SO;
+  SO.PowersetSize = Opt.K;
+  SO.Synth = SOpt;
+  SO.Verify = Opt.Verify;
+  SO.MaxSessionNodes = Opt.MaxSessionNodes;
+  SO.DeadlineMs = Opt.TimeoutMs;
+  SO.Retry.MaxAttempts = Opt.Retry;
+
+  auto S = AnosySession<D>::create(M, permissivePolicy<D>(), SO);
+  if (!S) {
+    std::fprintf(stderr, "session failed: %s\n", S.error().str().c_str());
+    return 1;
+  }
+
+  for (const QueryDef &Q : M.queries()) {
+    std::printf("=== query %s ===\n", Q.Name.c_str());
+    std::printf("    %s\n\n", Q.Body->str(M.schema()).c_str());
+    if (Opt.EmitSmtLib)
+      std::printf("--- SYNTH constraints (SMT-LIB2, True hole) ---\n%s\n",
+                  toSynthConstraintScript(*Q.Body, M.schema(),
+                                          /*Polarity=*/true, /*Under=*/true)
+                      .c_str());
+    const QueryArtifacts<D> *Art = S->artifacts(Q.Name);
+    if (Art == nullptr)
+      continue;
+    std::printf("--- synthesized (under, %u attempt%s, %llu solver "
+                "nodes) ---\n%s\n",
+                Art->Attempts, Art->Attempts == 1 ? "" : "s",
+                static_cast<unsigned long long>(Art->Stats.SolverNodes),
+                Art->SynthesizedSource.c_str());
+    if (Art->Degradation)
+      std::printf("!!! degraded: %s\n", Art->Degradation->str().c_str());
+    if (Opt.Verify)
+      std::printf("--- verification ---\n%s\n",
+                  Art->Certificates.str().c_str());
+    std::printf("\n");
+  }
+
+  for (const ClassifierDef &C : M.classifiers()) {
+    std::printf("=== classifier %s ===\n    %s\n\n", C.Name.c_str(),
+                C.Body->str(M.schema()).c_str());
+    const ClassifierInfo<D> *Info = S->tracker().classifierInfo(C.Name);
+    if (Info == nullptr)
+      continue;
+    if (Info->Ind.empty())
+      std::printf("  (degraded: no verified output sets; downgrades on "
+                  "this classifier will be refused)\n");
+    for (const OutputIndSet<D> &O : Info->Ind)
+      std::printf("  output %lld: %s\n", static_cast<long long>(O.Value),
+                  O.Set.str().c_str());
+    std::printf("\n");
+  }
+
+  const SessionStats &St = S->stats();
+  std::printf("session: %llu solver nodes, %.3fs synthesis, "
+              "%u attempts, %u degraded\n",
+              static_cast<unsigned long long>(St.SolverNodes),
+              St.SynthSeconds, St.Attempts, St.DegradedQueries);
+  if (S->degradation().degraded())
+    std::printf("degradation report:\n%s", S->degradation().str().c_str());
+
+  if (!Opt.ExportPath.empty()) {
+    std::string Text = S->exportKnowledgeBase();
+    auto W = writeKnowledgeBaseFileAtomic(Opt.ExportPath, Text);
+    if (!W) {
+      std::fprintf(stderr, "export failed: %s\n", W.error().str().c_str());
+      return 1;
+    }
+    std::printf("exported knowledge base to %s (%zu bytes, v2, atomic)\n",
+                Opt.ExportPath.c_str(), Text.size());
+  }
+  return 0;
 }
 
 } // namespace
@@ -117,6 +222,26 @@ int main(int Argc, char **Argv) {
       Opt.Threads = static_cast<unsigned>(std::atoi(V));
     } else if (Arg.rfind("--threads=", 0) == 0) {
       Opt.Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+    } else if (Arg == "--timeout-ms") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.TimeoutMs = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--max-session-nodes") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.MaxSessionNodes = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--retry") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.Retry = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--fault-inject") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.FaultSpec = V;
     } else if (Arg == "--emit-smtlib") {
       Opt.EmitSmtLib = true;
     } else if (Arg == "--no-verify") {
@@ -130,6 +255,22 @@ int main(int Argc, char **Argv) {
       Opt.Path = Arg;
     }
   }
+
+  // Fault harness: the environment arms it first, an explicit flag wins.
+  if (auto E = faults::initFromEnv(); !E) {
+    std::fprintf(stderr, "ANOSY_FAULT_INJECT: %s\n", E.error().str().c_str());
+    return 2;
+  }
+  if (!Opt.FaultSpec.empty()) {
+    auto C = faults::parseSpec(Opt.FaultSpec);
+    if (!C) {
+      std::fprintf(stderr, "--fault-inject: %s\n", C.error().str().c_str());
+      return 2;
+    }
+    faults::configure(*C);
+  }
+  if (faults::armed())
+    std::printf("(fault injection armed)\n\n");
 
   std::string Source;
   if (Opt.Path.empty()) {
@@ -165,6 +306,20 @@ int main(int Argc, char **Argv) {
     std::printf("(running synthesis and verification on %u threads)\n\n",
                 Pool->threadCount());
   }
+
+  // Budgeted runs and exports go through the session facade: graceful
+  // degradation, retries, and the crash-safe v2 knowledge-base writer.
+  if (Opt.degradable() || !Opt.ExportPath.empty()) {
+    if (Opt.Kind != ApproxKind::Under) {
+      std::fprintf(stderr, "--timeout-ms/--max-session-nodes/--retry/"
+                           "--export drive enforcement (under) artifacts; "
+                           "rerun with --kind under\n");
+      return 1;
+    }
+    return Opt.Powerset ? sessionRun<PowerBox>(*M, Opt, SOpt)
+                        : sessionRun<Box>(*M, Opt, SOpt);
+  }
+
   for (const QueryDef &Q : M->queries()) {
     std::printf("=== query %s ===\n", Q.Name.c_str());
     std::printf("    %s\n\n", Q.Body->str(S).c_str());
@@ -257,50 +412,5 @@ int main(int Argc, char **Argv) {
     std::printf("  (synthesized in %.3fs)\n\n", W.seconds());
   }
 
-  // Export the under-approximation knowledge base for deployment.
-  if (!Opt.ExportPath.empty()) {
-    if (Opt.Kind != ApproxKind::Under) {
-      std::fprintf(stderr, "--export stores enforcement (under) "
-                           "artifacts; rerun with --kind under\n");
-      return 1;
-    }
-    std::string Text;
-    if (Opt.Powerset) {
-      std::vector<QueryInfo<PowerBox>> Infos;
-      for (const QueryDef &Q : M->queries()) {
-        auto Sy = Synthesizer::create(S, Q.Body, SOpt);
-        auto Sets = Sy->synthesizePowerset(ApproxKind::Under, Opt.K);
-        if (!Sets) {
-          std::fprintf(stderr, "%s\n", Sets.error().str().c_str());
-          return 1;
-        }
-        Infos.push_back({Q.Name, Q.Body, Sets.takeValue(),
-                         ApproxKind::Under});
-      }
-      Text = serializeKnowledgeBase(S, Infos);
-    } else {
-      std::vector<QueryInfo<Box>> Infos;
-      for (const QueryDef &Q : M->queries()) {
-        auto Sy = Synthesizer::create(S, Q.Body, SOpt);
-        auto Sets = Sy->synthesizeInterval(ApproxKind::Under);
-        if (!Sets) {
-          std::fprintf(stderr, "%s\n", Sets.error().str().c_str());
-          return 1;
-        }
-        Infos.push_back({Q.Name, Q.Body, Sets.takeValue(),
-                         ApproxKind::Under});
-      }
-      Text = serializeKnowledgeBase(S, Infos);
-    }
-    std::ofstream Out(Opt.ExportPath);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   Opt.ExportPath.c_str());
-      return 1;
-    }
-    Out << Text;
-    std::printf("exported knowledge base to %s (%zu bytes)\n",
-                Opt.ExportPath.c_str(), Text.size());
-  }
   return 0;
 }

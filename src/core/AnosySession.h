@@ -12,30 +12,43 @@
 ///   I.   derive the refinement-type specification (IndSetSketch::spec),
 ///   II.  generate the sketch with typed holes,
 ///   III. fill the holes with SYNTH / ITERSYNTH,
-///   IV.  machine-check the result with the refinement checker —
-///        artifacts failing verification abort session creation.
+///   IV.  machine-check the result with the refinement checker.
 ///
 /// The session then owns a KnowledgeTracker preloaded with the verified
 /// QueryInfos; `downgrade` is Fig. 2's bounded downgrade. Registration is
 /// the one-time cost, downgrades are intersections — the Prob-comparison
 /// economics of §6.1.
 ///
+/// Failure domains (DESIGN.md §6): sessions optionally run under a
+/// cumulative node budget (MaxSessionNodes) and a wall-clock deadline
+/// (DeadlineMs). When a query's synthesis or verification exhausts its
+/// resources the session *degrades* instead of failing, per query, along
+/// the ladder retry → partial artifact → ⊥ fallback; every rung is sound
+/// (a degraded query downgrades with maximally conservative posteriors).
+/// Refuted obligations — actual counterexamples — remain hard errors at
+/// every rung. The per-query outcome is recorded in degradation().
+///
 /// Registration parallelizes across queries/classifiers and inside each
 /// solver call (SessionOptions::Par): building artifacts for a
 /// declaration is a pure function of (module, options), so independent
 /// declarations synthesize and verify concurrently and the results are
-/// installed in declaration order, byte-identical to a serial session.
+/// installed in declaration order. Without session-wide budgets the
+/// result is byte-identical to a serial session; with them, *which* rung
+/// a query lands on can depend on timing, but never its soundness.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANOSY_CORE_ANOSYSESSION_H
 #define ANOSY_CORE_ANOSYSESSION_H
 
+#include "core/ArtifactIO.h"
+#include "core/Degradation.h"
 #include "core/KnowledgeTracker.h"
 #include "expr/Module.h"
 #include "synth/Sketch.h"
 #include "verify/RefinementChecker.h"
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <optional>
@@ -50,6 +63,10 @@ template <AbstractDomain D> struct QueryArtifacts {
   /// splice into the program).
   std::string SynthesizedSource;
   SynthStats Stats;
+  /// Synthesis passes consumed (retries + degraded pass).
+  unsigned Attempts = 1;
+  /// Set when this query's artifacts are degraded (DESIGN.md §6).
+  std::optional<QueryDegradation> Degradation;
 };
 
 /// Session options.
@@ -68,6 +85,19 @@ struct SessionOptions {
   /// that pool and this knob is ignored. Artifacts are bit-identical for
   /// every thread count.
   Parallelism Par = {};
+  /// Session-wide cumulative solver-node cap across every query,
+  /// classifier, attempt, and verification pass. 0 = unlimited.
+  uint64_t MaxSessionNodes = 0;
+  /// Session-wide wall-clock deadline in milliseconds, armed when
+  /// creation starts. 0 = none. Checked inside the solver's budget
+  /// charge at coarse granularity (SolverBudget::DeadlineCheckNodes).
+  uint64_t DeadlineMs = 0;
+  /// Retry-then-degrade policy (see RetryPolicy).
+  RetryPolicy Retry;
+  /// Degrade instead of failing when budgets run out. Disabled, the
+  /// session keeps the legacy strict contract: exhaustion (after
+  /// retries) fails creation with BudgetExhausted.
+  bool GracefulDegradation = true;
 };
 
 template <AbstractDomain D> class AnosySession {
@@ -75,7 +105,9 @@ public:
   /// Synthesizes and verifies ind. sets for every query in \p M, then
   /// builds the knowledge tracker. Fails with the offending query's error
   /// if any step rejects; with several offenders, the first in
-  /// declaration order wins (as in a serial registration loop).
+  /// declaration order wins (as in a serial registration loop). Under
+  /// GracefulDegradation, budget/deadline exhaustion degrades per query
+  /// instead of failing — inspect degradation() afterwards.
   static Result<AnosySession> create(Module M, KnowledgePolicy<D> Policy,
                                      SessionOptions Options = {}) {
     AnosySession Session(std::move(M), std::move(Policy), Options);
@@ -89,7 +121,7 @@ public:
       // order so tracker state and error choice match a serial session.
       size_t NQ = Queries.size();
       std::vector<std::optional<Result<QueryArtifacts<D>>>> QSlots(NQ);
-      std::vector<std::optional<Result<ClassifierInfo<D>>>> CSlots(
+      std::vector<std::optional<Result<ClassifierBuild>>> CSlots(
           Classifiers.size());
       Pool->parallelFor(NQ + Classifiers.size(), [&](size_t I) {
         if (I < NQ)
@@ -106,7 +138,7 @@ public:
       for (size_t I = 0; I != CSlots.size(); ++I) {
         if (!*CSlots[I])
           return CSlots[I]->error();
-        Session.Tracker->registerClassifier(CSlots[I]->takeValue());
+        Session.installClassifier(CSlots[I]->takeValue());
       }
     } else {
       for (const QueryDef &Q : Queries) {
@@ -119,9 +151,98 @@ public:
         auto Info = Session.buildClassifierInfo(C);
         if (!Info)
           return Info.error();
-        Session.Tracker->registerClassifier(Info.takeValue());
+        Session.installClassifier(Info.takeValue());
       }
     }
+    return Session;
+  }
+
+  /// Builds a session from a previously exported knowledge base instead
+  /// of synthesizing from scratch. Intact records are re-verified (when
+  /// Options.Verify) and registered without synthesis; records whose
+  /// checksums or artifacts are corrupt — and intact records that fail
+  /// re-verification — are resynthesized per query through the normal
+  /// ladder; records too damaged to recover even the query body are
+  /// dropped and reported. Fails only when the file is unusable as a
+  /// whole (bad header or schema) or a resynthesis hits a hard error.
+  static Result<AnosySession>
+  createFromKnowledgeBase(const std::string &Text, KnowledgePolicy<D> Policy,
+                          SessionOptions Options = {}) {
+    auto Rec = recoverKnowledgeBase<D>(Text);
+    if (!Rec)
+      return Rec.error();
+
+    std::vector<QueryDef> Defs;
+    for (const QueryInfo<D> &Info : Rec->Intact)
+      Defs.push_back({Info.Name, Info.QueryExpr});
+    for (const QueryDef &Q : Rec->Damaged)
+      Defs.push_back(Q);
+    AnosySession Session(Module(Rec->S, std::move(Defs)), std::move(Policy),
+                         Options);
+
+    for (QueryInfo<D> &Info : Rec->Intact) {
+      QueryDef Def{Info.Name, Info.QueryExpr};
+      std::string Reverify;
+      if (Session.Options.Verify) {
+        uint64_t Nodes = 0;
+        CertificateBundle B = Session.verifyArtifact(
+            Info.QueryExpr, Info.Ind, Session.Options.Synth.MaxSolverNodes,
+            true, Nodes);
+        Session.Stats.SolverNodes += Nodes;
+        if (const Certificate *Refuted = B.firstRefuted())
+          Reverify = "re-verification refuted: " + Refuted->Obligation;
+        else if (!B.valid())
+          Reverify = "re-verification undecided";
+        if (Reverify.empty()) {
+          QueryArtifacts<D> Art;
+          Art.Ind = std::move(Info.Ind);
+          Art.Certificates = std::move(B);
+          IndSetSketch Sketch(Def.Name, Session.M.schema(),
+                              ApproxKind::Under);
+          Art.SynthesizedSource =
+              Sketch.renderFilled(Art.Ind.TrueSet, Art.Ind.FalseSet);
+          Session.installQuery(Def, std::move(Art));
+          continue;
+        }
+      } else {
+        QueryArtifacts<D> Art;
+        Art.Ind = std::move(Info.Ind);
+        Session.installQuery(Def, std::move(Art));
+        continue;
+      }
+      // Loaded artifact did not check out: resynthesize this query.
+      auto Art = Session.buildQueryArtifacts(Def);
+      if (!Art)
+        return Art.error();
+      if (!Art->Degradation) {
+        Art->Degradation = QueryDegradation{
+            Def.Name, DegradationReason::LoadedArtifactInvalid,
+            Art->Attempts, false, Reverify + "; resynthesized"};
+      } else {
+        Art->Degradation->Reason = DegradationReason::LoadedArtifactInvalid;
+        Art->Degradation->Detail = Reverify + "; " + Art->Degradation->Detail;
+      }
+      Session.installQuery(Def, Art.takeValue());
+    }
+
+    for (const QueryDef &Q : Rec->Damaged) {
+      auto Art = Session.buildQueryArtifacts(Q);
+      if (!Art)
+        return Art.error();
+      if (!Art->Degradation) {
+        Art->Degradation = QueryDegradation{
+            Q.Name, DegradationReason::KnowledgeBaseCorrupt, Art->Attempts,
+            false, "record failed integrity check; resynthesized"};
+      } else {
+        Art->Degradation->Reason = DegradationReason::KnowledgeBaseCorrupt;
+      }
+      Session.installQuery(Q, Art.takeValue());
+    }
+
+    for (const std::string &Name : Rec->Lost)
+      Session.Report.Queries.push_back(
+          {Name, DegradationReason::KnowledgeBaseCorrupt, 0, true,
+           "record unrecoverable; query dropped"});
     return Session;
   }
 
@@ -146,7 +267,34 @@ public:
     return It == Artifacts.end() ? nullptr : &It->second;
   }
 
+  /// What degraded during creation, per query (empty = nothing did).
+  const DegradationReport &degradation() const { return Report; }
+
+  /// Cumulative creation cost (nodes, seconds, attempts).
+  const SessionStats &stats() const { return Stats; }
+
+  /// The session-wide budget, when one is armed (nullptr otherwise).
+  const SolverBudget *sessionBudget() const { return SessionBudget.get(); }
+
+  /// Renders the session's query artifacts as a v2 (checksummed)
+  /// knowledge base, in declaration order.
+  std::string exportKnowledgeBase() const {
+    std::vector<QueryInfo<D>> Infos;
+    for (const QueryDef &Q : M.queries())
+      if (const QueryInfo<D> *Info = Tracker->queryInfo(Q.Name))
+        Infos.push_back(*Info);
+    return serializeKnowledgeBaseV2(M.schema(), Infos);
+  }
+
 private:
+  /// A classifier build plus its bookkeeping (mirrors QueryArtifacts).
+  struct ClassifierBuild {
+    ClassifierInfo<D> Info;
+    SynthStats Stats;
+    unsigned Attempts = 1;
+    std::optional<QueryDegradation> Degradation;
+  };
+
   AnosySession(Module M, KnowledgePolicy<D> Policy, SessionOptions InOptions)
       : M(std::move(M)), Options(InOptions),
         Tracker(std::make_unique<KnowledgeTracker<D>>(
@@ -157,52 +305,220 @@ private:
       OwnedPool = std::make_unique<ThreadPool>(Options.Par);
       Options.Synth.Par.Pool = OwnedPool.get();
     }
+    // The session-wide budget every per-call budget chains to. Created
+    // only when a cap is requested: the parent check in charge() is not
+    // free, and capless sessions must behave exactly as before.
+    if (Options.MaxSessionNodes != 0 || Options.DeadlineMs != 0) {
+      SessionBudget = std::make_unique<SolverBudget>(
+          Options.MaxSessionNodes != 0 ? Options.MaxSessionNodes
+                                       : UINT64_MAX);
+      if (Options.DeadlineMs != 0)
+        SessionBudget->setDeadlineAfterMs(Options.DeadlineMs);
+      Options.Synth.SessionBudget = SessionBudget.get();
+    }
   }
 
-  /// Steps I–IV for one query, with no session mutation: safe to run
-  /// concurrently for independent queries.
-  Result<QueryArtifacts<D>> buildQueryArtifacts(const QueryDef &Q) const {
-    const Schema &S = M.schema();
-    auto Synth = Synthesizer::create(S, Q.Body, Options.Synth);
+  /// True once the session-wide cap or deadline is spent: further strict
+  /// retries cannot succeed, only degrade.
+  bool sessionSpent() const {
+    return SessionBudget != nullptr && SessionBudget->exhausted();
+  }
+
+  /// The per-call node budget for strict attempt \p Attempt (0-based),
+  /// grown by Retry.BudgetGrowth each time, saturating at UINT64_MAX.
+  uint64_t attemptBudget(unsigned Attempt) const {
+    double Grown = static_cast<double>(Options.Synth.MaxSolverNodes) *
+                   std::pow(std::max(1.0, Options.Retry.BudgetGrowth),
+                            static_cast<double>(Attempt));
+    if (Grown >= 9.0e18)
+      return UINT64_MAX;
+    return static_cast<uint64_t>(Grown);
+  }
+
+  /// Steps II+III once, into \p Ind / \p Stats. No session mutation.
+  std::optional<Error> synthPass(const ExprRef &Body,
+                                 const SynthOptions &SOpt, IndSets<D> &Ind,
+                                 SynthStats &Stats) const {
+    auto Synth = Synthesizer::create(M.schema(), Body, SOpt);
     if (!Synth)
       return Synth.error();
-
-    QueryArtifacts<D> Art;
-    // Steps II+III: sketch and hole filling. Policy enforcement uses the
-    // under-approximation (§3).
     if constexpr (std::is_same_v<D, Box>) {
-      auto Sets = Synth->synthesizeInterval(ApproxKind::Under, &Art.Stats);
+      auto Sets = Synth->synthesizeInterval(ApproxKind::Under, &Stats);
       if (!Sets)
         return Sets.error();
-      Art.Ind = Sets.takeValue();
+      Ind = Sets.takeValue();
     } else {
       auto Sets = Synth->synthesizePowerset(ApproxKind::Under,
-                                            Options.PowersetSize, &Art.Stats);
+                                            Options.PowersetSize, &Stats);
       if (!Sets)
         return Sets.error();
-      Art.Ind = Sets.takeValue();
+      Ind = Sets.takeValue();
+    }
+    return std::nullopt;
+  }
+
+  /// Step IV. \p Chained checks against the session budget/deadline
+  /// (normal path); detached checks get a fresh budget — used to certify
+  /// *degraded* artifacts, whose verification must not be starved by the
+  /// already-spent session budget (cost stays bounded by \p MaxNodes).
+  /// \p MaxNodes is the *attempt's* budget, so retries grow verification
+  /// headroom in lockstep with synthesis.
+  CertificateBundle verifyArtifact(const ExprRef &Body, const IndSets<D> &Ind,
+                                   uint64_t MaxNodes, bool Chained,
+                                   uint64_t &NodesOut) const {
+    RefinementChecker Checker(M.schema(), Body, MaxNodes,
+                              Options.Synth.Par,
+                              Chained ? Options.Synth.SessionBudget : nullptr,
+                              Chained ? Options.Synth.DeadlineMs : 0);
+    CertificateBundle B = Checker.checkIndSets(Ind, ApproxKind::Under);
+    NodesOut += Checker.solverNodesUsed();
+    return B;
+  }
+
+  /// The certificates of the ⊥ fallback: both ind. sets are empty, so the
+  /// Fig. 4 under obligations hold vacuously — no solver involved, and
+  /// re-checkable offline by anyone who distrusts the label.
+  static CertificateBundle bottomFallbackBundle() {
+    CertificateBundle B;
+    Certificate T;
+    T.Obligation = "forall x. x in dT => query x   "
+                   "(bottom fallback: dT = empty, vacuously valid)";
+    T.Valid = true;
+    Certificate F;
+    F.Obligation = "forall x. x in dF => not (query x)   "
+                   "(bottom fallback: dF = empty, vacuously valid)";
+    F.Valid = true;
+    B.Parts.push_back(std::move(T));
+    B.Parts.push_back(std::move(F));
+    return B;
+  }
+
+  /// Steps I–IV for one query with the full degradation ladder. No
+  /// session mutation: safe to run concurrently for independent queries.
+  Result<QueryArtifacts<D>> buildQueryArtifacts(const QueryDef &Q) const {
+    const Schema &S = M.schema();
+    const unsigned MaxAttempts = std::max(1u, Options.Retry.MaxAttempts);
+
+    QueryArtifacts<D> Art;
+    SynthStats Acc;
+    unsigned Passes = 0;
+    std::optional<Error> LastErr;
+    bool Undecided = false;
+    bool Succeeded = false;
+
+    for (unsigned Attempt = 0; Attempt != MaxAttempts; ++Attempt) {
+      SynthOptions SOpt = Options.Synth;
+      SOpt.MaxSolverNodes = attemptBudget(Attempt);
+      IndSets<D> Ind;
+      SynthStats Pass;
+      ++Passes;
+      auto E = synthPass(Q.Body, SOpt, Ind, Pass);
+      Acc.SolverNodes += Pass.SolverNodes;
+      Acc.Seconds += Pass.Seconds;
+      if (E) {
+        if (E->code() != ErrorCode::BudgetExhausted)
+          return *E; // Hard error: unsupported query, etc.
+        LastErr = std::move(E);
+        Undecided = false;
+        if (sessionSpent())
+          break; // Retrying against a spent session budget is futile.
+        continue;
+      }
+      if (Options.Verify) {
+        uint64_t VerifyNodes = 0;
+        CertificateBundle B =
+            verifyArtifact(Q.Body, Ind, SOpt.MaxSolverNodes, true, VerifyNodes);
+        Acc.SolverNodes += VerifyNodes;
+        if (const Certificate *Refuted = B.firstRefuted())
+          return Error(ErrorCode::VerificationFailure,
+                       "synthesized ind. sets for '" + Q.Name +
+                           "' failed verification:\n" + Refuted->str());
+        if (!B.valid()) {
+          // Undecided — no counterexample, just not enough budget for a
+          // verdict. Degradable, never conflated with refutation.
+          LastErr = Error(ErrorCode::BudgetExhausted,
+                          "verification undecided for '" + Q.Name + "':\n" +
+                              B.firstFailure()->str());
+          Undecided = true;
+          if (sessionSpent())
+            break;
+          continue;
+        }
+        Art.Certificates = std::move(B);
+      }
+      Art.Ind = std::move(Ind);
+      Acc.BoxesSynthesized = Pass.BoxesSynthesized;
+      Succeeded = true;
+      break;
     }
 
+    if (!Succeeded) {
+      if (!Options.GracefulDegradation)
+        return *LastErr; // Legacy strict contract.
+
+      // Degraded rung: rerun keeping whatever sound partial artifact the
+      // budget allows (k' < k boxes, or ⊥). The pass stays chained to the
+      // session budget — a spent session degrades to ⊥ immediately.
+      SynthOptions SOpt = Options.Synth;
+      SOpt.MaxSolverNodes = attemptBudget(MaxAttempts - 1);
+      SOpt.KeepPartialOnExhaustion = true;
+      IndSets<D> Ind;
+      SynthStats Pass;
+      ++Passes;
+      auto E = synthPass(Q.Body, SOpt, Ind, Pass);
+      Acc.SolverNodes += Pass.SolverNodes;
+      Acc.Seconds += Pass.Seconds;
+
+      bool FellBack = true;
+      if (!E) {
+        uint64_t VerifyNodes = 0;
+        CertificateBundle B;
+        bool PartialOk = true;
+        if (Options.Verify) {
+          // Detached: certify the partial artifact even though the
+          // session budget is spent (bounded by the attempt budget).
+          B = verifyArtifact(Q.Body, Ind, SOpt.MaxSolverNodes, false,
+                             VerifyNodes);
+          Acc.SolverNodes += VerifyNodes;
+          if (const Certificate *Refuted = B.firstRefuted())
+            return Error(ErrorCode::VerificationFailure,
+                         "degraded ind. sets for '" + Q.Name +
+                             "' failed verification:\n" + Refuted->str());
+          PartialOk = B.valid();
+        }
+        if (PartialOk) {
+          Art.Ind = std::move(Ind);
+          Art.Certificates = std::move(B);
+          Acc.BoxesSynthesized = Pass.BoxesSynthesized;
+          FellBack = false;
+        }
+      }
+      if (FellBack) {
+        // Last rung: ⊥ for both responses. Sound by construction; the
+        // tracker's policy check rejects downgrades against it.
+        Art.Ind = IndSets<D>{DomainTraits<D>::bottom(S),
+                             DomainTraits<D>::bottom(S)};
+        Art.Certificates = bottomFallbackBundle();
+        Acc.BoxesSynthesized = 0;
+      }
+      Art.Degradation = QueryDegradation{
+          Q.Name,
+          Undecided ? DegradationReason::VerificationUndecided
+                    : DegradationReason::SynthesisExhausted,
+          Passes, FellBack,
+          LastErr ? LastErr->message() : std::string()};
+    }
+
+    Art.Stats = Acc;
+    Art.Attempts = Passes;
     IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
     Art.SynthesizedSource =
         Sketch.renderFilled(Art.Ind.TrueSet, Art.Ind.FalseSet);
-
-    // Step IV: machine-check the artifact before trusting it.
-    if (Options.Verify) {
-      RefinementChecker Checker(S, Q.Body, Options.Synth.MaxSolverNodes,
-                                Options.Synth.Par);
-      Art.Certificates = Checker.checkIndSets(Art.Ind, ApproxKind::Under);
-      if (!Art.Certificates.valid())
-        return Error(ErrorCode::VerificationFailure,
-                     "synthesized ind. sets for '" + Q.Name +
-                         "' failed verification:\n" +
-                         Art.Certificates.firstFailure()->str());
-    }
     return Art;
   }
 
-  /// Installs verified artifacts into the tracker; serial, in
-  /// declaration order.
+  /// Installs built artifacts into the tracker and merges bookkeeping;
+  /// serial, in declaration order.
   void installQuery(const QueryDef &Q, QueryArtifacts<D> Art) {
     QueryInfo<D> Info;
     Info.Name = Q.Name;
@@ -210,15 +526,37 @@ private:
     Info.Ind = Art.Ind;
     Info.Kind = ApproxKind::Under;
     Tracker->registerQuery(std::move(Info));
+    Stats.SolverNodes += Art.Stats.SolverNodes;
+    Stats.SynthSeconds += Art.Stats.Seconds;
+    Stats.Attempts += Art.Attempts;
+    if (Art.Degradation) {
+      ++Stats.DegradedQueries;
+      Report.Queries.push_back(*Art.Degradation);
+    }
     Artifacts.emplace(Q.Name, std::move(Art));
   }
 
-  /// Synthesizes and verifies one `classify` declaration: one under ind.
-  /// set per feasible output, each checked against the Fig. 4 spec of its
-  /// "body == value" reduction. No session mutation.
-  Result<ClassifierInfo<D>> buildClassifierInfo(const ClassifierDef &C) const {
+  void installClassifier(ClassifierBuild Build) {
+    Stats.SolverNodes += Build.Stats.SolverNodes;
+    Stats.SynthSeconds += Build.Stats.Seconds;
+    Stats.Attempts += Build.Attempts;
+    if (Build.Degradation) {
+      ++Stats.DegradedQueries;
+      Report.Queries.push_back(*Build.Degradation);
+    }
+    Tracker->registerClassifier(std::move(Build.Info));
+  }
+
+  /// One strict classifier pass: enumerate outputs, synthesize each
+  /// output's under set, verify every obligation (chained). Returns the
+  /// bundle-style outcome through \p Build; an unverified/undecided
+  /// outcome is signalled via the returned error (BudgetExhausted).
+  std::optional<Error> classifierPass(const ClassifierDef &C,
+                                      const SynthOptions &SOpt,
+                                      bool ChainedVerify,
+                                      ClassifierBuild &Build) const {
     const Schema &S = M.schema();
-    auto Synth = ClassifierSynthesizer::create(S, C.Body, Options.Synth);
+    auto Synth = ClassifierSynthesizer::create(S, C.Body, SOpt);
     if (!Synth)
       return Synth.error();
 
@@ -226,44 +564,101 @@ private:
     Info.Name = C.Name;
     Info.Body = C.Body;
     Info.Kind = ApproxKind::Under;
-    SynthStats Stats;
+    SynthStats Pass;
     if constexpr (std::is_same_v<D, Box>) {
-      auto Sets = Synth->synthesizeInterval(ApproxKind::Under, &Stats);
+      auto Sets = Synth->synthesizeInterval(ApproxKind::Under, &Pass);
       if (!Sets)
         return Sets.error();
       Info.Ind = Sets.takeValue();
     } else {
       auto Sets = Synth->synthesizePowerset(ApproxKind::Under,
-                                            Options.PowersetSize, &Stats);
+                                            Options.PowersetSize, &Pass);
       if (!Sets)
         return Sets.error();
       Info.Ind = Sets.takeValue();
     }
+    Build.Stats.SolverNodes += Pass.SolverNodes;
+    Build.Stats.Seconds += Pass.Seconds;
 
     if (Options.Verify) {
       for (const OutputIndSet<D> &O : Info.Ind) {
-        RefinementChecker Checker(S, Synth->outputQuery(O.Value),
-                                  Options.Synth.MaxSolverNodes,
-                                  Options.Synth.Par);
+        RefinementChecker Checker(
+            S, Synth->outputQuery(O.Value), SOpt.MaxSolverNodes,
+            Options.Synth.Par,
+            ChainedVerify ? Options.Synth.SessionBudget : nullptr,
+            ChainedVerify ? Options.Synth.DeadlineMs : 0);
         // Per-output obligation: every member of the set maps to O.Value.
         IndSets<D> AsPair{O.Set, DomainTraits<D>::bottom(S)};
         CertificateBundle B = Checker.checkIndSets(AsPair, ApproxKind::Under);
-        if (!B.valid())
+        Build.Stats.SolverNodes += Checker.solverNodesUsed();
+        if (const Certificate *Refuted = B.firstRefuted())
           return Error(ErrorCode::VerificationFailure,
                        "classifier '" + C.Name + "' output " +
                            std::to_string(O.Value) +
-                           " failed verification:\n" +
-                           B.firstFailure()->str());
+                           " failed verification:\n" + Refuted->str());
+        if (!B.valid())
+          return Error(ErrorCode::BudgetExhausted,
+                       "verification undecided for classifier '" + C.Name +
+                           "' output " + std::to_string(O.Value));
       }
     }
-    return Info;
+    Build.Info = std::move(Info);
+    return std::nullopt;
+  }
+
+  /// Classifier ladder: retry strictly, then degrade. The classifier
+  /// fallback is an *empty* feasible-output list — the tracker refuses to
+  /// downgrade a degraded classifier (conservative rejection), because a
+  /// partial output list could misattribute a secret's posterior.
+  Result<ClassifierBuild> buildClassifierInfo(const ClassifierDef &C) const {
+    const unsigned MaxAttempts = std::max(1u, Options.Retry.MaxAttempts);
+    ClassifierBuild Build;
+    std::optional<Error> LastErr;
+    bool Undecided = false;
+    unsigned Passes = 0;
+
+    for (unsigned Attempt = 0; Attempt != MaxAttempts; ++Attempt) {
+      SynthOptions SOpt = Options.Synth;
+      SOpt.MaxSolverNodes = attemptBudget(Attempt);
+      ++Passes;
+      auto E = classifierPass(C, SOpt, true, Build);
+      if (!E) {
+        Build.Attempts = Passes;
+        return Build;
+      }
+      if (E->code() == ErrorCode::BudgetExhausted) {
+        Undecided = E->message().rfind("verification undecided", 0) == 0;
+        LastErr = std::move(E);
+        if (sessionSpent())
+          break;
+        continue;
+      }
+      return *E; // Refutation or unsupported classifier: hard error.
+    }
+
+    if (!Options.GracefulDegradation)
+      return *LastErr;
+    Build.Info.Name = C.Name;
+    Build.Info.Body = C.Body;
+    Build.Info.Kind = ApproxKind::Under;
+    Build.Info.Ind.clear();
+    Build.Attempts = Passes;
+    Build.Degradation = QueryDegradation{
+        C.Name,
+        Undecided ? DegradationReason::VerificationUndecided
+                  : DegradationReason::SynthesisExhausted,
+        Passes, true, LastErr ? LastErr->message() : std::string()};
+    return Build;
   }
 
   Module M;
   SessionOptions Options;
   std::unique_ptr<ThreadPool> OwnedPool;
+  std::unique_ptr<SolverBudget> SessionBudget;
   std::unique_ptr<KnowledgeTracker<D>> Tracker;
   std::map<std::string, QueryArtifacts<D>> Artifacts;
+  DegradationReport Report;
+  SessionStats Stats;
 };
 
 } // namespace anosy

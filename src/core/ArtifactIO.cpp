@@ -3,9 +3,15 @@
 #include "core/ArtifactIO.h"
 
 #include "expr/Parser.h"
+#include "support/Checksum.h"
+#include "support/FaultInjection.h"
 
 #include <cctype>
-#include <sstream>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace anosy;
 
@@ -73,19 +79,41 @@ Result<std::vector<Box>> parseBoxList(const std::string &Text,
            std::isspace(static_cast<unsigned char>(Text[Pos])))
       ++Pos;
   };
+  // Manual accumulation with an explicit overflow check: std::stoll
+  // throws on out-of-range digits, and knowledge bases are parsed from
+  // untrusted files (this library builds without exception tolerance in
+  // its error contract — hostile input must surface as an Error).
   auto ParseInt = [&]() -> Result<int64_t> {
     SkipWs();
-    size_t Start = Pos;
-    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+    bool Negative = false;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+')) {
+      Negative = Text[Pos] == '-';
       ++Pos;
+    }
+    bool AnyDigit = false;
+    // Accumulate negated (the larger half of the two's-complement range)
+    // so INT64_MIN parses and INT64_MAX overflow is caught exactly.
+    int64_t Value = 0;
     while (Pos < Text.size() &&
-           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      AnyDigit = true;
+      int64_t Digit = Text[Pos] - '0';
+      if (Value < (INT64_MIN + Digit) / 10)
+        return Error(ErrorCode::ParseError,
+                     "integer out of range in box list");
+      Value = Value * 10 - Digit;
       ++Pos;
-    if (Pos == Start)
+    }
+    if (!AnyDigit)
       return Error(ErrorCode::ParseError,
                    "expected an integer in box list: " + Text);
-    return static_cast<int64_t>(
-        std::stoll(Text.substr(Start, Pos - Start)));
+    if (!Negative) {
+      if (Value == INT64_MIN)
+        return Error(ErrorCode::ParseError,
+                     "integer out of range in box list");
+      Value = -Value;
+    }
+    return Value;
   };
 
   while (true) {
@@ -141,6 +169,139 @@ bool consumePrefix(std::string &Line, const std::string &Prefix) {
   return true;
 }
 
+constexpr const char *ListPrefixes[4] = {"true include", "true exclude",
+                                         "false include", "false exclude"};
+constexpr const char *RecordChecksumPrefix = "record-checksum fnv1a64:";
+constexpr const char *TrailerPrefix = "trailer fnv1a64:";
+
+/// The five content lines of one record (query + four box lists), exactly
+/// as serialized — also the byte range the record checksum covers.
+template <AbstractDomain D>
+std::string renderRecordPayload(const Schema &S, const QueryInfo<D> &Info) {
+  assert(Info.Kind == ApproxKind::Under &&
+         "knowledge bases store the enforcement (under) artifacts");
+  std::string Out = "query " + Info.Name + " = " + Info.QueryExpr->str(S) +
+                    "\n";
+  Out += "true include" + renderBoxList(includesOf(Info.Ind.TrueSet)) + "\n";
+  Out += "true exclude" + renderBoxList(excludesOf(Info.Ind.TrueSet)) + "\n";
+  Out +=
+      "false include" + renderBoxList(includesOf(Info.Ind.FalseSet)) + "\n";
+  Out +=
+      "false exclude" + renderBoxList(excludesOf(Info.Ind.FalseSet)) + "\n";
+  return Out;
+}
+
+/// The input split into lines, remembering each line's byte offset so
+/// checksums run over the original bytes, not a normalized rendering.
+struct LineIndex {
+  std::vector<std::string> Lines;
+  std::vector<size_t> Starts;
+};
+
+LineIndex splitLines(const std::string &Text) {
+  LineIndex Idx;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    size_t End = Nl == std::string::npos ? Text.size() : Nl;
+    Idx.Starts.push_back(Pos);
+    Idx.Lines.push_back(Text.substr(Pos, End - Pos));
+    Pos = Nl == std::string::npos ? Text.size() : Nl + 1;
+  }
+  return Idx;
+}
+
+struct Header {
+  int Version = 0;
+  std::string Domain;
+};
+
+Result<Header> parseHeader(const std::string &Line) {
+  Header H;
+  std::string Rest = Line;
+  if (consumePrefix(Rest, "anosy-knowledge-base v1 domain "))
+    H.Version = 1;
+  else if (consumePrefix(Rest, "anosy-knowledge-base v2 domain "))
+    H.Version = 2;
+  else
+    return Error(ErrorCode::ParseError,
+                 "missing knowledge-base header: " + Line);
+  H.Domain = Rest;
+  return H;
+}
+
+/// Parses the query line "query <name> = <body>" against \p S.
+template <AbstractDomain D>
+Result<QueryInfo<D>> parseQueryLine(const Schema &S, std::string Line) {
+  if (!consumePrefix(Line, "query "))
+    return Error(ErrorCode::ParseError,
+                 "expected a 'query' record, found: " + Line);
+  size_t EqPos = Line.find(" = ");
+  if (EqPos == std::string::npos)
+    return Error(ErrorCode::ParseError, "malformed query record: " + Line);
+  QueryInfo<D> Info;
+  Info.Name = Line.substr(0, EqPos);
+  auto Body = parseQueryExpr(S, Line.substr(EqPos + 3));
+  if (!Body)
+    return Body.error();
+  Info.QueryExpr = Body.takeValue();
+  Info.Kind = ApproxKind::Under;
+  return Info;
+}
+
+/// Parses the four box-list lines into \p Info's ind. sets.
+template <AbstractDomain D>
+Result<void> parseArtifactLines(const std::string *ListLines, size_t Arity,
+                                QueryInfo<D> &Info) {
+  std::vector<Box> Lists[4];
+  for (int I = 0; I != 4; ++I) {
+    std::string Line = ListLines[I];
+    if (!consumePrefix(Line, ListPrefixes[I]))
+      return Error(ErrorCode::ParseError,
+                   std::string("expected '") + ListPrefixes[I] +
+                       "' line, found: " + ListLines[I]);
+    auto Boxes = parseBoxList(Line, Arity);
+    if (!Boxes)
+      return Boxes.error();
+    Lists[I] = Boxes.takeValue();
+  }
+  auto TrueSet = domainFromLists(std::move(Lists[0]), std::move(Lists[1]),
+                                 Arity, static_cast<const D *>(nullptr));
+  if (!TrueSet)
+    return TrueSet.error();
+  auto FalseSet = domainFromLists(std::move(Lists[2]), std::move(Lists[3]),
+                                  Arity, static_cast<const D *>(nullptr));
+  if (!FalseSet)
+    return FalseSet.error();
+  Info.Ind.TrueSet = TrueSet.takeValue();
+  Info.Ind.FalseSet = FalseSet.takeValue();
+  return {};
+}
+
+/// Verifies a "<prefix><16 hex>" integrity line against \p Expected.
+bool checksumLineMatches(std::string Line, const char *Prefix,
+                         uint64_t Expected) {
+  if (!consumePrefix(Line, Prefix))
+    return false;
+  uint64_t Stored = 0;
+  if (!parseChecksumHex(Line, Stored))
+    return false;
+  return Stored == Expected;
+}
+
+/// Best-effort query name for a Lost record's report entry.
+std::string lostRecordName(const std::string &QueryLine, size_t Ordinal) {
+  std::string Line = QueryLine;
+  if (consumePrefix(Line, "query ")) {
+    size_t EqPos = Line.find(" = ");
+    std::string Name =
+        EqPos == std::string::npos ? std::string() : Line.substr(0, EqPos);
+    if (!Name.empty() && Name.find(' ') == std::string::npos)
+      return Name;
+  }
+  return "<record " + std::to_string(Ordinal) + ">";
+}
+
 } // namespace
 
 template <AbstractDomain D>
@@ -151,105 +312,295 @@ anosy::serializeKnowledgeBase(const Schema &S,
                     domainTag<D>() + "\n";
   Out += "secret " + S.str() + "\n";
   for (const QueryInfo<D> &Info : Infos) {
-    assert(Info.Kind == ApproxKind::Under &&
-           "knowledge bases store the enforcement (under) artifacts");
-    Out += "query " + Info.Name + " = " + Info.QueryExpr->str(S) + "\n";
-    Out += "true include" + renderBoxList(includesOf(Info.Ind.TrueSet)) +
-           "\n";
-    Out += "true exclude" + renderBoxList(excludesOf(Info.Ind.TrueSet)) +
-           "\n";
-    Out += "false include" + renderBoxList(includesOf(Info.Ind.FalseSet)) +
-           "\n";
-    Out += "false exclude" + renderBoxList(excludesOf(Info.Ind.FalseSet)) +
-           "\n";
+    Out += renderRecordPayload(S, Info);
     Out += "end\n";
   }
   return Out;
 }
 
 template <AbstractDomain D>
-Result<KnowledgeBase<D>> anosy::parseKnowledgeBase(const std::string &Text) {
-  std::istringstream In(Text);
-  std::string Line;
-
-  // Header.
-  if (!std::getline(In, Line))
-    return Error(ErrorCode::ParseError, "empty knowledge base");
-  {
-    std::string Header = Line;
-    if (!consumePrefix(Header, "anosy-knowledge-base v1 domain "))
-      return Error(ErrorCode::ParseError,
-                   "missing knowledge-base header: " + Line);
-    if (Header != domainTag<D>())
-      return Error(ErrorCode::ParseError,
-                   "knowledge base is for domain '" + Header +
-                       "', expected '" + domainTag<D>() + "'");
+std::string
+anosy::serializeKnowledgeBaseV2(const Schema &S,
+                                const std::vector<QueryInfo<D>> &Infos) {
+  std::string Out = std::string("anosy-knowledge-base v2 domain ") +
+                    domainTag<D>() + "\n";
+  Out += "secret " + S.str() + "\n";
+  for (const QueryInfo<D> &Info : Infos) {
+    std::string Payload = renderRecordPayload(S, Info);
+    uint64_t Sum = fnv1a64(Payload);
+    Out += Payload;
+    Out += std::string(RecordChecksumPrefix) + checksumHex(Sum) + "\n";
+    Out += "end\n";
   }
+  Out += std::string(TrailerPrefix) + checksumHex(fnv1a64(Out)) + "\n";
+  return Out;
+}
 
-  // Schema.
-  if (!std::getline(In, Line))
+template <AbstractDomain D>
+Result<KnowledgeBase<D>> anosy::parseKnowledgeBase(const std::string &Text) {
+  LineIndex Idx = splitLines(Text);
+  const std::vector<std::string> &L = Idx.Lines;
+  size_t N = L.size();
+
+  if (N == 0)
+    return Error(ErrorCode::ParseError, "empty knowledge base");
+  auto H = parseHeader(L[0]);
+  if (!H)
+    return H.error();
+  if (H->Domain != domainTag<D>())
+    return Error(ErrorCode::ParseError,
+                 "knowledge base is for domain '" + H->Domain +
+                     "', expected '" + domainTag<D>() + "'");
+
+  if (N < 2)
     return Error(ErrorCode::ParseError, "missing schema line");
-  auto SchemaR = parseSchema(Line);
+  auto SchemaR = parseSchema(L[1]);
   if (!SchemaR)
     return SchemaR.error();
   KnowledgeBase<D> KB;
   KB.S = SchemaR.takeValue();
   size_t Arity = KB.S.arity();
 
-  // Query records.
-  while (std::getline(In, Line)) {
-    if (Line.empty())
+  bool TrailerSeen = false;
+  size_t I = 2;
+  while (I < N) {
+    if (L[I].empty()) {
+      ++I;
       continue;
-    if (!consumePrefix(Line, "query "))
-      return Error(ErrorCode::ParseError,
-                   "expected a 'query' record, found: " + Line);
-    size_t EqPos = Line.find(" = ");
-    if (EqPos == std::string::npos)
-      return Error(ErrorCode::ParseError,
-                   "malformed query record: " + Line);
-    QueryInfo<D> Info;
-    Info.Name = Line.substr(0, EqPos);
-    auto Body = parseQueryExpr(KB.S, Line.substr(EqPos + 3));
-    if (!Body)
-      return Body.error();
-    Info.QueryExpr = Body.takeValue();
-    Info.Kind = ApproxKind::Under;
-
-    // The four box-list lines, in fixed order.
-    std::vector<Box> Lists[4];
-    const char *Prefixes[4] = {"true include", "true exclude",
-                               "false include", "false exclude"};
-    for (int I = 0; I != 4; ++I) {
-      if (!std::getline(In, Line))
-        return Error(ErrorCode::ParseError,
-                     "truncated record for query " + Info.Name);
-      if (!consumePrefix(Line, Prefixes[I]))
-        return Error(ErrorCode::ParseError,
-                     std::string("expected '") + Prefixes[I] +
-                         "' line, found: " + Line);
-      auto Boxes = parseBoxList(Line, Arity);
-      if (!Boxes)
-        return Boxes.error();
-      Lists[I] = Boxes.takeValue();
     }
-    if (!std::getline(In, Line) || Line != "end")
+    if (TrailerSeen)
       return Error(ErrorCode::ParseError,
-                   "missing 'end' for query " + Info.Name);
+                   "content after knowledge-base trailer: " + L[I]);
+    if (H->Version == 2 && L[I].rfind(TrailerPrefix, 0) == 0) {
+      if (!checksumLineMatches(L[I], TrailerPrefix,
+                               fnv1a64(std::string_view(Text).substr(
+                                   0, Idx.Starts[I]))))
+        return Error(ErrorCode::ParseError,
+                     "knowledge-base trailer checksum mismatch (file "
+                     "truncated or corrupted)");
+      TrailerSeen = true;
+      ++I;
+      continue;
+    }
 
-    auto TrueSet = domainFromLists(std::move(Lists[0]), std::move(Lists[1]),
-                                   Arity, static_cast<const D *>(nullptr));
-    if (!TrueSet)
-      return TrueSet.error();
-    auto FalseSet = domainFromLists(std::move(Lists[2]),
-                                    std::move(Lists[3]), Arity,
-                                    static_cast<const D *>(nullptr));
-    if (!FalseSet)
-      return FalseSet.error();
-    Info.Ind.TrueSet = TrueSet.takeValue();
-    Info.Ind.FalseSet = FalseSet.takeValue();
-    KB.Queries.push_back(std::move(Info));
+    auto Info = parseQueryLine<D>(KB.S, L[I]);
+    if (!Info)
+      return Info.error();
+    if (I + 4 >= N)
+      return Error(ErrorCode::ParseError,
+                   "truncated record for query " + Info->Name);
+    if (auto R = parseArtifactLines(&L[I + 1], Arity, *Info); !R)
+      return R.error();
+
+    size_t EndIdx = I + 5;
+    if (H->Version == 2) {
+      if (EndIdx >= N)
+        return Error(ErrorCode::ParseError,
+                     "truncated record for query " + Info->Name);
+      size_t PayloadEnd = Idx.Starts[EndIdx];
+      if (!checksumLineMatches(
+              L[EndIdx], RecordChecksumPrefix,
+              fnv1a64(std::string_view(Text).substr(
+                  Idx.Starts[I], PayloadEnd - Idx.Starts[I]))))
+        return Error(ErrorCode::ParseError,
+                     "record checksum mismatch for query " + Info->Name);
+      ++EndIdx;
+    }
+    if (EndIdx >= N || L[EndIdx] != "end")
+      return Error(ErrorCode::ParseError,
+                   "missing 'end' for query " + Info->Name);
+    KB.Queries.push_back(Info.takeValue());
+    I = EndIdx + 1;
   }
+  if (H->Version == 2 && !TrailerSeen)
+    return Error(ErrorCode::ParseError,
+                 "missing knowledge-base trailer (file truncated)");
   return KB;
+}
+
+template <AbstractDomain D>
+Result<RecoveredKnowledgeBase<D>>
+anosy::recoverKnowledgeBase(const std::string &Text) {
+  LineIndex Idx = splitLines(Text);
+  const std::vector<std::string> &L = Idx.Lines;
+  size_t N = L.size();
+
+  if (N == 0)
+    return Error(ErrorCode::ParseError, "empty knowledge base");
+  auto H = parseHeader(L[0]);
+  if (!H)
+    return H.error();
+  if (H->Domain != domainTag<D>())
+    return Error(ErrorCode::ParseError,
+                 "knowledge base is for domain '" + H->Domain +
+                     "', expected '" + domainTag<D>() + "'");
+  if (N < 2)
+    return Error(ErrorCode::ParseError, "missing schema line");
+  auto SchemaR = parseSchema(L[1]);
+  if (!SchemaR)
+    return SchemaR.error();
+
+  RecoveredKnowledgeBase<D> Rec;
+  Rec.S = SchemaR.takeValue();
+  Rec.Version = H->Version;
+  size_t Arity = Rec.S.arity();
+
+  // Trailer: the last non-empty line of a healthy v2 file.
+  if (H->Version == 2) {
+    Rec.TrailerValid = false;
+    for (size_t I = N; I-- > 2;) {
+      if (L[I].empty())
+        continue;
+      Rec.TrailerValid = checksumLineMatches(
+          L[I], TrailerPrefix,
+          fnv1a64(std::string_view(Text).substr(0, Idx.Starts[I])));
+      break;
+    }
+  }
+
+  // Scan for "query " anchors and classify each record independently; a
+  // damaged record never poisons its neighbors.
+  size_t Ordinal = 0;
+  for (size_t I = 2; I < N;) {
+    if (L[I].rfind("query ", 0) != 0) {
+      ++I;
+      continue;
+    }
+    ++Ordinal;
+    size_t QueryIdx = I;
+
+    // Find this record's extent: up to (and including) the next "end",
+    // stopping early at the next "query " anchor (a lost "end").
+    size_t EndIdx = std::string::npos;
+    size_t Next = N;
+    for (size_t J = I + 1; J < N; ++J) {
+      if (L[J] == "end") {
+        EndIdx = J;
+        Next = J + 1;
+        break;
+      }
+      if (L[J].rfind("query ", 0) == 0) {
+        Next = J;
+        break;
+      }
+      if (L[J].rfind(TrailerPrefix, 0) == 0) {
+        Next = J;
+        break;
+      }
+    }
+    I = Next;
+
+    auto Info = parseQueryLine<D>(Rec.S, L[QueryIdx]);
+    if (!Info) {
+      Rec.Lost.push_back(lostRecordName(L[QueryIdx], Ordinal));
+      continue;
+    }
+    auto Damage = [&](const QueryInfo<D> &Parsed) {
+      Rec.Damaged.push_back({Parsed.Name, Parsed.QueryExpr});
+    };
+
+    // Structural completeness: 4 list lines (+ checksum line for v2)
+    // between the query line and the end marker.
+    size_t Expected = H->Version == 2 ? 6u : 5u;
+    if (EndIdx == std::string::npos || EndIdx - QueryIdx != Expected) {
+      Damage(*Info);
+      continue;
+    }
+    if (H->Version == 2) {
+      size_t SumIdx = QueryIdx + 5;
+      if (!checksumLineMatches(
+              L[SumIdx], RecordChecksumPrefix,
+              fnv1a64(std::string_view(Text).substr(
+                  Idx.Starts[QueryIdx],
+                  Idx.Starts[SumIdx] - Idx.Starts[QueryIdx])))) {
+        Damage(*Info);
+        continue;
+      }
+    }
+    if (auto R = parseArtifactLines(&L[QueryIdx + 1], Arity, *Info); !R) {
+      Damage(*Info);
+      continue;
+    }
+    Rec.Intact.push_back(Info.takeValue());
+  }
+  return Rec;
+}
+
+Result<std::string> anosy::readKnowledgeBaseFile(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Error(ErrorCode::Other, "cannot open knowledge base '" + Path +
+                                       "': " + std::strerror(errno));
+  std::string Out;
+  char Buf[1 << 16];
+  ssize_t Got;
+  while ((Got = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Out.append(Buf, static_cast<size_t>(Got));
+  int ReadErrno = errno;
+  ::close(Fd);
+  if (Got < 0)
+    return Error(ErrorCode::Other, "error reading knowledge base '" + Path +
+                                       "': " + std::strerror(ReadErrno));
+  // Fault-injection site: simulate media corruption with one
+  // deterministic bit flip. The v2 checksums exist to catch exactly this.
+  if (faults::armed() && faults::shouldFail(FaultSite::KbRead) &&
+      !Out.empty()) {
+    uint64_t R = faults::mix(Out.size());
+    size_t Byte = static_cast<size_t>(R % Out.size());
+    Out[Byte] = static_cast<char>(Out[Byte] ^ (1u << ((R >> 32) % 8)));
+  }
+  return Out;
+}
+
+Result<void> anosy::writeKnowledgeBaseFileAtomic(const std::string &Path,
+                                                 const std::string &Text) {
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return Error(ErrorCode::Other, "cannot create '" + Tmp +
+                                       "': " + std::strerror(errno));
+
+  // Fault-injection site: a "crash" mid-write — some bytes land in the
+  // temp file, which is then abandoned without the rename. The
+  // destination file (previous version, if any) must stay untouched.
+  size_t WriteLen = Text.size();
+  bool Injected = faults::armed() && faults::shouldFail(FaultSite::KbWrite);
+  if (Injected)
+    WriteLen /= 2;
+
+  size_t Off = 0;
+  while (Off < WriteLen) {
+    ssize_t Put = ::write(Fd, Text.data() + Off, WriteLen - Off);
+    if (Put < 0) {
+      int E = errno;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return Error(ErrorCode::Other,
+                   "error writing '" + Tmp + "': " + std::strerror(E));
+    }
+    Off += static_cast<size_t>(Put);
+  }
+  if (Injected) {
+    ::close(Fd);
+    return Error(ErrorCode::Other,
+                 "injected kb-write fault: write torn before rename ('" +
+                     Tmp + "' abandoned)");
+  }
+  if (::fsync(Fd) != 0) {
+    int E = errno;
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return Error(ErrorCode::Other,
+                 "fsync failed for '" + Tmp + "': " + std::strerror(E));
+  }
+  ::close(Fd);
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    int E = errno;
+    ::unlink(Tmp.c_str());
+    return Error(ErrorCode::Other, "cannot rename '" + Tmp + "' to '" +
+                                       Path + "': " + std::strerror(E));
+  }
+  return {};
 }
 
 // Explicit instantiations for the two shipped domains.
@@ -257,7 +608,15 @@ template std::string anosy::serializeKnowledgeBase<Box>(
     const Schema &, const std::vector<QueryInfo<Box>> &);
 template std::string anosy::serializeKnowledgeBase<PowerBox>(
     const Schema &, const std::vector<QueryInfo<PowerBox>> &);
+template std::string anosy::serializeKnowledgeBaseV2<Box>(
+    const Schema &, const std::vector<QueryInfo<Box>> &);
+template std::string anosy::serializeKnowledgeBaseV2<PowerBox>(
+    const Schema &, const std::vector<QueryInfo<PowerBox>> &);
 template Result<KnowledgeBase<Box>>
 anosy::parseKnowledgeBase<Box>(const std::string &);
 template Result<KnowledgeBase<PowerBox>>
 anosy::parseKnowledgeBase<PowerBox>(const std::string &);
+template Result<RecoveredKnowledgeBase<Box>>
+anosy::recoverKnowledgeBase<Box>(const std::string &);
+template Result<RecoveredKnowledgeBase<PowerBox>>
+anosy::recoverKnowledgeBase<PowerBox>(const std::string &);

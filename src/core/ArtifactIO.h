@@ -28,12 +28,22 @@
 ///   end
 /// \endcode
 ///
+/// Version 2 adds crash-safety (DESIGN.md §6): every record carries a
+/// `record-checksum fnv1a64:<hex>` line covering its raw bytes, and the
+/// file ends with a `trailer fnv1a64:<hex>` line covering everything
+/// before it. The strict parser accepts both versions and rejects any
+/// integrity violation; recoverKnowledgeBase instead *salvages*, sorting
+/// records into intact / damaged (query body readable, artifacts not —
+/// resynthesize) / lost. Files are written atomically (temp + fsync +
+/// rename), so an interrupted export leaves the previous file readable.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANOSY_CORE_ARTIFACTIO_H
 #define ANOSY_CORE_ARTIFACTIO_H
 
 #include "core/QueryInfo.h"
+#include "expr/Module.h"
 #include "support/Result.h"
 
 #include <string>
@@ -47,16 +57,61 @@ template <AbstractDomain D> struct KnowledgeBase {
   std::vector<QueryInfo<D>> Queries;
 };
 
-/// Renders \p Infos (all over schema \p S) to the textual format.
+/// Renders \p Infos (all over schema \p S) to the v1 textual format
+/// (no integrity metadata; kept for compatibility).
 template <AbstractDomain D>
 std::string serializeKnowledgeBase(const Schema &S,
                                    const std::vector<QueryInfo<D>> &Infos);
 
-/// Parses a knowledge base; rejects malformed input, domain mismatches
-/// (interval file loaded as powerset or vice versa), query bodies outside
-/// the fragment, and boxes of the wrong arity.
+/// Renders \p Infos to the v2 format: per-record checksums plus a
+/// whole-file trailer. Pair with writeKnowledgeBaseFileAtomic for
+/// crash-safe deployment.
+template <AbstractDomain D>
+std::string serializeKnowledgeBaseV2(const Schema &S,
+                                     const std::vector<QueryInfo<D>> &Infos);
+
+/// Parses a knowledge base (v1 or v2); rejects malformed input, checksum
+/// mismatches, domain mismatches (interval file loaded as powerset or
+/// vice versa), query bodies outside the fragment, and boxes of the wrong
+/// arity. Never trusts its input: hostile bytes yield an Error, not UB.
 template <AbstractDomain D>
 Result<KnowledgeBase<D>> parseKnowledgeBase(const std::string &Text);
+
+/// Salvage outcome of a (possibly corrupt) knowledge base.
+template <AbstractDomain D> struct RecoveredKnowledgeBase {
+  Schema S;
+  /// Records that parsed and passed every integrity check.
+  std::vector<QueryInfo<D>> Intact;
+  /// Records whose query body is readable but whose artifacts are not
+  /// trustworthy (checksum mismatch, malformed boxes): resynthesize.
+  std::vector<QueryDef> Damaged;
+  /// Records too damaged to recover even the query; best-effort names.
+  std::vector<std::string> Lost;
+  int Version = 1;
+  /// v2 only: the file trailer was present and matched. A false value
+  /// with all records intact means the file was truncated after the last
+  /// complete record.
+  bool TrailerValid = true;
+};
+
+/// Best-effort recovery: fails only when the header or schema is
+/// unreadable (nothing can be salvaged without them); everything else is
+/// classified per record. AnosySession::createFromKnowledgeBase is the
+/// intended caller.
+template <AbstractDomain D>
+Result<RecoveredKnowledgeBase<D>> recoverKnowledgeBase(const std::string &Text);
+
+/// Reads a knowledge-base file into memory. Fault-injection site KbRead:
+/// an injected fault deterministically flips one bit of the returned
+/// bytes (simulating media corruption; the checksums downstream catch it).
+Result<std::string> readKnowledgeBaseFile(const std::string &Path);
+
+/// Atomically replaces \p Path with \p Text: write to a temp file in the
+/// same directory, fsync, rename over the destination. A crash (or an
+/// injected KbWrite fault, which truncates the temp file and skips the
+/// rename) leaves any previous file untouched and readable.
+Result<void> writeKnowledgeBaseFileAtomic(const std::string &Path,
+                                          const std::string &Text);
 
 } // namespace anosy
 

@@ -1,0 +1,48 @@
+//===- core/Degradation.cpp - Graceful-degradation reporting --------------===//
+
+#include "core/Degradation.h"
+
+using namespace anosy;
+
+const char *anosy::degradationReasonName(DegradationReason R) {
+  switch (R) {
+  case DegradationReason::SynthesisExhausted:
+    return "synthesis-exhausted";
+  case DegradationReason::VerificationUndecided:
+    return "verification-undecided";
+  case DegradationReason::KnowledgeBaseCorrupt:
+    return "knowledge-base-corrupt";
+  case DegradationReason::LoadedArtifactInvalid:
+    return "loaded-artifact-invalid";
+  }
+  return "unknown";
+}
+
+std::string QueryDegradation::str() const {
+  std::string Out = Query;
+  Out += ": ";
+  Out += degradationReasonName(Reason);
+  Out += FellBack ? " -> bottom fallback" : " -> partial artifact kept";
+  Out += " (attempts: " + std::to_string(Attempts) + ")";
+  if (!Detail.empty()) {
+    Out += "  ";
+    Out += Detail;
+  }
+  return Out;
+}
+
+const QueryDegradation *DegradationReport::find(const std::string &Name) const {
+  for (const QueryDegradation &Q : Queries)
+    if (Q.Query == Name)
+      return &Q;
+  return nullptr;
+}
+
+std::string DegradationReport::str() const {
+  std::string Out;
+  for (const QueryDegradation &Q : Queries) {
+    Out += Q.str();
+    Out += '\n';
+  }
+  return Out;
+}

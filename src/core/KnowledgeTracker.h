@@ -138,6 +138,14 @@ public:
     if (It == ClassifierRegistry.end())
       return Error(ErrorCode::UnknownQuery, "Can't downgrade " + Name);
     const ClassifierInfo<D> &Info = It->second;
+    // A degraded classifier registers with an empty feasible-output list
+    // (DESIGN.md §6): refusing outright is the conservative rejection —
+    // no posterior, no leak.
+    if (Info.Ind.empty())
+      return Error(ErrorCode::PolicyViolation,
+                   "Policy Violation: classifier '" + Name +
+                       "' is degraded (no verified ind. sets); refusing "
+                       "to downgrade");
 
     D Prior = knowledgeFor(Secret);
     std::vector<OutputIndSet<D>> Posts = Info.approx(Prior);

@@ -30,45 +30,104 @@
 #define ANOSY_SOLVER_DECIDE_H
 
 #include "solver/Predicate.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 
 namespace anosy {
 
-/// Work budget shared across solver calls; counts split nodes. Charging is
+/// Work budget shared across solver calls: split-node counts unified with
+/// an optional monotonic wall-clock deadline and an optional *parent*
+/// budget (the per-session cumulative cap of DESIGN.md §6). Charging is
 /// thread-safe so concurrent subtree searches can share one budget: the
 /// counter saturates at the limit instead of wrapping, so an exhausted
 /// budget can never flip back to "not exhausted" no matter how many
 /// callers race on it.
+///
+/// The deadline is checked at coarse granularity — only on charges that
+/// cross a DeadlineCheckNodes boundary — so the clock syscall stays off
+/// the per-node hot path. With no deadline set the behavior (and hence
+/// every synthesized artifact) is exactly the deterministic node-count
+/// contract; with a deadline, *which* node trips it is timing-dependent,
+/// but the only possible outcome is the sound "Exhausted" verdict that
+/// callers already treat as "don't know" (never a wrong answer).
 struct SolverBudget {
+  using Clock = std::chrono::steady_clock;
+
   uint64_t MaxNodes = 200'000'000;
   std::atomic<uint64_t> NodesUsed{0};
+  /// Session-wide budget also charged by every charge() here; exhausting
+  /// the parent exhausts this budget. Borrowed, never owned.
+  SolverBudget *Parent = nullptr;
+  /// Monotonic deadline; only consulted when HasDeadline.
+  Clock::time_point Deadline{};
+  bool HasDeadline = false;
+  /// Latched when the deadline expires or a solver-charge fault is
+  /// injected; charge() then refuses everything, like a spent budget.
+  std::atomic<bool> Expired{false};
+
+  /// Deadline-check granularity in nodes. Coarse enough that the clock
+  /// read is amortized to noise, fine enough that a 10ms deadline is
+  /// honored within a few hundred microseconds of abstract evaluation.
+  static constexpr uint64_t DeadlineCheckNodes = 8192;
 
   SolverBudget() = default;
   explicit SolverBudget(uint64_t Max) : MaxNodes(Max) {}
   SolverBudget(const SolverBudget &) = delete;
   SolverBudget &operator=(const SolverBudget &) = delete;
 
-  uint64_t used() const { return NodesUsed.load(std::memory_order_relaxed); }
-  bool exhausted() const { return used() >= MaxNodes; }
+  /// Arms the wall-clock deadline \p Ms milliseconds from now.
+  void setDeadlineAfterMs(uint64_t Ms) {
+    Deadline = Clock::now() + std::chrono::milliseconds(Ms);
+    HasDeadline = true;
+  }
 
-  /// Charges \p N nodes; returns false once the budget is exhausted. The
-  /// serial contract is unchanged: the charge that reaches MaxNodes is
-  /// itself rejected. Concurrency-safe: a CAS loop adds with saturation at
-  /// UINT64_MAX, and nothing is added once the limit has been reached, so
-  /// NodesUsed can never wrap past MaxNodes back into legal range.
+  uint64_t used() const { return NodesUsed.load(std::memory_order_relaxed); }
+  bool expired() const {
+    return Expired.load(std::memory_order_relaxed) ||
+           (Parent != nullptr && Parent->expired());
+  }
+  bool exhausted() const {
+    return used() >= MaxNodes || Expired.load(std::memory_order_relaxed) ||
+           (Parent != nullptr && Parent->exhausted());
+  }
+
+  /// Charges \p N nodes; returns false once the budget is exhausted (node
+  /// cap reached, deadline expired, parent exhausted, or an injected
+  /// solver-charge fault). The serial contract is unchanged: the charge
+  /// that reaches MaxNodes is itself rejected. Concurrency-safe: a CAS
+  /// loop adds with saturation at UINT64_MAX, and nothing is added once
+  /// the limit has been reached, so NodesUsed can never wrap past MaxNodes
+  /// back into legal range.
   bool charge(uint64_t N = 1) {
+    if (Parent != nullptr && !Parent->charge(N))
+      return false;
+    if (Expired.load(std::memory_order_relaxed))
+      return false;
+    if (faults::armed() && faults::shouldFail(FaultSite::SolverCharge)) {
+      Expired.store(true, std::memory_order_relaxed);
+      return false;
+    }
     uint64_t Cur = NodesUsed.load(std::memory_order_relaxed);
     while (true) {
       if (Cur >= MaxNodes)
         return false;
       uint64_t Next = Cur > UINT64_MAX - N ? UINT64_MAX : Cur + N;
       if (NodesUsed.compare_exchange_weak(Cur, Next,
-                                          std::memory_order_relaxed))
+                                          std::memory_order_relaxed)) {
+        if (HasDeadline &&
+            (Cur == 0 ||
+             Cur / DeadlineCheckNodes != Next / DeadlineCheckNodes) &&
+            Clock::now() >= Deadline) {
+          Expired.store(true, std::memory_order_relaxed);
+          return false;
+        }
         return Next < MaxNodes;
+      }
     }
   }
 };

@@ -150,6 +150,13 @@ GrowResult anosy::growMaximalBox(const Predicate &Valid, const Predicate &Seed,
 
   auto RunRestart = [&](unsigned R, bool HaveWitness) {
     RestartSlot &S = Slots[R];
+    // Fault-injection site: an abandoned restart reports as an exhausted
+    // search, so the degradation machinery upstream (retry, then the
+    // always-sound ⊥/⊤ fallback) handles it like any spent budget.
+    if (faults::armed() && faults::shouldFail(FaultSite::GrowerRestart)) {
+      S.Witness.Exhausted = true;
+      return;
+    }
     if (!HaveWitness)
       S.Witness =
           findWitnessDiverse(Seed, Bounds, Config.Seed + R, Budget, Config.Par);

@@ -1,0 +1,66 @@
+//===- support/Checksum.h - FNV-1a content checksums ------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 64-bit FNV-1a for the crash-safe knowledge-base format (ArtifactIO v2):
+/// fast, dependency-free, and strong enough to catch the failure modes the
+/// format defends against — truncation, torn writes, and bit flips. Not a
+/// cryptographic MAC: a deliberate tamperer is defeated by re-running the
+/// refinement checker on load, not by the checksum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SUPPORT_CHECKSUM_H
+#define ANOSY_SUPPORT_CHECKSUM_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace anosy {
+
+/// FNV-1a over \p Data.
+inline uint64_t fnv1a64(std::string_view Data) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001B3ull;
+  }
+  return H;
+}
+
+/// Renders \p H as 16 lowercase hex digits.
+inline std::string checksumHex(uint64_t H) {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[size_t(I)] = Digits[H & 0xF];
+    H >>= 4;
+  }
+  return Out;
+}
+
+/// Parses 16 hex digits; false on malformed input.
+inline bool parseChecksumHex(std::string_view Text, uint64_t &Out) {
+  if (Text.size() != 16)
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    unsigned V;
+    if (C >= '0' && C <= '9')
+      V = unsigned(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V = unsigned(C - 'a') + 10;
+    else
+      return false;
+    Out = (Out << 4) | V;
+  }
+  return true;
+}
+
+} // namespace anosy
+
+#endif // ANOSY_SUPPORT_CHECKSUM_H

@@ -10,6 +10,8 @@ const char *anosy::errorCodeName(ErrorCode Code) {
     return "unsupported query";
   case ErrorCode::SynthesisFailure:
     return "synthesis failure";
+  case ErrorCode::BudgetExhausted:
+    return "budget exhausted";
   case ErrorCode::VerificationFailure:
     return "verification failure";
   case ErrorCode::PolicyViolation:

@@ -34,6 +34,12 @@ enum class ErrorCode {
   UnsupportedQuery,
   /// The synthesizer could not produce a domain (e.g., no satisfying point).
   SynthesisFailure,
+  /// A solver/synthesis/verification budget (node count or wall-clock
+  /// deadline) ran out before a decision. Distinct from SynthesisFailure
+  /// and VerificationFailure because it is *degradable*: callers may fall
+  /// back to the always-sound artifact (⊥ under / ⊤ over) or retry with a
+  /// larger budget instead of aborting (DESIGN.md §6).
+  BudgetExhausted,
   /// A synthesized artifact failed its refinement-spec check.
   VerificationFailure,
   /// Bounded downgrade rejected the query: the posterior would violate the

@@ -2,6 +2,7 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
 #include "support/Rng.h"
 
 using namespace anosy;
@@ -122,6 +123,13 @@ void ThreadPool::workerLoop(unsigned Index) {
 void ThreadPool::TaskGroup::spawn(std::function<void()> Fn) {
   if (Pool.NumThreads <= 1) {
     Fn(); // Inline: a 1-thread pool is the serial path.
+    return;
+  }
+  // Fault-injection site: a "lost" pool task degrades to inline execution
+  // on the spawner — parallelism shrinks, results don't change, and joins
+  // can never be left waiting on a task that nobody runs.
+  if (faults::armed() && faults::shouldFail(FaultSite::PoolTask)) {
+    Fn();
     return;
   }
   Pending.fetch_add(1, std::memory_order_relaxed);

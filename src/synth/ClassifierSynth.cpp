@@ -60,6 +60,9 @@ ClassifierSynthesizer::create(const Schema &S, ExprRef Body,
   size_t NumVals = static_cast<size_t>(Range.Hi - Range.Lo + 1);
   std::vector<ExistsResult> Found(NumVals);
   SolverBudget Budget(Options.MaxSolverNodes);
+  Budget.Parent = Options.SessionBudget;
+  if (Options.DeadlineMs != 0)
+    Budget.setDeadlineAfterMs(Options.DeadlineMs);
   forEachOutput(Options.Par, NumVals, [&](size_t I) {
     PredicateRef Is =
         exprPredicate(eq(Body, intConst(Range.Lo + static_cast<int64_t>(I))));
@@ -69,8 +72,8 @@ ClassifierSynthesizer::create(const Schema &S, ExprRef Body,
   std::vector<int64_t> Outputs;
   for (size_t I = 0; I != NumVals; ++I) {
     if (Found[I].Exhausted)
-      return Error(ErrorCode::SynthesisFailure,
-                   "solver budget exhausted enumerating outputs");
+      return Error(ErrorCode::BudgetExhausted,
+                   "solver budget exhausted enumerating classifier outputs");
     if (Found[I].Witness)
       Outputs.push_back(Range.Lo + static_cast<int64_t>(I));
   }
@@ -110,6 +113,8 @@ ClassifierSynthesizer::synthesizeInterval(ApproxKind Kind,
     if (Stats) {
       Stats->SolverNodes += Local[I].SolverNodes;
       Stats->BoxesSynthesized += Local[I].BoxesSynthesized;
+      Stats->Seconds += Local[I].Seconds;
+      Stats->Exhausted |= Local[I].Exhausted;
     }
     // Only the True half matters: the False set of "f == v" is the union
     // of the other outputs' sets, which are synthesized in their own
@@ -142,6 +147,8 @@ ClassifierSynthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
     if (Stats) {
       Stats->SolverNodes += Local[I].SolverNodes;
       Stats->BoxesSynthesized += Local[I].BoxesSynthesized;
+      Stats->Seconds += Local[I].Seconds;
+      Stats->Exhausted |= Local[I].Exhausted;
     }
     Sets.push_back({Outputs[I], (*Slots[I])->TrueSet});
   }

@@ -4,8 +4,22 @@
 
 #include "expr/Analysis.h"
 #include "expr/Simplify.h"
+#include "support/Stats.h"
 
 using namespace anosy;
+
+namespace {
+
+/// Per-call budget wired to the failure-domain options: node cap, parent
+/// session budget, and wall-clock deadline (DESIGN.md §6).
+void initBudget(SolverBudget &B, const SynthOptions &Options) {
+  B.MaxNodes = Options.MaxSolverNodes;
+  B.Parent = Options.SessionBudget;
+  if (Options.DeadlineMs != 0)
+    B.setDeadlineAfterMs(Options.DeadlineMs);
+}
+
+} // namespace
 
 Synthesizer::Synthesizer(const Schema &InS, ExprRef InQuery,
                          SynthOptions InOptions)
@@ -25,8 +39,13 @@ Result<Synthesizer> Synthesizer::create(const Schema &S, ExprRef Query,
 }
 
 static Error exhaustedError() {
-  return Error(ErrorCode::SynthesisFailure,
-               "solver budget exhausted during synthesis");
+  return Error(ErrorCode::BudgetExhausted,
+               "solver budget or deadline exhausted during synthesis");
+}
+
+static void markExhausted(SynthStats *Stats) {
+  if (Stats)
+    Stats->Exhausted = true;
 }
 
 Result<Box> Synthesizer::synthUnderBox(const PredicateRef &Valid,
@@ -38,8 +57,19 @@ Result<Box> Synthesizer::synthUnderBox(const PredicateRef &Valid,
   Config.Seed = Options.Seed;
   Config.Par = Options.Par;
   GrowResult R = growMaximalBox(*Valid, *Valid, Bounds, Config, Budget);
-  if (R.Exhausted)
-    return exhaustedError();
+  if (R.Exhausted) {
+    if (!Options.KeepPartialOnExhaustion)
+      return exhaustedError();
+    // Degraded mode: any box the grower completed is valid-by-construction
+    // (every growth step was a proved ∀); with none, ⊥ is the always-sound
+    // under-approximation.
+    markExhausted(Stats);
+    if (!R.Best)
+      return Box::bottom(S.arity());
+    if (Stats)
+      ++Stats->BoxesSynthesized;
+    return *R.Best;
+  }
   if (Stats && R.Best)
     ++Stats->BoxesSynthesized;
   // No satisfying point: the empty domain is the (only) correct
@@ -51,8 +81,9 @@ Result<Box> Synthesizer::synthUnderBox(const PredicateRef &Valid,
 
 Result<IndSets<Box>>
 Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
+  Stopwatch Timer;
   SolverBudget Budget;
-  Budget.MaxNodes = Options.MaxSolverNodes;
+  initBudget(Budget, Options);
 
   PredicateRef Q = exprPredicate(Query);
   PredicateRef NotQ = notPredicate(Q);
@@ -69,18 +100,33 @@ Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
     Sets.FalseSet = F.takeValue();
   } else {
     BoundResult T = tightBoundingBox(*Q, Bounds, Budget, Options.Par);
-    if (T.Exhausted)
-      return exhaustedError();
-    BoundResult F = tightBoundingBox(*NotQ, Bounds, Budget, Options.Par);
-    if (F.Exhausted)
-      return exhaustedError();
-    Sets.TrueSet = T.Bounding;
-    Sets.FalseSet = F.Bounding;
+    BoundResult F{};
+    if (!T.Exhausted)
+      F = tightBoundingBox(*NotQ, Bounds, Budget, Options.Par);
+    if (T.Exhausted || F.Exhausted) {
+      if (!Options.KeepPartialOnExhaustion) {
+        if (Stats) {
+          Stats->SolverNodes += Budget.used();
+          Stats->Seconds += Timer.seconds();
+        }
+        return exhaustedError();
+      }
+      // Degraded mode: ⊤ is the always-sound over-approximation for
+      // whichever side the solver could not finish.
+      markExhausted(Stats);
+      Sets.TrueSet = T.Exhausted ? Bounds : T.Bounding;
+      Sets.FalseSet = F.Exhausted || T.Exhausted ? Bounds : F.Bounding;
+    } else {
+      Sets.TrueSet = T.Bounding;
+      Sets.FalseSet = F.Bounding;
+    }
     if (Stats)
       Stats->BoxesSynthesized += 2;
   }
-  if (Stats)
+  if (Stats) {
     Stats->SolverNodes += Budget.used();
+    Stats->Seconds += Timer.seconds();
+  }
   return Sets;
 }
 
@@ -105,8 +151,14 @@ Result<PowerBox> Synthesizer::synthUnderPowerset(const PredicateRef &Valid,
     Config.Seed = Options.Seed + I * 7919;
     Config.Par = Options.Par;
     GrowResult R = growMaximalBox(*Grow, *Grow, Bounds, Config, Budget);
-    if (R.Exhausted)
-      return exhaustedError();
+    if (R.Exhausted) {
+      if (!Options.KeepPartialOnExhaustion)
+        return exhaustedError();
+      // Degraded ITERSYNTH: the k' < k boxes already grown form a sound
+      // (just less precise) under-approximation; keep them.
+      markExhausted(Stats);
+      break;
+    }
     if (!R.Best)
       break; // The satisfying region is fully covered (or empty).
     DomI.push_back(*R.Best);
@@ -123,8 +175,14 @@ Result<PowerBox> Synthesizer::synthOverPowerset(const PredicateRef &SatSet,
   // Algorithm 1, over arm: start from the exact bounding box, then carve
   // out maximal all-invalid boxes to sharpen the over-approximation.
   BoundResult First = tightBoundingBox(*SatSet, Bounds, Budget, Options.Par);
-  if (First.Exhausted)
-    return exhaustedError();
+  if (First.Exhausted) {
+    if (!Options.KeepPartialOnExhaustion)
+      return exhaustedError();
+    // Degraded mode: without an exact bounding box, ⊤ (the full secret
+    // space) is the always-sound over-approximation.
+    markExhausted(Stats);
+    return PowerBox(S.arity(), {Bounds}, {});
+  }
   if (First.Bounding.isEmpty())
     return PowerBox(S.arity()); // Nothing satisfies: over-approx is ⊥.
   if (Stats)
@@ -147,8 +205,14 @@ Result<PowerBox> Synthesizer::synthOverPowerset(const PredicateRef &SatSet,
     Config.Par = Options.Par;
     GrowResult R =
         growMaximalBox(*Grow, *Grow, First.Bounding, Config, Budget);
-    if (R.Exhausted)
-      return exhaustedError();
+    if (R.Exhausted) {
+      if (!Options.KeepPartialOnExhaustion)
+        return exhaustedError();
+      // Degraded carving: the exclusions found so far are each proved
+      // all-invalid, so stopping early only loses precision.
+      markExhausted(Stats);
+      break;
+    }
     if (!R.Best)
       break; // No invalid region left inside the bounding box.
     DomO.push_back(*R.Best);
@@ -164,8 +228,9 @@ Synthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
   if (K == 0)
     return Error(ErrorCode::SynthesisFailure,
                  "powerset synthesis requires k >= 1");
+  Stopwatch Timer;
   SolverBudget Budget;
-  Budget.MaxNodes = Options.MaxSolverNodes;
+  initBudget(Budget, Options);
 
   PredicateRef Q = exprPredicate(Query);
   PredicateRef NotQ = notPredicate(Q);
@@ -190,7 +255,9 @@ Synthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
     Sets.TrueSet = T.takeValue();
     Sets.FalseSet = F.takeValue();
   }
-  if (Stats)
+  if (Stats) {
     Stats->SolverNodes += Budget.used();
+    Stats->Seconds += Timer.seconds();
+  }
   return Sets;
 }

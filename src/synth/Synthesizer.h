@@ -47,12 +47,33 @@ struct SynthOptions {
   /// restarts. Synthesized domains are bit-identical to serial runs for
   /// any thread count (see DESIGN.md "Parallel execution").
   SolverParallel Par = {};
+  /// Session-wide cumulative budget (node cap and/or wall-clock deadline)
+  /// every per-call budget chains to. Borrowed, never owned; nullptr
+  /// means the per-call budget stands alone.
+  SolverBudget *SessionBudget = nullptr;
+  /// Per-call wall-clock deadline in milliseconds; 0 disables it. With a
+  /// deadline armed, answers are still always sound, but whether a call
+  /// completes or degrades is timing-dependent (DESIGN.md §6).
+  uint64_t DeadlineMs = 0;
+  /// Graceful degradation: when the budget or deadline runs out, return
+  /// the sound partial artifact instead of a BudgetExhausted error —
+  /// ITERSYNTH keeps the k' < k boxes already grown (under), or the
+  /// not-yet-sharpened bounding box / full space ⊤ (over), and SYNTH's
+  /// interval falls to ⊥ (under) / ⊤ (over). Stats->Exhausted reports
+  /// that degradation happened. Off by default: library callers see the
+  /// legacy strict contract unless they opt in (AnosySession does).
+  bool KeepPartialOnExhaustion = false;
 };
 
 /// Instrumentation of one synthesis call.
 struct SynthStats {
   uint64_t SolverNodes = 0;
   unsigned BoxesSynthesized = 0;
+  /// Wall-clock seconds the call took.
+  double Seconds = 0;
+  /// The call ran out of budget/deadline and (under
+  /// KeepPartialOnExhaustion) returned a degraded-but-sound artifact.
+  bool Exhausted = false;
 };
 
 /// The pair of ind. sets for the two query responses (§2.2): first element

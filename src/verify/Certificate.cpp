@@ -5,8 +5,12 @@
 using namespace anosy;
 
 std::string Certificate::str() const {
-  std::string Out = Valid ? "[ok]   " : (Exhausted ? "[?]    " : "[FAIL] ");
+  std::string Out =
+      Valid ? "[ok]        " : (Exhausted ? "[undecided] " : "[FAIL]      ");
   Out += Obligation;
+  if (undecided())
+    Out += "  (budget or deadline exhausted before a verdict; "
+           "no counterexample)";
   if (CounterExample) {
     Out += "  counterexample: (";
     for (size_t I = 0, E = CounterExample->size(); I != E; ++I) {

@@ -25,17 +25,27 @@
 
 namespace anosy {
 
-/// Verdict for one refinement obligation.
+/// Verdict for one refinement obligation. Three-valued: proved (Valid),
+/// refuted (!Valid with a counterexample available), or *undecided*
+/// (!Valid && Exhausted — the solver budget or deadline ran out before a
+/// verdict, mirroring a Liquid Haskell / Z3 timeout). Undecided is not
+/// refuted: there is no counterexample, and callers with a degradation
+/// path (AnosySession) retry with a larger budget or fall back to the
+/// always-sound artifact instead of treating the obligation as broken.
 struct Certificate {
   /// The obligation in the paper's notation, e.g.
   /// "forall x in dom. query x  (under_indset, True)".
   std::string Obligation;
   bool Valid = false;
-  /// A secret violating the obligation when !Valid.
+  /// A secret violating the obligation when refuted.
   std::optional<Point> CounterExample;
-  /// The check ran out of solver budget (Valid is then false but the
-  /// obligation is undecided, mirroring a Liquid Haskell timeout).
+  /// The check ran out of solver budget or deadline before a verdict.
   bool Exhausted = false;
+
+  /// Budget ran out before a verdict: neither proved nor refuted.
+  bool undecided() const { return !Valid && Exhausted; }
+  /// A definitive "no": the obligation is false (counterexample exists).
+  bool refuted() const { return !Valid && !Exhausted; }
 
   std::string str() const;
 };
@@ -51,13 +61,26 @@ struct CertificateBundle {
     return true;
   }
 
-  /// First failing part, if any.
+  /// First failing part, if any (refuted or undecided).
   const Certificate *firstFailure() const {
     for (const Certificate &C : Parts)
       if (!C.Valid)
         return &C;
     return nullptr;
   }
+
+  /// First definitively refuted part, if any. Undecided parts are not
+  /// refutations — a bundle can be invalid with no refuted part.
+  const Certificate *firstRefuted() const {
+    for (const Certificate &C : Parts)
+      if (C.refuted())
+        return &C;
+    return nullptr;
+  }
+
+  /// Invalid only because of budget exhaustion: no part is refuted but at
+  /// least one is undecided. The degradable verdict (DESIGN.md §6).
+  bool undecided() const { return !valid() && firstRefuted() == nullptr; }
 
   std::string str() const;
 };

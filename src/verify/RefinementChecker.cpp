@@ -6,9 +6,12 @@ using namespace anosy;
 
 RefinementChecker::RefinementChecker(const Schema &InS, ExprRef InQuery,
                                      uint64_t MaxSolverNodes,
-                                     SolverParallel InPar)
+                                     SolverParallel InPar,
+                                     SolverBudget *InSessionBudget,
+                                     uint64_t InDeadlineMs)
     : S(InS), Query(std::move(InQuery)), Bounds(Box::top(InS)),
-      MaxSolverNodes(MaxSolverNodes), Par(InPar) {
+      MaxSolverNodes(MaxSolverNodes), Par(InPar),
+      SessionBudget(InSessionBudget), DeadlineMs(InDeadlineMs) {
   assert(this->Query && this->Query->isBoolSorted() &&
          "refinement checking needs a boolean query");
 }
@@ -17,14 +20,30 @@ Certificate
 RefinementChecker::checkForallObligation(const std::string &Obligation,
                                          const PredicateRef &P,
                                          const Box &Over) const {
+  // Fault-injection site: an injected verifier fault leaves the
+  // obligation undecided — exactly the shape of a solver timeout, and
+  // exactly what degradation-aware callers must tolerate.
+  if (faults::armed() && faults::shouldFail(FaultSite::VerifierObligation)) {
+    Certificate C;
+    C.Obligation = Obligation;
+    C.Valid = false;
+    C.Exhausted = true;
+    return C;
+  }
+
   SolverBudget Budget;
   Budget.MaxNodes = MaxSolverNodes;
+  Budget.Parent = SessionBudget;
+  if (DeadlineMs != 0)
+    Budget.setDeadlineAfterMs(DeadlineMs);
   ForallResult R = checkForall(*P, Over, Budget, Par);
   NodesUsed += Budget.used();
 
   Certificate C;
   C.Obligation = Obligation;
-  C.Valid = R.Holds;
+  // Holds is meaningless when the search was cut off: never let an
+  // exhausted check masquerade as a proof.
+  C.Valid = R.Holds && !R.Exhausted;
   C.Exhausted = R.Exhausted;
   C.CounterExample = R.CounterExample;
   return C;

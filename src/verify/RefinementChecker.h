@@ -31,11 +31,20 @@
 namespace anosy {
 
 /// Checks synthesized (or hand-written) knowledge artifacts for one query.
+///
+/// Failure domains (DESIGN.md §6): each obligation gets its own
+/// MaxSolverNodes-sized budget, optionally chained to \p SessionBudget
+/// (the per-session cumulative cap) and bounded by \p DeadlineMs of wall
+/// clock. A budget that runs out yields an *undecided* certificate — no
+/// counterexample, Exhausted set — which callers must not confuse with a
+/// refutation (Certificate::undecided vs Certificate::refuted).
 class RefinementChecker {
 public:
   RefinementChecker(const Schema &S, ExprRef Query,
                     uint64_t MaxSolverNodes = 200'000'000,
-                    SolverParallel Par = {});
+                    SolverParallel Par = {},
+                    SolverBudget *SessionBudget = nullptr,
+                    uint64_t DeadlineMs = 0);
 
   /// Checks an ind. set pair against its Fig. 4 spec.
   template <AbstractDomain D>
@@ -64,6 +73,8 @@ private:
   Box Bounds;
   uint64_t MaxSolverNodes;
   SolverParallel Par;
+  SolverBudget *SessionBudget;
+  uint64_t DeadlineMs;
   mutable uint64_t NodesUsed = 0;
 };
 

@@ -1,0 +1,205 @@
+//===- tests/fuzz/KnowledgeBaseHostileTest.cpp - Hostile KB inputs --------===//
+//
+// Systematic adversarial inputs for the knowledge-base parsers. The
+// contract under test is narrow and absolute: parseKnowledgeBase and
+// recoverKnowledgeBase return a Result for *any* byte string — no
+// crashes, no exceptions, no UB. (The libFuzzer target in
+// KnowledgeBaseFuzzer.cpp explores the same property randomly; this test
+// pins the classes of corruption we know matter.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ArtifactIO.h"
+
+#include "expr/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+/// Both parsers, both domains: must return, never crash.
+void parseEveryWay(const std::string &Text) {
+  (void)parseKnowledgeBase<Box>(Text);
+  (void)parseKnowledgeBase<PowerBox>(Text);
+  (void)recoverKnowledgeBase<Box>(Text);
+  (void)recoverKnowledgeBase<PowerBox>(Text);
+}
+
+std::string validV2() {
+  auto M = parseModule(R"(
+    secret S { a: int[0, 40], b: int[0, 40] }
+    query small = a + b <= 10
+    query big = a + b >= 60
+  )");
+  EXPECT_TRUE(M.ok());
+  Module Mod = M.takeValue();
+  std::vector<QueryInfo<Box>> Infos;
+  for (const QueryDef &Q : Mod.queries()) {
+    auto Sy = Synthesizer::create(Mod.schema(), Q.Body);
+    EXPECT_TRUE(Sy.ok());
+    QueryInfo<Box> Info;
+    Info.Name = Q.Name;
+    Info.QueryExpr = Q.Body;
+    auto Sets = Sy->synthesizeInterval(ApproxKind::Under);
+    EXPECT_TRUE(Sets.ok());
+    Info.Ind = Sets.takeValue();
+    Infos.push_back(std::move(Info));
+  }
+  return serializeKnowledgeBaseV2(Mod.schema(), Infos);
+}
+
+} // namespace
+
+TEST(KnowledgeBaseHostile, EveryPrefixOfAValidFile) {
+  std::string Text = validV2();
+  for (size_t Cut = 0; Cut <= Text.size(); ++Cut)
+    parseEveryWay(Text.substr(0, Cut));
+}
+
+TEST(KnowledgeBaseHostile, EverySingleLineDeleted) {
+  std::string Text = validV2();
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      break;
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  for (size_t Skip = 0; Skip != Lines.size(); ++Skip) {
+    std::string Mutated;
+    for (size_t I = 0; I != Lines.size(); ++I)
+      if (I != Skip)
+        Mutated += Lines[I] + "\n";
+    parseEveryWay(Mutated);
+    // Removing any line from a v2 file must break the strict parse:
+    // every byte is covered by a record checksum or the trailer.
+    EXPECT_FALSE(parseKnowledgeBase<Box>(Mutated).ok()) << "line " << Skip;
+  }
+}
+
+TEST(KnowledgeBaseHostile, EveryByteFlipped) {
+  std::string Text = validV2();
+  for (size_t I = 0; I < Text.size(); ++I) {
+    std::string Mutated = Text;
+    Mutated[I] = char(Mutated[I] ^ 0x20); // case/symbol flip
+    if (Mutated[I] == Text[I])
+      continue;
+    parseEveryWay(Mutated);
+    EXPECT_FALSE(parseKnowledgeBase<Box>(Mutated).ok()) << "byte " << I;
+  }
+}
+
+TEST(KnowledgeBaseHostile, ArityMismatches) {
+  // Boxes with too few / too many intervals for the declared schema.
+  const char *Wrong[] = {
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[0, 10], b: int[0, 10] }\n"
+      "query q = a <= 5\n"
+      "true include [0, 5]\n" // arity 1, schema arity 2
+      "true exclude\nfalse include\nfalse exclude\nend\n",
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "query q = a <= 5\n"
+      "true include [0, 5] [0, 5] [0, 5]\n" // arity 3, schema arity 1
+      "true exclude\nfalse include\nfalse exclude\nend\n",
+  };
+  for (const char *Text : Wrong) {
+    parseEveryWay(Text);
+    EXPECT_FALSE(parseKnowledgeBase<Box>(Text).ok());
+    // Salvage classifies the arity-mismatched record as damaged (query
+    // body is fine), never as intact.
+    auto Rec = recoverKnowledgeBase<Box>(Text);
+    ASSERT_TRUE(Rec.ok());
+    EXPECT_TRUE(Rec->Intact.empty());
+    EXPECT_EQ(Rec->Damaged.size(), 1u);
+  }
+}
+
+TEST(KnowledgeBaseHostile, HugeAndMalformedIntegers) {
+  const char *Cases[] = {
+      // Overflow beyond int64: must be a parse error, not UB or a crash
+      // (the old std::stoll-based parser threw out_of_range here).
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "query q = a <= 5\n"
+      "true include [99999999999999999999999, 5]\n"
+      "true exclude\nfalse include\nfalse exclude\nend\n",
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "query q = a <= 5\n"
+      "true include [0, 18446744073709551617]\n"
+      "true exclude\nfalse include\nfalse exclude\nend\n",
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "query q = a <= 5\n"
+      "true include [-, 5]\n"
+      "true exclude\nfalse include\nfalse exclude\nend\n",
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "query q = a <= 5\n"
+      "true include [0x10, 5]\n"
+      "true exclude\nfalse include\nfalse exclude\nend\n",
+  };
+  for (const char *Text : Cases) {
+    parseEveryWay(Text);
+    EXPECT_FALSE(parseKnowledgeBase<Box>(Text).ok());
+  }
+  // INT64_MIN / INT64_MAX themselves are representable and fine.
+  std::string Extreme =
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[-9223372036854775808, 9223372036854775807] }\n"
+      "query q = a <= 5\n"
+      "true include [-9223372036854775808, 5]\n"
+      "true exclude\nfalse include\nfalse exclude\nend\n";
+  parseEveryWay(Extreme);
+}
+
+TEST(KnowledgeBaseHostile, StructuralGarbage) {
+  const char *Cases[] = {
+      "",
+      "\n\n\n",
+      "anosy-knowledge-base v1 domain interval",
+      "anosy-knowledge-base v99 domain interval\nsecret S { a: int[0,1] }\n",
+      "anosy-knowledge-base v2 domain interval\n", // no schema
+      "anosy-knowledge-base v2 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "trailer fnv1a64:0000000000000000\n", // wrong trailer
+      "anosy-knowledge-base v2 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "record-checksum fnv1a64:ffffffffffffffff\n"
+      "end\n",
+      "query q = a <= 5\nend\n", // no header at all
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "end\nend\nend\nend\n",
+      "anosy-knowledge-base v1 domain interval\n"
+      "secret S { a: int[0, 10] }\n"
+      "query q = a <= 5\n"
+      "true include [5, 0]\n" // inverted interval
+      "true exclude\nfalse include\nfalse exclude\nend\n",
+  };
+  for (const char *Text : Cases)
+    parseEveryWay(Text);
+}
+
+TEST(KnowledgeBaseHostile, RecoverNeverFailsPastTheSchema) {
+  // Once header + schema parse, recover always returns a classification,
+  // whatever follows.
+  std::string Preamble = "anosy-knowledge-base v2 domain interval\n"
+                         "secret S { a: int[0, 10] }\n";
+  const char *Tails[] = {
+      "query query query\n",
+      "query q = a <= 5\nquery r = a >= 5\n", // two anchors, no bodies
+      "true include [0, 5]\nend\n",
+      "record-checksum fnv1a64:zzzz\n",
+      "\x01\x02\x03\xff garbage bytes\n",
+  };
+  for (const char *Tail : Tails) {
+    auto Rec = recoverKnowledgeBase<Box>(Preamble + Tail);
+    ASSERT_TRUE(Rec.ok()) << Tail;
+  }
+}

@@ -45,7 +45,8 @@ TEST(Result, BoolConversion) {
 TEST(Result, AllErrorCodesHaveNames) {
   for (ErrorCode Code :
        {ErrorCode::ParseError, ErrorCode::UnsupportedQuery,
-        ErrorCode::SynthesisFailure, ErrorCode::VerificationFailure,
+        ErrorCode::SynthesisFailure, ErrorCode::BudgetExhausted,
+        ErrorCode::VerificationFailure,
         ErrorCode::PolicyViolation, ErrorCode::UnknownQuery,
         ErrorCode::LabelCheckFailure, ErrorCode::Other}) {
     EXPECT_NE(std::string(errorCodeName(Code)), "");

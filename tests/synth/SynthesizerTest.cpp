@@ -212,5 +212,38 @@ TEST(Synthesizer, BudgetExhaustionSurfacesAsError) {
       makeSynth(S, "abs(x - 200) + abs(y - 200) <= 100", Options);
   auto Sets = Sy.synthesizeInterval(ApproxKind::Under);
   ASSERT_FALSE(Sets.ok());
-  EXPECT_EQ(Sets.error().code(), ErrorCode::SynthesisFailure);
+  EXPECT_EQ(Sets.error().code(), ErrorCode::BudgetExhausted);
+}
+
+TEST(Synthesizer, KeepPartialOnExhaustionReturnsSoundUnder) {
+  Schema S = userLoc();
+  SynthOptions Options;
+  Options.MaxSolverNodes = 5;
+  Options.KeepPartialOnExhaustion = true;
+  Synthesizer Sy =
+      makeSynth(S, "abs(x - 200) + abs(y - 200) <= 100", Options);
+  SynthStats Stats;
+  auto Sets = Sy.synthesizeInterval(ApproxKind::Under, &Stats);
+  ASSERT_TRUE(Sets.ok());
+  EXPECT_TRUE(Stats.Exhausted);
+  // Whatever survived the budget must still be all-valid (⊥ trivially is).
+  SolverBudget Budget;
+  EXPECT_TRUE(
+      checkForall(*exprPredicate(Sy.query()), Sets->TrueSet, Budget).Holds);
+}
+
+TEST(Synthesizer, KeepPartialOnExhaustionReturnsTopForOver) {
+  Schema S = userLoc();
+  SynthOptions Options;
+  Options.MaxSolverNodes = 5;
+  Options.KeepPartialOnExhaustion = true;
+  Synthesizer Sy =
+      makeSynth(S, "abs(x - 200) + abs(y - 200) <= 100", Options);
+  SynthStats Stats;
+  auto Sets = Sy.synthesizeInterval(ApproxKind::Over, &Stats);
+  ASSERT_TRUE(Sets.ok());
+  EXPECT_TRUE(Stats.Exhausted);
+  // ⊤ covers every satisfying secret by construction.
+  EXPECT_EQ(Sets->TrueSet, Box::top(S));
+  EXPECT_EQ(Sets->FalseSet, Box::top(S));
 }
