@@ -8,6 +8,8 @@
 //             [--emit-smtlib] [--no-verify] [--export <kb-file>]
 //             [--threads N] [--timeout-ms N] [--max-session-nodes N]
 //             [--retry N] [--fault-inject SPEC]
+//             [--min-size N] [--static-admission] [--analysis-seeds]
+//   anosy_cli lint [files.anosy...] [--json] [--min-size N] [--threads N]
 //
 // For each query in the module it prints the refinement-type spec, the
 // sketch, the synthesized (hole-filled) program, the verification
@@ -26,8 +28,22 @@
 // ANOSY_FAULT_INJECT environment variable) arms the deterministic fault
 // harness, e.g. "seed=7,solver-charge@100,kb-write@1x2".
 //
+// Static analysis (DESIGN.md §7): `anosy_cli lint` runs the leakage
+// analyzer over query modules without touching a solver — per query, the
+// interval posteriors of both responses, plus admission verdicts
+// (policy-unsatisfiable, constant-answer, relational-hotspot,
+// session-budget-risk). --json emits a machine-readable report; the exit
+// status is 1 when any error-severity diagnostic fires. The policy
+// threshold comes from --min-size or an `# anosy-lint: min-size=N`
+// pragma in the module. In the pipeline, --min-size N enforces a
+// minimum-size policy, --static-admission rejects policy-unsatisfiable
+// queries before synthesis (zero solver nodes), and --analysis-seeds
+// seeds synthesis searches with the analyzer's posteriors.
+//
 //===----------------------------------------------------------------------===//
 
+#include "analysis/LeakageAnalyzer.h"
+#include "analysis/LintReport.h"
 #include "core/AnosySession.h"
 #include "core/ArtifactIO.h"
 #include "expr/Parser.h"
@@ -39,11 +55,13 @@
 #include "verify/RefinementChecker.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace anosy;
 
@@ -66,9 +84,19 @@ struct CliOptions {
   uint64_t MaxSessionNodes = 0;
   unsigned Retry = 1;
   std::string FaultSpec;
+  /// Minimum-size policy threshold; -1 keeps the permissive policy.
+  int64_t MinSize = -1;
+  /// Static admission / search seeding (DESIGN.md §7).
+  bool StaticAdmission = false;
+  bool AnalysisSeeds = false;
 
   bool degradable() const {
     return TimeoutMs != 0 || MaxSessionNodes != 0 || Retry > 1;
+  }
+
+  bool needsSession() const {
+    return degradable() || !ExportPath.empty() || StaticAdmission ||
+           AnalysisSeeds || MinSize >= 0;
   }
 };
 
@@ -81,8 +109,12 @@ int usage(const char *Argv0) {
       "          [--threads N]   (0 = all cores; results are identical\n"
       "                          for every thread count)\n"
       "          [--timeout-ms N] [--max-session-nodes N] [--retry N]\n"
-      "          [--fault-inject seed=S,<site>@<one-in>[x<max>],...]\n",
-      Argv0);
+      "          [--fault-inject seed=S,<site>@<one-in>[x<max>],...]\n"
+      "          [--min-size N] [--static-admission] [--analysis-seeds]\n"
+      "   or: %s lint [files.anosy...] [--json] [--min-size N]\n"
+      "          [--threads N]   (lint output is identical for every\n"
+      "                          thread count)\n",
+      Argv0, Argv0);
   return 2;
 }
 
@@ -91,6 +123,92 @@ const char *builtinModule() {
 def nearby(ox: int, oy: int): bool = abs(x - ox) + abs(y - oy) <= 100
 query nearby200 = nearby(200, 200)
 )";
+}
+
+/// `anosy_cli lint`: the solver-free static leakage analyzer over one or
+/// more modules (the built-in §2 module with no files). Exit status 1
+/// when any error-severity diagnostic fires, 2 on bad usage, and 1 on
+/// unreadable/unparsable inputs.
+int runLint(int Argc, char **Argv) {
+  std::vector<std::string> Files;
+  bool Json = false;
+  int64_t MinSize = -1;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--min-size") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      MinSize = std::strtoll(V, nullptr, 10);
+    } else if (Arg == "--threads") {
+      // Accepted for interface symmetry with the pipeline: the analyzer
+      // is pure interval arithmetic, so verdicts are identical (and
+      // byte-identical in both renderings) for every thread count.
+      if (!Next())
+        return usage(Argv[0]);
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      // Same: accepted, no effect on output.
+    } else if (Arg == "--help" || Arg == "-h") {
+      return usage(Argv[0]);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown lint flag %s\n", Arg.c_str());
+      return usage(Argv[0]);
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  std::vector<LintedModule> Mods;
+  auto LintOne = [&](const std::string &Name,
+                     const std::string &Source) -> bool {
+    auto M = parseModule(Source);
+    if (!M) {
+      std::fprintf(stderr, "%s: %s\n", Name.c_str(),
+                   M.error().str().c_str());
+      return false;
+    }
+    LintOptions Base;
+    Base.MinSize = MinSize;
+    // `# anosy-lint: min-size=N` pragmas in the module win over the
+    // command line: the module author knows the deployment policy.
+    LintOptions LOpt = lintOptionsForSource(Source, Base);
+    Mods.push_back({Name, LOpt, analyzeModule(*M, LOpt)});
+    return true;
+  };
+
+  if (Files.empty()) {
+    if (!LintOne("<builtin>", builtinModule()))
+      return 1;
+  } else {
+    for (const std::string &Path : Files) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+        return 1;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      // Report under the file's base name so output is stable no matter
+      // where the module tree is checked out.
+      size_t Slash = Path.find_last_of('/');
+      std::string Name =
+          Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+      if (!LintOne(Name, Buf.str()))
+        return 1;
+    }
+  }
+
+  std::string Out = Json ? renderLintJson(Mods) : renderLintText(Mods);
+  std::fputs(Out.c_str(), stdout);
+  for (const LintedModule &LM : Mods)
+    if (LM.Analysis.hasErrors())
+      return 1;
+  return 0;
 }
 
 /// The degradation-aware pipeline (DESIGN.md §6): one AnosySession under
@@ -108,11 +226,24 @@ int sessionRun(const Module &M, const CliOptions &Opt,
   SO.MaxSessionNodes = Opt.MaxSessionNodes;
   SO.DeadlineMs = Opt.TimeoutMs;
   SO.Retry.MaxAttempts = Opt.Retry;
+  SO.StaticAdmission = Opt.StaticAdmission;
+  SO.UseAnalysisSeeds = Opt.AnalysisSeeds;
 
-  auto S = AnosySession<D>::create(M, permissivePolicy<D>(), SO);
+  KnowledgePolicy<D> Policy = Opt.MinSize >= 0
+                                  ? minSizePolicy<D>(Opt.MinSize)
+                                  : permissivePolicy<D>();
+  auto S = AnosySession<D>::create(M, std::move(Policy), SO);
   if (!S) {
     std::fprintf(stderr, "session failed: %s\n", S.error().str().c_str());
     return 1;
+  }
+
+  if ((SO.StaticAdmission || SO.UseAnalysisSeeds) &&
+      !S->analysis().Diagnostics.empty()) {
+    std::printf("--- static analysis ---\n");
+    for (const LintDiagnostic &Diag : S->analysis().Diagnostics)
+      std::printf("%s\n", Diag.str().c_str());
+    std::printf("\n");
   }
 
   for (const QueryDef &Q : M.queries()) {
@@ -178,6 +309,9 @@ int sessionRun(const Module &M, const CliOptions &Opt,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "lint") == 0)
+    return runLint(Argc, Argv);
+
   CliOptions Opt;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -242,6 +376,15 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       Opt.FaultSpec = V;
+    } else if (Arg == "--min-size") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.MinSize = std::strtoll(V, nullptr, 10);
+    } else if (Arg == "--static-admission") {
+      Opt.StaticAdmission = true;
+    } else if (Arg == "--analysis-seeds") {
+      Opt.AnalysisSeeds = true;
     } else if (Arg == "--emit-smtlib") {
       Opt.EmitSmtLib = true;
     } else if (Arg == "--no-verify") {
@@ -307,13 +450,15 @@ int main(int Argc, char **Argv) {
                 Pool->threadCount());
   }
 
-  // Budgeted runs and exports go through the session facade: graceful
-  // degradation, retries, and the crash-safe v2 knowledge-base writer.
-  if (Opt.degradable() || !Opt.ExportPath.empty()) {
+  // Budgeted runs, exports, policies, and static admission go through the
+  // session facade: graceful degradation, retries, the crash-safe v2
+  // knowledge-base writer, and the pre-synthesis leakage analyzer.
+  if (Opt.needsSession()) {
     if (Opt.Kind != ApproxKind::Under) {
       std::fprintf(stderr, "--timeout-ms/--max-session-nodes/--retry/"
-                           "--export drive enforcement (under) artifacts; "
-                           "rerun with --kind under\n");
+                           "--export/--min-size/--static-admission/"
+                           "--analysis-seeds drive enforcement (under) "
+                           "artifacts; rerun with --kind under\n");
       return 1;
     }
     return Opt.Powerset ? sessionRun<PowerBox>(*M, Opt, SOpt)

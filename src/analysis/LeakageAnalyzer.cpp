@@ -1,0 +1,276 @@
+//===- analysis/LeakageAnalyzer.cpp - Static admission analysis -----------===//
+
+#include "analysis/LeakageAnalyzer.h"
+
+#include "expr/Simplify.h"
+
+using namespace anosy;
+
+const char *anosy::lintVerdictName(LintVerdict V) {
+  switch (V) {
+  case LintVerdict::Clean:
+    return "clean";
+  case LintVerdict::ConstantAnswer:
+    return "constant-answer";
+  case LintVerdict::PolicyUnsatisfiable:
+    return "policy-unsatisfiable";
+  case LintVerdict::RelationalHotspot:
+    return "relational-hotspot";
+  case LintVerdict::SessionBudgetRisk:
+    return "session-budget-risk";
+  }
+  return "unknown";
+}
+
+const char *anosy::lintSeverityName(LintSeverity S) {
+  switch (S) {
+  case LintSeverity::Note:
+    return "note";
+  case LintSeverity::Warning:
+    return "warning";
+  case LintSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string LintDiagnostic::str() const {
+  std::string Out = lintSeverityName(Severity);
+  Out += ": [";
+  Out += lintVerdictName(Verdict);
+  Out += "] ";
+  if (!Query.empty()) {
+    Out += Query;
+    Out += ": ";
+  }
+  Out += Message;
+  if (Witness.arity() != 0) {
+    Out += "  witness=";
+    Out += Witness.str();
+  }
+  if (!Fix.empty()) {
+    Out += "  fix: ";
+    Out += Fix;
+  }
+  return Out;
+}
+
+const QueryAnalysis *ModuleAnalysis::find(std::string_view Name) const {
+  for (const QueryAnalysis &Q : Queries)
+    if (Q.Name == Name)
+      return &Q;
+  return nullptr;
+}
+
+unsigned ModuleAnalysis::count(LintSeverity S) const {
+  unsigned N = 0;
+  for (const LintDiagnostic &D : Diagnostics)
+    N += D.Severity == S ? 1 : 0;
+  return N;
+}
+
+QueryAnalysis anosy::analyzeQueryBranches(const Schema &S,
+                                          const std::string &Name,
+                                          const ExprRef &Body,
+                                          const LintOptions &Options) {
+  QueryAnalysis QA;
+  QA.Name = Name;
+  // Features on the NNF form: ⇒ and ¬ are connective sugar the abstract
+  // pass never sees, so admission verdicts must not depend on them either.
+  QA.Features = analyzeQuery(*toNNF(simplify(Body)));
+
+  Box Prior = Box::top(S);
+  BranchPosteriors P = branchPosteriors(Body, Prior, Options.NarrowRounds);
+  QA.TruePosterior = P.TruePosterior;
+  QA.FalsePosterior = P.FalsePosterior;
+
+  if (QA.TruePosterior.isEmpty() || QA.FalsePosterior.isEmpty()) {
+    // One branch provably empty over the prior: the query is constant
+    // (an empty over-approximation contains the exact branch).
+    QA.Verdict = LintVerdict::ConstantAnswer;
+    QA.SkipSynthesis = true;
+    QA.ConstantValue = QA.FalsePosterior.isEmpty();
+    return QA;
+  }
+  if (Options.MinSize >= 0 &&
+      (QA.TruePosterior.volume() <= Options.MinSize ||
+       QA.FalsePosterior.volume() <= Options.MinSize)) {
+    // Over-approximated branch already at/below k: by sizeLaw the exact
+    // branch, and any sound under-approximation, is no larger, so the
+    // `size > k` check fails on that branch for every secret — and the
+    // monitor checks both branches regardless of the answer (Fig. 2).
+    QA.Verdict = LintVerdict::PolicyUnsatisfiable;
+    QA.RejectStatically = true;
+    return QA;
+  }
+  if (QA.Features.Relational)
+    QA.Verdict = LintVerdict::RelationalHotspot;
+  return QA;
+}
+
+namespace {
+
+/// The per-query diagnostics for one analyzed query (no diagnostic for
+/// Clean verdicts).
+void appendQueryDiagnostics(const QueryAnalysis &QA, const LintOptions &Opt,
+                            std::vector<LintDiagnostic> &Out) {
+  switch (QA.Verdict) {
+  case LintVerdict::Clean:
+    return;
+  case LintVerdict::ConstantAnswer: {
+    LintDiagnostic D;
+    D.Severity = LintSeverity::Note;
+    D.Verdict = QA.Verdict;
+    D.Query = QA.Name;
+    D.Message = std::string("query is constant-") +
+                (*QA.ConstantValue ? "True" : "False") +
+                " over the prior; it leaks nothing and synthesis is "
+                "skipped (exact ind. sets installed)";
+    D.Witness = *QA.ConstantValue ? QA.FalsePosterior : QA.TruePosterior;
+    D.Fix = "drop the query, or widen the secret schema if the constant "
+            "range is unintended";
+    Out.push_back(std::move(D));
+    return;
+  }
+  case LintVerdict::PolicyUnsatisfiable: {
+    bool TrueSide = QA.TruePosterior.volume() <= Opt.MinSize;
+    const Box &W = TrueSide ? QA.TruePosterior : QA.FalsePosterior;
+    LintDiagnostic D;
+    D.Severity = LintSeverity::Error;
+    D.Verdict = QA.Verdict;
+    D.Query = QA.Name;
+    D.Message = std::string("the ") + (TrueSide ? "True" : "False") +
+                " branch keeps at most " + W.volume().str() +
+                " candidate secrets <= policy threshold k=" +
+                std::to_string(Opt.MinSize) +
+                "; the monitor would refuse this query for every secret";
+    D.Witness = W;
+    D.Fix = "coarsen the query (widen its ranges) or lower the policy's "
+            "min-size so both branches keep > k candidates";
+    Out.push_back(std::move(D));
+    return;
+  }
+  case LintVerdict::RelationalHotspot: {
+    LintDiagnostic D;
+    D.Severity = LintSeverity::Note;
+    D.Verdict = QA.Verdict;
+    D.Query = QA.Name;
+    D.Message = "a comparison atom couples >= 2 secret fields; synthesis "
+                "explores a non-axis-aligned region (expected-expensive, "
+                "B2-shaped)";
+    D.Witness = QA.TruePosterior;
+    D.Fix = "consider per-field query decomposition, or budget extra "
+            "solver nodes for this query";
+    Out.push_back(std::move(D));
+    return;
+  }
+  case LintVerdict::SessionBudgetRisk:
+    return; // Emitted by the sequence pass, not per query.
+  }
+}
+
+/// The sequence-level pass: walk the module's answerable queries in
+/// declaration order, always descending into the smaller non-empty branch
+/// (the attacker-favoring answer), chaining refinements of the running
+/// knowledge box. If the chain pins the secret to ≤ k candidates, a real
+/// answer path exists along which Fig. 2's monitor must start refusing —
+/// worth a warning at module-review time.
+void sequencePass(const Module &M, const ModuleAnalysis &MA,
+                  const LintOptions &Opt,
+                  std::vector<LintDiagnostic> &Out) {
+  if (Opt.MinSize < 0)
+    return;
+  Box Knowledge = Box::top(M.schema());
+  std::string Path;
+  for (const QueryDef &Q : M.queries()) {
+    const QueryAnalysis *QA = MA.find(Q.Name);
+    // Statically-rejected and constant queries never update knowledge
+    // under a min-size policy: the monitor refuses them (one posterior
+    // is below k or empty), so the attacker learns nothing.
+    if (QA != nullptr && (QA->RejectStatically || QA->SkipSynthesis))
+      continue;
+    BranchPosteriors P =
+        branchPosteriors(Q.Body, Knowledge, Opt.NarrowRounds);
+    Box Next;
+    bool Answer;
+    if (P.TruePosterior.isEmpty()) {
+      Next = P.FalsePosterior;
+      Answer = false;
+    } else if (P.FalsePosterior.isEmpty()) {
+      Next = P.TruePosterior;
+      Answer = true;
+    } else {
+      Answer = P.TruePosterior.volume() <= P.FalsePosterior.volume();
+      Next = Answer ? P.TruePosterior : P.FalsePosterior;
+    }
+    if (Next.isEmpty())
+      break; // Chain bottomed out (knowledge box already infeasible).
+    if (!Path.empty())
+      Path += ",";
+    Path += Q.Name + "=" + (Answer ? "True" : "False");
+    Knowledge = Next;
+    if (Knowledge.volume() <= Opt.MinSize) {
+      LintDiagnostic D;
+      D.Severity = LintSeverity::Warning;
+      D.Verdict = LintVerdict::SessionBudgetRisk;
+      D.Query = Q.Name;
+      D.Message = "the answer path [" + Path +
+                  "] pins the secret to at most " +
+                  Knowledge.volume().str() +
+                  " candidates <= policy threshold k=" +
+                  std::to_string(Opt.MinSize) +
+                  "; the monitor must refuse at or before this query on "
+                  "that path";
+      D.Witness = Knowledge;
+      D.Fix = "space the queries' regions apart, split the sequence "
+              "across sessions, or raise the policy's min-size headroom";
+      Out.push_back(std::move(D));
+      return;
+    }
+  }
+}
+
+} // namespace
+
+ModuleAnalysis anosy::analyzeModule(const Module &M,
+                                    const LintOptions &Options) {
+  ModuleAnalysis MA;
+  for (const QueryDef &Q : M.queries()) {
+    QueryAnalysis QA =
+        analyzeQueryBranches(M.schema(), Q.Name, Q.Body, Options);
+    appendQueryDiagnostics(QA, Options, MA.Diagnostics);
+    MA.Queries.push_back(std::move(QA));
+  }
+  if (Options.SequencePass)
+    sequencePass(M, MA, Options, MA.Diagnostics);
+  return MA;
+}
+
+LintOptions anosy::lintOptionsForSource(std::string_view Source,
+                                        LintOptions Base) {
+  // Pragmas ride in comments: `# anosy-lint: key=value[, key=value]`.
+  constexpr std::string_view Tag = "# anosy-lint:";
+  size_t Pos = 0;
+  while ((Pos = Source.find(Tag, Pos)) != std::string_view::npos) {
+    size_t End = Source.find('\n', Pos);
+    std::string_view Line = Source.substr(
+        Pos + Tag.size(),
+        (End == std::string_view::npos ? Source.size() : End) -
+            (Pos + Tag.size()));
+    size_t Key = 0;
+    while ((Key = Line.find("min-size=", Key)) != std::string_view::npos) {
+      Key += 9;
+      int64_t V = 0;
+      bool Any = false;
+      while (Key < Line.size() && Line[Key] >= '0' && Line[Key] <= '9') {
+        V = V * 10 + (Line[Key] - '0');
+        ++Key;
+        Any = true;
+      }
+      if (Any)
+        Base.MinSize = V;
+    }
+    Pos = End == std::string_view::npos ? Source.size() : End;
+  }
+  return Base;
+}

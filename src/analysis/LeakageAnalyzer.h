@@ -1,0 +1,140 @@
+//===- analysis/LeakageAnalyzer.h - Static admission analysis ---*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// anosy-lint: the static leakage analyzer (DESIGN.md §7). It runs over a
+/// parsed query Module *before any secret is consulted*, computing sound
+/// over-approximations of both answer-branch posteriors from the public
+/// prior alone (analysis/IntervalRefiner.h), and derives per-query
+/// verdicts:
+///
+///  * PolicyUnsatisfiable — some branch's over-approximated posterior is
+///    already ≤ the policy threshold k. By sizeLaw the exact posterior,
+///    and hence every sound under-approximation of it, is at least as
+///    small, so `size > k` fails on that branch for *every* secret; since
+///    Fig. 2's monitor checks the policy on both posteriors regardless of
+///    the answer, the query would be refused for every secret and every
+///    prior. Statically reject; zero solver calls.
+///  * ConstantAnswer — one branch's over-approximation is empty, so the
+///    query is constant on the prior and leaks nothing. Skip synthesis:
+///    the exact ind. sets are (⊤, ⊥) or (⊥, ⊤).
+///  * RelationalHotspot — a comparison atom couples ≥ 2 secret fields
+///    (expr/Analysis.h, computed on the NNF form). Not a soundness
+///    problem, but the expected-expensive synthesis class (B2-shaped
+///    queries); surfaced as a note.
+///  * SessionBudgetRisk — the sequence-level pass: chaining abstract
+///    meets across the module's query list along the attacker-favoring
+///    answer path (always the smaller non-empty branch) bounds worst-case
+///    cumulative knowledge. If that chain pins the secret to ≤ k
+///    candidates, some answer sequence forces the monitor to refuse
+///    mid-session — flagged as a warning with the offending prefix.
+///
+/// Verdicts are pure functions of (module, options): no randomness, no
+/// threads, no solver — deterministic and bit-identical everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_ANALYSIS_LEAKAGEANALYZER_H
+#define ANOSY_ANALYSIS_LEAKAGEANALYZER_H
+
+#include "analysis/IntervalRefiner.h"
+#include "expr/Analysis.h"
+#include "expr/Module.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anosy {
+
+/// What the analyzer concluded about one query (or query sequence).
+enum class LintVerdict {
+  Clean,
+  ConstantAnswer,
+  PolicyUnsatisfiable,
+  RelationalHotspot,
+  SessionBudgetRisk,
+};
+
+const char *lintVerdictName(LintVerdict V);
+
+/// Diagnostic severity; CI gates on Error only.
+enum class LintSeverity { Note, Warning, Error };
+
+const char *lintSeverityName(LintSeverity S);
+
+/// One reportable finding.
+struct LintDiagnostic {
+  LintSeverity Severity = LintSeverity::Note;
+  LintVerdict Verdict = LintVerdict::Clean;
+  std::string Query; ///< Offending query name.
+  std::string Message;
+  Box Witness; ///< The branch posterior (or chained knowledge) at fault.
+  std::string Fix; ///< Suggested remediation.
+
+  std::string str() const;
+};
+
+/// Analyzer tuning.
+struct LintOptions {
+  /// The policy threshold k of `size dom > k` (minSizePolicy /
+  /// minEntropyPolicy); -1 = no policy known, policy verdicts disabled.
+  int64_t MinSize = -1;
+  /// Outer narrowing rounds of the refiner.
+  unsigned NarrowRounds = 6;
+  /// Run the sequence-level cumulative-knowledge pass.
+  bool SequencePass = true;
+};
+
+/// Per-query analysis results; the solver-seeding contract consumes the
+/// posterior boxes (analysis/SolverSeeds.h).
+struct QueryAnalysis {
+  std::string Name;
+  /// Features of the NNF-normalized body (connectives hidden under ⇒/¬
+  /// cannot change them — pinned by tests/analysis/NnfFeaturesTest).
+  QueryFeatures Features;
+  Box TruePosterior;  ///< Over-approximation of the True branch.
+  Box FalsePosterior; ///< Over-approximation of the False branch.
+  LintVerdict Verdict = LintVerdict::Clean;
+  /// ConstantAnswer: synthesis can be skipped, ind. sets are exact.
+  bool SkipSynthesis = false;
+  /// PolicyUnsatisfiable: reject without touching budget or secret.
+  bool RejectStatically = false;
+  /// The constant value, when SkipSynthesis.
+  std::optional<bool> ConstantValue;
+};
+
+/// Whole-module analysis: per-query results plus the diagnostic list.
+struct ModuleAnalysis {
+  std::vector<QueryAnalysis> Queries;
+  std::vector<LintDiagnostic> Diagnostics;
+
+  const QueryAnalysis *find(std::string_view Name) const;
+  unsigned count(LintSeverity S) const;
+  bool hasErrors() const { return count(LintSeverity::Error) != 0; }
+};
+
+/// Analyzes one query body against the schema prior ⊤.
+QueryAnalysis analyzeQueryBranches(const Schema &S, const std::string &Name,
+                                   const ExprRef &Body,
+                                   const LintOptions &Options = {});
+
+/// Analyzes every query of \p M (classifiers are outside the boolean
+/// fragment the refiner handles and are skipped), then runs the sequence
+/// pass over the query list in declaration order.
+ModuleAnalysis analyzeModule(const Module &M, const LintOptions &Options = {});
+
+/// Scans DSL \p Source for lint pragmas of the form
+///   `# anosy-lint: min-size=N`
+/// and overlays them on \p Base. Unknown keys are ignored (comments stay
+/// comments); the last occurrence of a key wins.
+LintOptions lintOptionsForSource(std::string_view Source,
+                                 LintOptions Base = {});
+
+} // namespace anosy
+
+#endif // ANOSY_ANALYSIS_LEAKAGEANALYZER_H

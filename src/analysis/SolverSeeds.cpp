@@ -1,0 +1,20 @@
+//===- analysis/SolverSeeds.cpp - Analysis-to-solver seeding --------------===//
+
+#include "analysis/SolverSeeds.h"
+
+using namespace anosy;
+
+bool anosy::applyAnalysisSeeds(const QueryAnalysis &QA, const Schema &S,
+                               SynthOptions &Options) {
+  Box Top = Box::top(S);
+  bool Applied = false;
+  if (QA.TruePosterior.arity() == S.arity() && QA.TruePosterior != Top) {
+    Options.TrueRegionSeed = QA.TruePosterior;
+    Applied = true;
+  }
+  if (QA.FalsePosterior.arity() == S.arity() && QA.FalsePosterior != Top) {
+    Options.FalseRegionSeed = QA.FalsePosterior;
+    Applied = true;
+  }
+  return Applied;
+}

@@ -1,0 +1,46 @@
+//===- analysis/SolverSeeds.h - Analysis-to-solver seeding ------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seeding contract between the static analyzer and the synthesizer
+/// (DESIGN.md §7). The analyzer's branch posteriors are sound
+/// over-approximations: every secret answering True lies inside
+/// TruePosterior, so
+///
+///  * every all-valid (under) box of the True response is a subset of
+///    TruePosterior — confining the grower's search region to it loses no
+///    candidate artifact;
+///  * the exact bounding box of the True branch lies inside TruePosterior
+///    — the over synthesis computes the identical result on the smaller
+///    region.
+///
+/// The regions flow into SynthOptions::TrueRegionSeed/FalseRegionSeed;
+/// the synthesizer intersects its bounds with them and publishes the
+/// region faces as SplitHints (via an inBoxPredicate conjunct), which is
+/// where the measured BnB node reduction comes from
+/// (bench/lint_admission.cpp). Seeding is opt-in: unseeded synthesis is
+/// bit-identical to every earlier release.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_ANALYSIS_SOLVERSEEDS_H
+#define ANOSY_ANALYSIS_SOLVERSEEDS_H
+
+#include "analysis/LeakageAnalyzer.h"
+#include "synth/Synthesizer.h"
+
+namespace anosy {
+
+/// Installs \p QA's branch posteriors as search-region seeds on \p
+/// Options. Posteriors equal to the full prior carry no information and
+/// are left unset (the legacy search path). Returns true when at least
+/// one seed was installed.
+bool applyAnalysisSeeds(const QueryAnalysis &QA, const Schema &S,
+                        SynthOptions &Options);
+
+} // namespace anosy
+
+#endif // ANOSY_ANALYSIS_SOLVERSEEDS_H

@@ -41,6 +41,8 @@
 #ifndef ANOSY_CORE_ANOSYSESSION_H
 #define ANOSY_CORE_ANOSYSESSION_H
 
+#include "analysis/LeakageAnalyzer.h"
+#include "analysis/SolverSeeds.h"
 #include "core/ArtifactIO.h"
 #include "core/Degradation.h"
 #include "core/KnowledgeTracker.h"
@@ -98,6 +100,22 @@ struct SessionOptions {
   /// session keeps the legacy strict contract: exhaustion (after
   /// retries) fails creation with BudgetExhausted.
   bool GracefulDegradation = true;
+  /// Static admission analysis (DESIGN.md §7): run the leakage analyzer
+  /// over the module before synthesis. Queries whose posterior
+  /// over-approximations already violate a minimum-size policy are
+  /// rejected statically — ⊥ artifacts, a StaticallyRejected degradation
+  /// record, and zero solver nodes — and constant-answer queries skip
+  /// synthesis with exact (⊤, ⊥)-shaped artifacts. Off by default so
+  /// existing sessions are byte-identical; the admission decisions only
+  /// apply for policies that publish a MinSize threshold.
+  bool StaticAdmission = false;
+  /// Seed each query's synthesis search with the analyzer's posterior
+  /// over-approximations (SynthOptions::TrueRegionSeed/FalseRegionSeed).
+  /// Sound — every valid artifact lies inside its branch's region — and
+  /// typically shrinks the branch-and-bound trees (see
+  /// bench/lint_admission). Off by default: unseeded runs stay
+  /// bit-identical to previous releases.
+  bool UseAnalysisSeeds = false;
 };
 
 template <AbstractDomain D> class AnosySession {
@@ -270,6 +288,10 @@ public:
   /// What degraded during creation, per query (empty = nothing did).
   const DegradationReport &degradation() const { return Report; }
 
+  /// The static leakage analysis of the module, populated when
+  /// StaticAdmission or UseAnalysisSeeds is enabled (empty otherwise).
+  const ModuleAnalysis &analysis() const { return Analysis; }
+
   /// Cumulative creation cost (nodes, seconds, attempts).
   const SessionStats &stats() const { return Stats; }
 
@@ -315,6 +337,15 @@ private:
       if (Options.DeadlineMs != 0)
         SessionBudget->setDeadlineAfterMs(Options.DeadlineMs);
       Options.Synth.SessionBudget = SessionBudget.get();
+    }
+    // Static pre-synthesis analysis (DESIGN.md §7): pure interval
+    // arithmetic over the prior — no solver, so it neither consumes nor
+    // needs the session budget. The policy's published threshold (when
+    // any) drives the admission verdicts.
+    if (Options.StaticAdmission || Options.UseAnalysisSeeds) {
+      LintOptions LOpt;
+      LOpt.MinSize = Tracker->policy().MinSize.value_or(-1);
+      Analysis = analyzeModule(this->M, LOpt);
     }
   }
 
@@ -393,11 +424,76 @@ private:
     return B;
   }
 
+  /// The certificates of a statically-decided constant answer: the
+  /// analyzer proved one branch empty over the prior, so the exact ind.
+  /// sets are (⊤, ⊥) or (⊥, ⊤). The non-trivial obligation rests on the
+  /// interval refiner's soundness (DESIGN.md §7), not a solver run.
+  static CertificateBundle constantAnswerBundle(bool Value) {
+    CertificateBundle B;
+    Certificate T;
+    T.Obligation =
+        std::string("forall x. x in dT => query x   (static analysis: ") +
+        (Value ? "every secret answers True over the prior)"
+               : "dT = empty, vacuously valid)");
+    T.Valid = true;
+    Certificate F;
+    F.Obligation =
+        std::string("forall x. x in dF => not (query x)   (static analysis: ") +
+        (Value ? "dF = empty, vacuously valid)"
+               : "every secret answers False over the prior)");
+    F.Valid = true;
+    B.Parts.push_back(std::move(T));
+    B.Parts.push_back(std::move(F));
+    return B;
+  }
+
   /// Steps I–IV for one query with the full degradation ladder. No
   /// session mutation: safe to run concurrently for independent queries.
   Result<QueryArtifacts<D>> buildQueryArtifacts(const QueryDef &Q) const {
     const Schema &S = M.schema();
     const unsigned MaxAttempts = std::max(1u, Options.Retry.MaxAttempts);
+
+    // Static admission (DESIGN.md §7): a PolicyUnsatisfiable verdict
+    // means *both* responses' exact posteriors sit at or below the
+    // policy minimum — the monitor would refuse every downgrade of this
+    // query no matter the secret — so reject it before spending a single
+    // solver node. A ConstantAnswer verdict pins the exact ind. sets
+    // without synthesis.
+    const QueryAnalysis *QA = Analysis.find(Q.Name);
+    if (QA != nullptr && Options.StaticAdmission) {
+      if (QA->RejectStatically) {
+        QueryArtifacts<D> Art;
+        Art.Ind = IndSets<D>{DomainTraits<D>::bottom(S),
+                             DomainTraits<D>::bottom(S)};
+        Art.Certificates = bottomFallbackBundle();
+        Art.Attempts = 0;
+        Art.Degradation = QueryDegradation{
+            Q.Name, DegradationReason::StaticallyRejected, 0, true,
+            "posterior over-approximations |T| <= " +
+                QA->TruePosterior.volume().str() + ", |F| <= " +
+                QA->FalsePosterior.volume().str() +
+                " cannot satisfy the policy; rejected before synthesis"};
+        IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
+        Art.SynthesizedSource =
+            Sketch.renderFilled(Art.Ind.TrueSet, Art.Ind.FalseSet);
+        return Art;
+      }
+      if (QA->SkipSynthesis && QA->ConstantValue) {
+        const bool Value = *QA->ConstantValue;
+        QueryArtifacts<D> Art;
+        Art.Ind =
+            Value ? IndSets<D>{DomainTraits<D>::top(S),
+                               DomainTraits<D>::bottom(S)}
+                  : IndSets<D>{DomainTraits<D>::bottom(S),
+                               DomainTraits<D>::top(S)};
+        Art.Certificates = constantAnswerBundle(Value);
+        Art.Attempts = 0;
+        IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
+        Art.SynthesizedSource =
+            Sketch.renderFilled(Art.Ind.TrueSet, Art.Ind.FalseSet);
+        return Art;
+      }
+    }
 
     QueryArtifacts<D> Art;
     SynthStats Acc;
@@ -409,6 +505,8 @@ private:
     for (unsigned Attempt = 0; Attempt != MaxAttempts; ++Attempt) {
       SynthOptions SOpt = Options.Synth;
       SOpt.MaxSolverNodes = attemptBudget(Attempt);
+      if (QA != nullptr && Options.UseAnalysisSeeds)
+        applyAnalysisSeeds(*QA, S, SOpt);
       IndSets<D> Ind;
       SynthStats Pass;
       ++Passes;
@@ -462,6 +560,8 @@ private:
       SynthOptions SOpt = Options.Synth;
       SOpt.MaxSolverNodes = attemptBudget(MaxAttempts - 1);
       SOpt.KeepPartialOnExhaustion = true;
+      if (QA != nullptr && Options.UseAnalysisSeeds)
+        applyAnalysisSeeds(*QA, S, SOpt);
       IndSets<D> Ind;
       SynthStats Pass;
       ++Passes;
@@ -653,6 +753,7 @@ private:
 
   Module M;
   SessionOptions Options;
+  ModuleAnalysis Analysis;
   std::unique_ptr<ThreadPool> OwnedPool;
   std::unique_ptr<SolverBudget> SessionBudget;
   std::unique_ptr<KnowledgeTracker<D>> Tracker;

@@ -14,6 +14,8 @@ const char *anosy::degradationReasonName(DegradationReason R) {
     return "knowledge-base-corrupt";
   case DegradationReason::LoadedArtifactInvalid:
     return "loaded-artifact-invalid";
+  case DegradationReason::StaticallyRejected:
+    return "statically-rejected";
   }
   return "unknown";
 }

@@ -42,6 +42,11 @@ enum class DegradationReason {
   KnowledgeBaseCorrupt,
   /// A loaded artifact failed re-verification against its query.
   LoadedArtifactInvalid,
+  /// The static leakage analyzer proved every secret's answer would
+  /// violate the session policy (both posterior over-approximations at or
+  /// below the minimum size), so the query was rejected before synthesis
+  /// — zero solver nodes spent (DESIGN.md §7).
+  StaticallyRejected,
 };
 
 const char *degradationReasonName(DegradationReason R);

@@ -21,6 +21,7 @@
 #include "domains/AbstractDomain.h"
 
 #include <functional>
+#include <optional>
 #include <string>
 
 namespace anosy {
@@ -29,6 +30,12 @@ namespace anosy {
 template <AbstractDomain D> struct KnowledgePolicy {
   std::string Name;
   std::function<bool(const D &)> Check;
+  /// For minimum-size-shaped policies (`size dom > MinSize`), the
+  /// threshold — exposed so the static leakage analyzer (analysis/
+  /// LeakageAnalyzer.h, DESIGN.md §7) can reject queries whose posterior
+  /// over-approximation already violates the policy before any synthesis.
+  /// Unset for policies whose shape the analyzer cannot reason about.
+  std::optional<int64_t> MinSize = std::nullopt;
 
   bool operator()(const D &Dom) const { return Check(Dom); }
 };
@@ -41,12 +48,14 @@ KnowledgePolicy<D> minSizePolicy(int64_t MinSize) {
       "size > " + std::to_string(MinSize),
       [MinSize](const D &Dom) {
         return DomainTraits<D>::size(Dom) > MinSize;
-      }};
+      },
+      MinSize};
 }
 
 /// A policy that always authorizes (useful as the "no policy" baseline).
 template <AbstractDomain D> KnowledgePolicy<D> permissivePolicy() {
-  return KnowledgePolicy<D>{"permissive", [](const D &) { return true; }};
+  return KnowledgePolicy<D>{"permissive", [](const D &) { return true; },
+                            std::nullopt};
 }
 
 /// The paper's §4.4 size semantics for powersets: Σ|includes| − Σ|excludes|.
@@ -56,11 +65,16 @@ template <AbstractDomain D> KnowledgePolicy<D> permissivePolicy() {
 /// (see EXPERIMENTS.md on Fig. 6) but exact-size policies should be
 /// preferred in deployments.
 inline KnowledgePolicy<PowerBox> minSizeLinearEstimatePolicy(int64_t MinSize) {
+  // The linear estimate over-counts overlapping includes, so the estimate
+  // is >= the exact size and an exact-size static rejection stays sound:
+  // exact <= MinSize does not imply estimate <= MinSize, hence no MinSize
+  // threshold is published for the analyzer here.
   return KnowledgePolicy<PowerBox>{
       "linear-estimate size > " + std::to_string(MinSize),
       [MinSize](const PowerBox &Dom) {
         return Dom.sizeLinearEstimate() > MinSize;
-      }};
+      },
+      std::nullopt};
 }
 
 /// Spot-checks monotonicity of \p Policy on the chain D1 ⊆ D2: if the

@@ -72,6 +72,13 @@ LeakageBounds leakageBounds(const BigCount &DomainSize,
 template <AbstractDomain D> KnowledgePolicy<D> minEntropyPolicy(double Bits) {
   // size > 2^Bits, computed in the double domain to permit fractional bit
   // requirements; exact enough because policy thresholds are coarse.
+  //
+  // Published to the static analyzer as MinSize = floor(2^Bits): integer
+  // sizes make `log2 size > Bits` and `size > floor(2^Bits)` equivalent,
+  // so a static rejection at that threshold is exact, not approximate.
+  std::optional<int64_t> MinSize;
+  if (Bits >= 0 && Bits < 62)
+    MinSize = static_cast<int64_t>(std::floor(std::pow(2.0, Bits)));
   return KnowledgePolicy<D>{
       "min-entropy > " + std::to_string(Bits) + " bits",
       [Bits](const D &Dom) {
@@ -79,7 +86,8 @@ template <AbstractDomain D> KnowledgePolicy<D> minEntropyPolicy(double Bits) {
         if (Size.isZero())
           return false;
         return std::log2(Size.toDouble()) > Bits;
-      }};
+      },
+      MinSize};
 }
 
 } // namespace anosy

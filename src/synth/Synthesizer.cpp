@@ -32,6 +32,12 @@ Result<Synthesizer> Synthesizer::create(const Schema &S, ExprRef Query,
     return Error(ErrorCode::UnsupportedQuery, "null query");
   if (auto R = admitQuery(*Query, S.arity()); !R)
     return R.error();
+  if ((Options.TrueRegionSeed &&
+       Options.TrueRegionSeed->arity() != S.arity()) ||
+      (Options.FalseRegionSeed &&
+       Options.FalseRegionSeed->arity() != S.arity()))
+    return Error(ErrorCode::UnsupportedQuery,
+                 "analysis region seed arity does not match the schema");
   // Normalize before synthesis: folding and local rewrites shrink the
   // constraint the solver evaluates at every box (semantics-preserving,
   // see expr/Simplify.h).
@@ -48,15 +54,37 @@ static void markExhausted(SynthStats *Stats) {
     Stats->Exhausted = true;
 }
 
-Result<Box> Synthesizer::synthUnderBox(const PredicateRef &Valid,
+Synthesizer::ResponseSearch
+Synthesizer::makeSearch(PredicateRef Base,
+                        const std::optional<Box> &Seed) const {
+  if (!Seed)
+    return {std::move(Base), Bounds, false};
+  Box Region = Bounds.intersect(*Seed);
+  if (Region.isEmpty())
+    // The analyzer proved the branch empty over the prior; the only
+    // sound artifact is ⊥ and no search is needed.
+    return {std::move(Base), Region, true};
+  // Confine the search and let the region's faces guide splitting: the
+  // inBoxPredicate conjunct publishes them as hints. Inside the region
+  // the conjunct is identically True, so predicate semantics on the
+  // search space are unchanged.
+  PredicateRef Confined =
+      andPredicate(std::move(Base), inBoxPredicate(Region));
+  return {std::move(Confined), Region, false};
+}
+
+Result<Box> Synthesizer::synthUnderBox(const ResponseSearch &Search,
                                        SolverBudget &Budget,
                                        SynthStats *Stats) const {
+  if (Search.EmptyBranch)
+    return Box::bottom(S.arity());
   GrowerConfig Config;
   Config.Objective = Options.Objective;
   Config.Restarts = Options.Restarts;
   Config.Seed = Options.Seed;
   Config.Par = Options.Par;
-  GrowResult R = growMaximalBox(*Valid, *Valid, Bounds, Config, Budget);
+  GrowResult R =
+      growMaximalBox(*Search.P, *Search.P, Search.Region, Config, Budget);
   if (R.Exhausted) {
     if (!Options.KeepPartialOnExhaustion)
       return exhaustedError();
@@ -87,22 +115,27 @@ Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
 
   PredicateRef Q = exprPredicate(Query);
   PredicateRef NotQ = notPredicate(Q);
+  ResponseSearch ST = makeSearch(Q, Options.TrueRegionSeed);
+  ResponseSearch SF = makeSearch(NotQ, Options.FalseRegionSeed);
 
   IndSets<Box> Sets{Box::bottom(S.arity()), Box::bottom(S.arity())};
   if (Kind == ApproxKind::Under) {
-    auto T = synthUnderBox(Q, Budget, Stats);
+    auto T = synthUnderBox(ST, Budget, Stats);
     if (!T)
       return T.error();
-    auto F = synthUnderBox(NotQ, Budget, Stats);
+    auto F = synthUnderBox(SF, Budget, Stats);
     if (!F)
       return F.error();
     Sets.TrueSet = T.takeValue();
     Sets.FalseSet = F.takeValue();
   } else {
-    BoundResult T = tightBoundingBox(*Q, Bounds, Budget, Options.Par);
-    BoundResult F{};
-    if (!T.Exhausted)
-      F = tightBoundingBox(*NotQ, Bounds, Budget, Options.Par);
+    // A seeded-empty branch's exact bounding box is ⊥; no solver call.
+    BoundResult T{Box::bottom(S.arity()), false};
+    if (!ST.EmptyBranch)
+      T = tightBoundingBox(*ST.P, ST.Region, Budget, Options.Par);
+    BoundResult F{Box::bottom(S.arity()), false};
+    if (!T.Exhausted && !SF.EmptyBranch)
+      F = tightBoundingBox(*SF.P, SF.Region, Budget, Options.Par);
     if (T.Exhausted || F.Exhausted) {
       if (!Options.KeepPartialOnExhaustion) {
         if (Stats) {
@@ -130,15 +163,18 @@ Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
   return Sets;
 }
 
-Result<PowerBox> Synthesizer::synthUnderPowerset(const PredicateRef &Valid,
+Result<PowerBox> Synthesizer::synthUnderPowerset(const ResponseSearch &Search,
                                                  unsigned K,
                                                  SolverBudget &Budget,
                                                  SynthStats *Stats) const {
+  if (Search.EmptyBranch)
+    return PowerBox(S.arity());
   // Algorithm 1, under arm: each iteration grows a fresh maximal valid box
   // *inside the still-uncovered region* (valid and not yet in dom_i). This
   // keeps the includes pairwise disjoint, guarantees strictly growing
   // coverage (re-growing an earlier maximal box is impossible), and makes
   // the paper's Σ-based size estimate exact on synthesized ind. sets.
+  const PredicateRef &Valid = Search.P;
   std::vector<Box> DomI;
   for (unsigned I = 0; I != K; ++I) {
     PredicateRef Grow =
@@ -150,7 +186,7 @@ Result<PowerBox> Synthesizer::synthUnderPowerset(const PredicateRef &Valid,
     Config.Restarts = Options.Restarts;
     Config.Seed = Options.Seed + I * 7919;
     Config.Par = Options.Par;
-    GrowResult R = growMaximalBox(*Grow, *Grow, Bounds, Config, Budget);
+    GrowResult R = growMaximalBox(*Grow, *Grow, Search.Region, Config, Budget);
     if (R.Exhausted) {
       if (!Options.KeepPartialOnExhaustion)
         return exhaustedError();
@@ -168,13 +204,17 @@ Result<PowerBox> Synthesizer::synthUnderPowerset(const PredicateRef &Valid,
   return PowerBox(S.arity(), std::move(DomI), {});
 }
 
-Result<PowerBox> Synthesizer::synthOverPowerset(const PredicateRef &SatSet,
+Result<PowerBox> Synthesizer::synthOverPowerset(const ResponseSearch &Search,
                                                 unsigned K,
                                                 SolverBudget &Budget,
                                                 SynthStats *Stats) const {
+  if (Search.EmptyBranch)
+    return PowerBox(S.arity()); // Nothing satisfies: over-approx is ⊥.
+  const PredicateRef &SatSet = Search.P;
   // Algorithm 1, over arm: start from the exact bounding box, then carve
   // out maximal all-invalid boxes to sharpen the over-approximation.
-  BoundResult First = tightBoundingBox(*SatSet, Bounds, Budget, Options.Par);
+  BoundResult First =
+      tightBoundingBox(*SatSet, Search.Region, Budget, Options.Par);
   if (First.Exhausted) {
     if (!Options.KeepPartialOnExhaustion)
       return exhaustedError();
@@ -234,22 +274,24 @@ Synthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
 
   PredicateRef Q = exprPredicate(Query);
   PredicateRef NotQ = notPredicate(Q);
+  ResponseSearch ST = makeSearch(Q, Options.TrueRegionSeed);
+  ResponseSearch SF = makeSearch(NotQ, Options.FalseRegionSeed);
 
   IndSets<PowerBox> Sets{PowerBox(S.arity()), PowerBox(S.arity())};
   if (Kind == ApproxKind::Under) {
-    auto T = synthUnderPowerset(Q, K, Budget, Stats);
+    auto T = synthUnderPowerset(ST, K, Budget, Stats);
     if (!T)
       return T.error();
-    auto F = synthUnderPowerset(NotQ, K, Budget, Stats);
+    auto F = synthUnderPowerset(SF, K, Budget, Stats);
     if (!F)
       return F.error();
     Sets.TrueSet = T.takeValue();
     Sets.FalseSet = F.takeValue();
   } else {
-    auto T = synthOverPowerset(Q, K, Budget, Stats);
+    auto T = synthOverPowerset(ST, K, Budget, Stats);
     if (!T)
       return T.error();
-    auto F = synthOverPowerset(NotQ, K, Budget, Stats);
+    auto F = synthOverPowerset(SF, K, Budget, Stats);
     if (!F)
       return F.error();
     Sets.TrueSet = T.takeValue();

@@ -31,6 +31,8 @@
 #include "support/Result.h"
 #include "synth/Sketch.h"
 
+#include <optional>
+
 namespace anosy {
 
 /// Tuning for synthesis runs.
@@ -63,6 +65,17 @@ struct SynthOptions {
   /// that degradation happened. Off by default: library callers see the
   /// legacy strict contract unless they opt in (AnosySession does).
   bool KeepPartialOnExhaustion = false;
+  /// Static-analysis search-region seeds (analysis/SolverSeeds.h,
+  /// DESIGN.md §7): sound over-approximations of the True/False answer
+  /// branches over the schema prior. When set, the matching response's
+  /// search is confined to Bounds ∩ region — every valid artifact for a
+  /// response lies inside its region, so nothing is lost — and the
+  /// region's faces are published as split hints through an
+  /// inBoxPredicate conjunct. An empty region proves the branch empty:
+  /// that response synthesizes to ⊥ without any solver call. Unset
+  /// (default) keeps synthesis bit-identical to unseeded runs.
+  std::optional<Box> TrueRegionSeed;
+  std::optional<Box> FalseRegionSeed;
 };
 
 /// Instrumentation of one synthesis call.
@@ -106,18 +119,34 @@ public:
 private:
   Synthesizer(const Schema &S, ExprRef Query, SynthOptions Options);
 
+  /// One response's search setup: the (possibly region-confined)
+  /// predicate and the box the search runs in. Empty when an analysis
+  /// seed proves the response's branch empty.
+  struct ResponseSearch {
+    PredicateRef P;
+    Box Region;
+    bool EmptyBranch = false;
+  };
+
+  /// Applies \p Seed (when set) to the response predicate \p Base:
+  /// confines the search region and publishes the region faces as split
+  /// hints. Without a seed this is the identity — unseeded synthesis
+  /// stays bit-identical.
+  ResponseSearch makeSearch(PredicateRef Base,
+                            const std::optional<Box> &Seed) const;
+
   /// One response's interval under-approximation (maximal valid box).
-  Result<Box> synthUnderBox(const PredicateRef &Valid, SolverBudget &B,
+  Result<Box> synthUnderBox(const ResponseSearch &Search, SolverBudget &B,
                             SynthStats *Stats) const;
 
   /// One response's powerset under-approximation (Algorithm 1, under arm).
-  Result<PowerBox> synthUnderPowerset(const PredicateRef &Valid, unsigned K,
-                                      SolverBudget &B,
+  Result<PowerBox> synthUnderPowerset(const ResponseSearch &Search,
+                                      unsigned K, SolverBudget &B,
                                       SynthStats *Stats) const;
 
   /// One response's powerset over-approximation (Algorithm 1, over arm).
-  Result<PowerBox> synthOverPowerset(const PredicateRef &SatSet, unsigned K,
-                                     SolverBudget &B,
+  Result<PowerBox> synthOverPowerset(const ResponseSearch &Search,
+                                     unsigned K, SolverBudget &B,
                                      SynthStats *Stats) const;
 
   Schema S;

@@ -1,0 +1,186 @@
+//===- tests/analysis/LintPropertyTest.cpp - Lint vs ground truth ---------===//
+//
+// Property tests over randomized small-domain modules: every lint verdict
+// is checked against exhaustive ground truth (baselines/Exhaustive) and,
+// for static rejection, against the runtime monitor itself:
+//
+//   PolicyUnsatisfiable  =>  the monitor refuses the query for EVERY
+//                            secret (the decision leaks nothing), and the
+//                            exact count of some branch is <= k;
+//   ConstantAnswer       =>  one branch is exactly empty;
+//   posteriors           =>  contain every point of their branch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LeakageAnalyzer.h"
+
+#include "baselines/Exhaustive.h"
+#include "core/AnosySession.h"
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace anosy;
+
+namespace {
+
+/// One random affine atom over x, y in [0,7].
+std::string randomAtom(Rng &R) {
+  std::string Lhs = R.range(0, 1) != 0 ? "x" : "y";
+  if (R.range(0, 3) == 0)
+    Lhs = "abs(" + Lhs + " - " + std::to_string(R.range(0, 7)) + ")";
+  else if (R.range(0, 3) == 0)
+    Lhs = "x + y";
+  const char *Ops[] = {"<=", "<", ">=", ">", "==", "!="};
+  return Lhs + " " + Ops[R.range(0, 5)] + " " + std::to_string(R.range(-2, 9));
+}
+
+/// A random module over the 8x8 domain with \p NumQueries random queries
+/// (1-3 atoms each, joined by &&/||).
+std::string randomModuleSource(Rng &R, unsigned NumQueries) {
+  std::string Src = "secret S { x: int[0, 7], y: int[0, 7] }\n";
+  for (unsigned Q = 0; Q != NumQueries; ++Q) {
+    Src += "query q" + std::to_string(Q) + " = " + randomAtom(R);
+    unsigned Extra = static_cast<unsigned>(R.range(0, 2));
+    for (unsigned A = 0; A != Extra; ++A)
+      Src += (R.range(0, 1) != 0 ? " && " : " || ") + randomAtom(R);
+    Src += "\n";
+  }
+  return Src;
+}
+
+} // namespace
+
+TEST(LintProperty, VerdictsMatchExhaustiveGroundTruth) {
+  Rng R(0x1407);
+  for (unsigned Iter = 0; Iter != 40; ++Iter) {
+    auto M = parseModule(randomModuleSource(R, 1 + (Iter % 2)));
+    ASSERT_TRUE(M.ok()) << M.error().str();
+    const Schema &S = M->schema();
+    Box Top = Box::top(S);
+    const int64_t Vol = 64;
+    const int64_t K = R.range(1, 40);
+
+    LintOptions Opt;
+    Opt.MinSize = K;
+    ModuleAnalysis A = analyzeModule(*M, Opt);
+    ASSERT_EQ(A.Queries.size(), M->queries().size());
+
+    for (const QueryDef &Q : M->queries()) {
+      const QueryAnalysis *QA = A.find(Q.Name);
+      ASSERT_NE(QA, nullptr);
+      const int64_t NT = countByEnumeration(*Q.Body, Top);
+      const int64_t NF = Vol - NT;
+      const std::string Ctx =
+          Q.Body->str(S) + " (k=" + std::to_string(K) + ")";
+
+      // Static rejection is sound: the over-approximated branch volume
+      // bounds the exact count from above, so a rejected query really
+      // has some branch at or below the threshold.
+      if (QA->RejectStatically) {
+        EXPECT_TRUE(NT <= K || NF <= K) << Ctx;
+      }
+
+      // Constant answers are exact: the refuted branch is truly empty.
+      if (QA->ConstantValue.has_value()) {
+        if (*QA->ConstantValue)
+          EXPECT_EQ(NF, 0) << Ctx;
+        else
+          EXPECT_EQ(NT, 0) << Ctx;
+      }
+
+      // Branch posteriors over-approximate: every point lands inside the
+      // posterior of its branch.
+      forEachPoint(Top, [&](const Point &Pt) {
+        const Box &Must =
+            evalBool(*Q.Body, Pt) ? QA->TruePosterior : QA->FalsePosterior;
+        EXPECT_TRUE(Must.contains(Pt)) << Ctx;
+        return true;
+      });
+    }
+  }
+}
+
+TEST(LintProperty, RejectedQueriesAreRefusedForEverySecret) {
+  // The end-to-end soundness statement behind PolicyUnsatisfiable: build
+  // the REAL session (legacy synthesis, no static admission) under the
+  // same min-size policy, and check the runtime monitor refuses the
+  // rejected query for every one of the 64 secrets.
+  Rng R(0x2207);
+  unsigned RejectionsChecked = 0;
+  for (unsigned Iter = 0; Iter != 12 || RejectionsChecked == 0; ++Iter) {
+    ASSERT_LT(Iter, 60u) << "generator never produced a rejectable query";
+    auto M = parseModule(randomModuleSource(R, 2));
+    ASSERT_TRUE(M.ok()) << M.error().str();
+    const int64_t K = R.range(4, 32);
+
+    LintOptions Opt;
+    Opt.MinSize = K;
+    ModuleAnalysis A = analyzeModule(*M, Opt);
+    bool AnyRejected = false;
+    for (const QueryAnalysis &QA : A.Queries)
+      AnyRejected = AnyRejected || QA.RejectStatically;
+    if (!AnyRejected)
+      continue;
+
+    auto Session = AnosySession<Box>::create(*M, minSizePolicy<Box>(K), {});
+    ASSERT_TRUE(Session.ok()) << Session.error().str();
+    for (const QueryAnalysis &QA : A.Queries) {
+      if (!QA.RejectStatically)
+        continue;
+      ++RejectionsChecked;
+      forEachPoint(Box::top(M->schema()), [&](const Point &Secret) {
+        auto D = Session->downgrade(Secret, QA.Name);
+        EXPECT_FALSE(D.ok())
+            << QA.Name << ": monitor accepted a statically rejected query";
+        return true;
+      });
+    }
+  }
+  EXPECT_GT(RejectionsChecked, 0u);
+}
+
+TEST(LintProperty, AdmissionAgreesWithMonitorOnFreshSessions) {
+  // Two sessions over the same random module and policy — one with
+  // StaticAdmission, one without. Every query the admitted session
+  // answers must get the same answer from the legacy session; every
+  // query it refuses must be refused by the legacy session too (on the
+  // same secret). This pins the "admission never changes answers, only
+  // their cost" contract.
+  Rng R(0x3307);
+  for (unsigned Iter = 0; Iter != 8; ++Iter) {
+    auto M = parseModule(randomModuleSource(R, 2));
+    ASSERT_TRUE(M.ok()) << M.error().str();
+    const int64_t K = R.range(4, 32);
+
+    SessionOptions WithLint;
+    WithLint.StaticAdmission = true;
+    auto Admitted =
+        AnosySession<Box>::create(*M, minSizePolicy<Box>(K), WithLint);
+    auto Legacy = AnosySession<Box>::create(*M, minSizePolicy<Box>(K), {});
+    ASSERT_TRUE(Admitted.ok()) << Admitted.error().str();
+    ASSERT_TRUE(Legacy.ok()) << Legacy.error().str();
+
+    for (const QueryDef &Q : M->queries()) {
+      for (const Point &Secret :
+           {Point{0, 0}, Point{3, 5}, Point{7, 7}, Point{6, 1}}) {
+        auto RA = Admitted->downgrade(Secret, Q.Name);
+        auto RL = Legacy->downgrade(Secret, Q.Name);
+        if (RA.ok()) {
+          ASSERT_TRUE(RL.ok())
+              << Q.Name << ": admission answered where legacy refuses";
+          EXPECT_EQ(*RA, *RL) << Q.Name;
+        }
+        // The reverse direction is allowed to differ only through
+        // precision: admission may refuse (bottom artifacts) where the
+        // legacy session's synthesized posterior squeaks past the
+        // policy; it must never answer differently.
+      }
+    }
+  }
+}

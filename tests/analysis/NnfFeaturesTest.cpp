@@ -1,0 +1,93 @@
+//===- tests/analysis/NnfFeaturesTest.cpp - Features across NNF -----------===//
+//
+// Satellite regression suite: the analyzer runs analyzeQuery on the
+// NNF-normalized body (LeakageAnalyzer.h), so the feature summary must be
+// stable under NNF conversion — Relational and FreeFields in particular,
+// since admission verdicts and hotspot notes key off them. NNF only moves
+// negations to the atoms and rewrites `==>`; it must never conjure or
+// drop a field or a cross-field atom.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Analysis.h"
+
+#include "expr/Parser.h"
+#include "expr/Simplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Schema xyz() {
+  return Schema("S", {{"x", 0, 100}, {"y", 0, 100}, {"z", 0, 100}});
+}
+
+ExprRef q(const Schema &S, const std::string &Src) {
+  auto R = parseQueryExpr(S, Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error().str());
+  return R.value();
+}
+
+void expectStableAcrossNnf(const Schema &S, const std::string &Src) {
+  ExprRef Raw = q(S, Src);
+  QueryFeatures Pre = analyzeQuery(*Raw);
+  QueryFeatures Post = analyzeQuery(*toNNF(Raw));
+  EXPECT_EQ(Pre.FreeFields, Post.FreeFields) << Src;
+  EXPECT_EQ(Pre.Relational, Post.Relational) << Src;
+  EXPECT_EQ(Pre.Linear, Post.Linear) << Src;
+}
+
+} // namespace
+
+TEST(NnfFeatures, NegationDoesNotChangeFeatures) {
+  Schema S = xyz();
+  expectStableAcrossNnf(S, "!(x <= 10)");
+  expectStableAcrossNnf(S, "!(x <= y)");
+  expectStableAcrossNnf(S, "!(x <= 10 && y >= 3)");
+  expectStableAcrossNnf(S, "!(!(x + y <= z))");
+}
+
+TEST(NnfFeatures, ImplicationDoesNotChangeFeatures) {
+  Schema S = xyz();
+  expectStableAcrossNnf(S, "x <= 10 ==> y >= 3");
+  expectStableAcrossNnf(S, "x <= y ==> z == 0");
+  expectStableAcrossNnf(S, "(x <= 10 ==> y >= 3) ==> z > 5");
+}
+
+TEST(NnfFeatures, RelationalPinnedPreAndPostNnf) {
+  Schema S = xyz();
+  // A cross-field atom under a negation: Relational both before and
+  // after NNF (the negation flips the operator, not the operands).
+  ExprRef Raw = q(S, "!(x + y <= 50)");
+  EXPECT_TRUE(analyzeQuery(*Raw).Relational);
+  EXPECT_TRUE(analyzeQuery(*toNNF(Raw)).Relational);
+
+  // Single-field atoms joined by connectives: never relational, in
+  // either form.
+  ExprRef Flat = q(S, "!(x <= 10) ==> (y >= 3 && !(z == 7))");
+  EXPECT_FALSE(analyzeQuery(*Flat).Relational);
+  EXPECT_FALSE(analyzeQuery(*toNNF(Flat)).Relational);
+}
+
+TEST(NnfFeatures, FreeFieldsPinnedPreAndPostNnf) {
+  Schema S = xyz();
+  ExprRef Raw = q(S, "!(x <= 10 ==> z > 2)");
+  std::set<unsigned> Expected{0, 2};
+  EXPECT_EQ(analyzeQuery(*Raw).FreeFields, Expected);
+  EXPECT_EQ(analyzeQuery(*toNNF(Raw)).FreeFields, Expected);
+}
+
+TEST(NnfFeatures, SimplifyThenNnfKeepsFeaturesOfLiveAtoms) {
+  Schema S = xyz();
+  // The analyzer's exact pipeline: simplify, then NNF. Simplification
+  // may *drop* constant-foldable atoms (that is its job), but must not
+  // invent fields or relational atoms.
+  ExprRef Raw = q(S, "(x <= y ==> z >= 1) && !(y != y)");
+  QueryFeatures Post = analyzeQuery(*toNNF(simplify(Raw)));
+  QueryFeatures Pre = analyzeQuery(*Raw);
+  EXPECT_TRUE(Post.Relational);
+  for (unsigned F : Post.FreeFields)
+    EXPECT_TRUE(Pre.FreeFields.count(F) != 0);
+}

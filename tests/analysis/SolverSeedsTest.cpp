@@ -1,0 +1,134 @@
+//===- tests/analysis/SolverSeedsTest.cpp - Seeded synthesis tests --------===//
+//
+// The seeding contract (analysis/SolverSeeds.h, DESIGN.md §7): confining
+// the synthesizer's search to the analyzer's branch posteriors must keep
+// every artifact valid, keep the over arm's bounding boxes identical, and
+// pay for itself in branch-and-bound nodes on the benchmark suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SolverSeeds.h"
+
+#include "analysis/LeakageAnalyzer.h"
+#include "benchlib/Problems.h"
+#include "verify/RefinementChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+struct SynthRun {
+  IndSets<Box> Under;
+  IndSets<Box> Over;
+  uint64_t Nodes = 0;
+};
+
+SynthRun runInterval(const BenchmarkProblem &P, bool Seeded) {
+  SynthOptions Opt;
+  if (Seeded) {
+    ModuleAnalysis MA = analyzeModule(P.M, {});
+    const QueryAnalysis *QA = MA.find(P.query().Name);
+    EXPECT_NE(QA, nullptr);
+    if (QA != nullptr)
+      applyAnalysisSeeds(*QA, P.M.schema(), Opt);
+  }
+  auto Sy = Synthesizer::create(P.M.schema(), P.query().Body, Opt);
+  EXPECT_TRUE(Sy.ok()) << P.Id << ": " << Sy.error().str();
+  SynthRun Run;
+  SynthStats Stats;
+  auto U = Sy->synthesizeInterval(ApproxKind::Under, &Stats);
+  auto O = Sy->synthesizeInterval(ApproxKind::Over, &Stats);
+  EXPECT_TRUE(U.ok()) << P.Id;
+  EXPECT_TRUE(O.ok()) << P.Id;
+  Run.Under = *U;
+  Run.Over = *O;
+  Run.Nodes = Stats.SolverNodes;
+  return Run;
+}
+
+} // namespace
+
+TEST(SolverSeeds, SeededArtifactsStayValidOnAllBenchmarks) {
+  for (const BenchmarkProblem &P : mardzielBenchmarks()) {
+    SynthRun Seeded = runInterval(P, /*Seeded=*/true);
+    RefinementChecker Checker(P.M.schema(), P.query().Body);
+    EXPECT_TRUE(Checker.checkIndSets(Seeded.Under, ApproxKind::Under).valid())
+        << P.Id;
+    EXPECT_TRUE(Checker.checkIndSets(Seeded.Over, ApproxKind::Over).valid())
+        << P.Id;
+  }
+}
+
+TEST(SolverSeeds, OverArmIsExactlyTheUnseededResult) {
+  // The over arm computes the branch's exact bounding box; since that box
+  // lies inside the seed region, confining the search cannot change it.
+  for (const BenchmarkProblem &P : mardzielBenchmarks()) {
+    SynthRun Plain = runInterval(P, /*Seeded=*/false);
+    SynthRun Seeded = runInterval(P, /*Seeded=*/true);
+    EXPECT_EQ(Plain.Over.TrueSet, Seeded.Over.TrueSet) << P.Id;
+    EXPECT_EQ(Plain.Over.FalseSet, Seeded.Over.FalseSet) << P.Id;
+  }
+}
+
+TEST(SolverSeeds, SeedingReducesNodesOnMostBenchmarks) {
+  // The acceptance bar: fewer total solver nodes on at least 3 of the 5
+  // benchmark problems (node counts are deterministic, so this is a
+  // stable pin, not a flaky timing assertion).
+  unsigned Improved = 0;
+  for (const BenchmarkProblem &P : mardzielBenchmarks()) {
+    SynthRun Plain = runInterval(P, /*Seeded=*/false);
+    SynthRun Seeded = runInterval(P, /*Seeded=*/true);
+    if (Seeded.Nodes < Plain.Nodes)
+      ++Improved;
+  }
+  EXPECT_GE(Improved, 3u);
+}
+
+TEST(SolverSeeds, TopPosteriorsInstallNoSeeds) {
+  // A query whose posteriors cannot be narrowed (the complement of an
+  // interior ball) must leave the options untouched — the legacy path.
+  const BenchmarkProblem &Nearby = nearbyProblem();
+  ModuleAnalysis MA = analyzeModule(Nearby.M, {});
+  const QueryAnalysis *QA = MA.find(Nearby.query().Name);
+  ASSERT_NE(QA, nullptr);
+  SynthOptions Opt;
+  EXPECT_TRUE(applyAnalysisSeeds(*QA, Nearby.M.schema(), Opt));
+  // nearby's True branch narrows to [100,300]^2 but the False branch is
+  // top: only the True seed may be installed.
+  ASSERT_TRUE(Opt.TrueRegionSeed.has_value());
+  EXPECT_EQ(*Opt.TrueRegionSeed, Box({{100, 300}, {100, 300}}));
+  EXPECT_FALSE(Opt.FalseRegionSeed.has_value());
+
+  // Fully-top analyses install nothing and report it.
+  QueryAnalysis Top;
+  Top.TruePosterior = Box::top(Nearby.M.schema());
+  Top.FalsePosterior = Box::top(Nearby.M.schema());
+  SynthOptions None;
+  EXPECT_FALSE(applyAnalysisSeeds(Top, Nearby.M.schema(), None));
+  EXPECT_FALSE(None.TrueRegionSeed.has_value());
+  EXPECT_FALSE(None.FalseRegionSeed.has_value());
+}
+
+TEST(SolverSeeds, ArityMismatchedSeedIsRejectedAtCreate) {
+  const BenchmarkProblem &Nearby = nearbyProblem();
+  SynthOptions Opt;
+  Opt.TrueRegionSeed = Box({{0, 1}});
+  auto Sy = Synthesizer::create(Nearby.M.schema(), Nearby.query().Body, Opt);
+  ASSERT_FALSE(Sy.ok());
+  EXPECT_EQ(Sy.error().code(), ErrorCode::UnsupportedQuery);
+}
+
+TEST(SolverSeeds, EmptySeedRegionYieldsBottomWithoutSolving) {
+  // An empty search region short-circuits the branch: synthesis returns
+  // bottom (always a valid under-approximation) without burning nodes.
+  const BenchmarkProblem &Nearby = nearbyProblem();
+  SynthOptions Opt;
+  Opt.FalseRegionSeed = Box::bottom(2);
+  auto Sy = Synthesizer::create(Nearby.M.schema(), Nearby.query().Body, Opt);
+  ASSERT_TRUE(Sy.ok()) << Sy.error().str();
+  auto U = Sy->synthesizeInterval(ApproxKind::Under);
+  ASSERT_TRUE(U.ok());
+  EXPECT_TRUE(U->FalseSet.isEmpty());
+}
