@@ -16,6 +16,7 @@
 
 #include "benchlib/Problems.h"
 #include "solver/ModelCounter.h"
+#include "support/ParseNum.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
@@ -84,12 +85,24 @@ inline double medianSeconds(unsigned Runs, const std::function<void()> &Body) {
   return Samples[Samples.size() / 2];
 }
 
+/// Strict harness-flag value parsing (support/ParseNum.h): a mistyped
+/// `--runs 1O` aborts the harness instead of silently benchmarking one
+/// run and publishing it as the median of eleven.
+inline unsigned parseBenchUnsigned(const char *Flag, const char *Value) {
+  auto V = parseUnsigned(Value);
+  if (!V) {
+    std::fprintf(stderr, "error: invalid value for %s: '%s'\n", Flag, Value);
+    std::exit(2);
+  }
+  return *V;
+}
+
 /// Parses a "--runs N" override (the paper uses 11; smaller values make
 /// quick local runs cheaper).
 inline unsigned parseRuns(int Argc, char **Argv, unsigned Default) {
   for (int I = 1; I + 1 < Argc; ++I)
     if (std::strcmp(Argv[I], "--runs") == 0)
-      return static_cast<unsigned>(std::atoi(Argv[I + 1]));
+      return parseBenchUnsigned("--runs", Argv[I + 1]);
   return Default;
 }
 
@@ -98,9 +111,9 @@ inline unsigned parseRuns(int Argc, char **Argv, unsigned Default) {
 inline unsigned parseThreads(int Argc, char **Argv, unsigned Default) {
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc)
-      return static_cast<unsigned>(std::atoi(Argv[I + 1]));
+      return parseBenchUnsigned("--threads", Argv[I + 1]);
     if (std::strncmp(Argv[I], "--threads=", 10) == 0)
-      return static_cast<unsigned>(std::atoi(Argv[I] + 10));
+      return parseBenchUnsigned("--threads", Argv[I] + 10);
   }
   return Default;
 }

@@ -9,6 +9,7 @@
 //             [--threads N] [--timeout-ms N] [--max-session-nodes N]
 //             [--retry N] [--fault-inject SPEC]
 //             [--min-size N] [--static-admission] [--analysis-seeds]
+//             [--trace-out FILE] [--metrics-out FILE] [--probe-monitor]
 //   anosy_cli lint [files.anosy...] [--json] [--min-size N] [--threads N]
 //
 // For each query in the module it prints the refinement-type spec, the
@@ -40,6 +41,17 @@
 // queries before synthesis (zero solver nodes), and --analysis-seeds
 // seeds synthesis searches with the analyzer's posteriors.
 //
+// Observability (DESIGN.md §8): --trace-out FILE records the run's phase
+// spans (parse → lint → synthesis → verify → monitor → KB write) as
+// Chrome trace_event JSON, loadable in chrome://tracing; --metrics-out
+// FILE dumps the counters/gauges/histograms in the Prometheus text
+// format. Either flag flips the obs runtime switch on and routes the run
+// through the session facade. --trace-out implies --probe-monitor: one
+// downgrade per query/classifier at the schema-center secret, so the
+// trace covers the monitor-decision phase too. Numeric flag values are
+// parsed strictly (support/ParseNum.h): non-numeric or out-of-range
+// tokens are usage errors (exit 2), not silently-zero configurations.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/LeakageAnalyzer.h"
@@ -48,7 +60,11 @@
 #include "core/ArtifactIO.h"
 #include "expr/Parser.h"
 #include "expr/SmtLib.h"
+#include "obs/Instrument.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/FaultInjection.h"
+#include "support/ParseNum.h"
 #include "support/Stats.h"
 #include "synth/ClassifierSynth.h"
 #include "synth/Synthesizer.h"
@@ -89,6 +105,13 @@ struct CliOptions {
   /// Static admission / search seeding (DESIGN.md §7).
   bool StaticAdmission = false;
   bool AnalysisSeeds = false;
+  /// Observability outputs (DESIGN.md §8); either one enables the obs
+  /// runtime switch and forces the session path.
+  std::string TraceOut;
+  std::string MetricsOut;
+  /// One downgrade per query/classifier at the schema-center secret, so a
+  /// traced run covers the monitor-decision phase. Implied by --trace-out.
+  bool ProbeMonitor = false;
 
   bool degradable() const {
     return TimeoutMs != 0 || MaxSessionNodes != 0 || Retry > 1;
@@ -96,7 +119,8 @@ struct CliOptions {
 
   bool needsSession() const {
     return degradable() || !ExportPath.empty() || StaticAdmission ||
-           AnalysisSeeds || MinSize >= 0;
+           AnalysisSeeds || MinSize >= 0 || !TraceOut.empty() ||
+           !MetricsOut.empty() || ProbeMonitor;
   }
 };
 
@@ -111,11 +135,46 @@ int usage(const char *Argv0) {
       "          [--timeout-ms N] [--max-session-nodes N] [--retry N]\n"
       "          [--fault-inject seed=S,<site>@<one-in>[x<max>],...]\n"
       "          [--min-size N] [--static-admission] [--analysis-seeds]\n"
+      "          [--trace-out FILE]   (Chrome trace_event JSON; implies\n"
+      "                              --probe-monitor)\n"
+      "          [--metrics-out FILE] (Prometheus text exposition)\n"
+      "          [--probe-monitor]    (one downgrade per query at the\n"
+      "                              schema-center secret)\n"
       "   or: %s lint [files.anosy...] [--json] [--min-size N]\n"
       "          [--threads N]   (lint output is identical for every\n"
       "                          thread count)\n",
       Argv0, Argv0);
   return 2;
+}
+
+/// Strict numeric flag parsing (support/ParseNum.h). The old atoi/strtoll
+/// calls read `--threads 1O` as 1 and `--k abc` as 0 — silently wrong
+/// configurations. A bad value now names the flag and the offending text
+/// and exits with the usage status.
+[[noreturn]] void badFlagValue(const char *Flag, const char *Value) {
+  std::fprintf(stderr, "error: invalid value for %s: '%s'\n", Flag, Value);
+  std::exit(2);
+}
+
+unsigned parseUnsignedFlag(const char *Flag, const char *Value) {
+  auto V = parseUnsigned(Value);
+  if (!V)
+    badFlagValue(Flag, Value);
+  return *V;
+}
+
+uint64_t parseUint64Flag(const char *Flag, const char *Value) {
+  auto V = parseUint64(Value);
+  if (!V)
+    badFlagValue(Flag, Value);
+  return *V;
+}
+
+int64_t parseInt64Flag(const char *Flag, const char *Value) {
+  auto V = parseInt64(Value);
+  if (!V)
+    badFlagValue(Flag, Value);
+  return *V;
 }
 
 const char *builtinModule() {
@@ -144,15 +203,19 @@ int runLint(int Argc, char **Argv) {
       const char *V = Next();
       if (!V)
         return usage(Argv[0]);
-      MinSize = std::strtoll(V, nullptr, 10);
+      MinSize = parseInt64Flag("--min-size", V);
     } else if (Arg == "--threads") {
       // Accepted for interface symmetry with the pipeline: the analyzer
       // is pure interval arithmetic, so verdicts are identical (and
-      // byte-identical in both renderings) for every thread count.
-      if (!Next())
+      // byte-identical in both renderings) for every thread count. The
+      // value is still validated — garbage is an error, not a no-op.
+      const char *V = Next();
+      if (!V)
         return usage(Argv[0]);
+      (void)parseUnsignedFlag("--threads", V);
     } else if (Arg.rfind("--threads=", 0) == 0) {
-      // Same: accepted, no effect on output.
+      // Same: accepted and validated, no effect on output.
+      (void)parseUnsignedFlag("--threads", Arg.c_str() + 10);
     } else if (Arg == "--help" || Arg == "-h") {
       return usage(Argv[0]);
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -285,6 +348,35 @@ int sessionRun(const Module &M, const CliOptions &Opt,
     std::printf("\n");
   }
 
+  if (Opt.ProbeMonitor) {
+    // One bounded downgrade per query and classifier against the
+    // schema-center secret: a traced run then exercises the monitor
+    // decision (admit or refuse) without a separate driver. Probes mutate
+    // only this session's in-memory knowledge map — the knowledge base
+    // exported below is derived from the verified artifacts, not from
+    // tracked secrets.
+    Point Secret = Box::top(M.schema()).center();
+    std::printf("--- monitor probes (secret = schema center) ---\n");
+    for (const QueryDef &Q : M.queries()) {
+      auto R = S->downgrade(Secret, Q.Name);
+      if (R)
+        std::printf("  %s -> %s\n", Q.Name.c_str(), *R ? "true" : "false");
+      else
+        std::printf("  %s -> refused (%s)\n", Q.Name.c_str(),
+                    R.error().str().c_str());
+    }
+    for (const ClassifierDef &C : M.classifiers()) {
+      auto R = S->downgradeClassifier(Secret, C.Name);
+      if (R)
+        std::printf("  %s -> %lld\n", C.Name.c_str(),
+                    static_cast<long long>(*R));
+      else
+        std::printf("  %s -> refused (%s)\n", C.Name.c_str(),
+                    R.error().str().c_str());
+    }
+    std::printf("\n");
+  }
+
   const SessionStats &St = S->stats();
   std::printf("session: %llu solver nodes, %.3fs synthesis, "
               "%u attempts, %u degraded\n",
@@ -327,7 +419,10 @@ int main(int Argc, char **Argv) {
       const char *V = Next();
       if (!V)
         return usage(Argv[0]);
-      Opt.K = static_cast<unsigned>(std::atoi(V));
+      Opt.K = parseUnsignedFlag("--k", V);
+      // k = 0 boxes is not a smaller powerset, it is no synthesis at all.
+      if (Opt.K == 0)
+        badFlagValue("--k", V);
     } else if (Arg == "--kind") {
       const char *V = Next();
       if (!V)
@@ -353,24 +448,24 @@ int main(int Argc, char **Argv) {
       const char *V = Next();
       if (!V)
         return usage(Argv[0]);
-      Opt.Threads = static_cast<unsigned>(std::atoi(V));
+      Opt.Threads = parseUnsignedFlag("--threads", V);
     } else if (Arg.rfind("--threads=", 0) == 0) {
-      Opt.Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+      Opt.Threads = parseUnsignedFlag("--threads", Arg.c_str() + 10);
     } else if (Arg == "--timeout-ms") {
       const char *V = Next();
       if (!V)
         return usage(Argv[0]);
-      Opt.TimeoutMs = std::strtoull(V, nullptr, 10);
+      Opt.TimeoutMs = parseUint64Flag("--timeout-ms", V);
     } else if (Arg == "--max-session-nodes") {
       const char *V = Next();
       if (!V)
         return usage(Argv[0]);
-      Opt.MaxSessionNodes = std::strtoull(V, nullptr, 10);
+      Opt.MaxSessionNodes = parseUint64Flag("--max-session-nodes", V);
     } else if (Arg == "--retry") {
       const char *V = Next();
       if (!V)
         return usage(Argv[0]);
-      Opt.Retry = static_cast<unsigned>(std::atoi(V));
+      Opt.Retry = parseUnsignedFlag("--retry", V);
     } else if (Arg == "--fault-inject") {
       const char *V = Next();
       if (!V)
@@ -380,7 +475,27 @@ int main(int Argc, char **Argv) {
       const char *V = Next();
       if (!V)
         return usage(Argv[0]);
-      Opt.MinSize = std::strtoll(V, nullptr, 10);
+      Opt.MinSize = parseInt64Flag("--min-size", V);
+    } else if (Arg == "--trace-out") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.TraceOut = V;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      Opt.TraceOut = Arg.substr(std::strlen("--trace-out="));
+      if (Opt.TraceOut.empty())
+        badFlagValue("--trace-out", "");
+    } else if (Arg == "--metrics-out") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opt.MetricsOut = V;
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      Opt.MetricsOut = Arg.substr(std::strlen("--metrics-out="));
+      if (Opt.MetricsOut.empty())
+        badFlagValue("--metrics-out", "");
+    } else if (Arg == "--probe-monitor") {
+      Opt.ProbeMonitor = true;
     } else if (Arg == "--static-admission") {
       Opt.StaticAdmission = true;
     } else if (Arg == "--analysis-seeds") {
@@ -398,6 +513,14 @@ int main(int Argc, char **Argv) {
       Opt.Path = Arg;
     }
   }
+
+  // A traced session should show the full span taxonomy, monitor decision
+  // included, so --trace-out implies --probe-monitor. The runtime switch
+  // flips before parsing so the parse span lands in the trace too.
+  if (!Opt.TraceOut.empty())
+    Opt.ProbeMonitor = true;
+  if (!Opt.TraceOut.empty() || !Opt.MetricsOut.empty())
+    obs::setEnabled(true);
 
   // Fault harness: the environment arms it first, an explicit flag wins.
   if (auto E = faults::initFromEnv(); !E) {
@@ -430,11 +553,16 @@ int main(int Argc, char **Argv) {
     Source = Buf.str();
   }
 
+  ANOSY_OBS_SPAN(ParseSpan, "anosy.parse.module");
+  ANOSY_OBS_SPAN_ARG(ParseSpan, "bytes", Source.size());
   auto M = parseModule(Source);
   if (!M) {
     std::fprintf(stderr, "%s\n", M.error().str().c_str());
     return 1;
   }
+  ANOSY_OBS_SPAN_ARG(ParseSpan, "queries", M->queries().size());
+  ANOSY_OBS_SPAN_ARG(ParseSpan, "classifiers", M->classifiers().size());
+  ParseSpan.end();
   const Schema &S = M->schema();
   std::printf("secret schema: %s  (%s possible secrets)\n\n",
               S.str().c_str(), S.totalSize().sci().c_str());
@@ -457,12 +585,36 @@ int main(int Argc, char **Argv) {
     if (Opt.Kind != ApproxKind::Under) {
       std::fprintf(stderr, "--timeout-ms/--max-session-nodes/--retry/"
                            "--export/--min-size/--static-admission/"
-                           "--analysis-seeds drive enforcement (under) "
+                           "--analysis-seeds/--trace-out/--metrics-out/"
+                           "--probe-monitor drive enforcement (under) "
                            "artifacts; rerun with --kind under\n");
       return 1;
     }
-    return Opt.Powerset ? sessionRun<PowerBox>(*M, Opt, SOpt)
-                        : sessionRun<Box>(*M, Opt, SOpt);
+    int RC = Opt.Powerset ? sessionRun<PowerBox>(*M, Opt, SOpt)
+                          : sessionRun<Box>(*M, Opt, SOpt);
+    // Re-publish after the whole run so the anosy_pool_* gauges reflect
+    // verification and probe work, not just session creation.
+    if (Pool != nullptr)
+      publishPoolStats(Pool->stats());
+    if (!Opt.TraceOut.empty()) {
+      auto W = obs::TraceRecorder::global().writeFile(Opt.TraceOut);
+      if (!W) {
+        std::fprintf(stderr, "--trace-out: %s\n", W.error().str().c_str());
+        return 1;
+      }
+      std::printf("wrote %zu trace events to %s\n",
+                  obs::TraceRecorder::global().eventCount(),
+                  Opt.TraceOut.c_str());
+    }
+    if (!Opt.MetricsOut.empty()) {
+      auto W = obs::MetricsRegistry::global().writeFile(Opt.MetricsOut);
+      if (!W) {
+        std::fprintf(stderr, "--metrics-out: %s\n", W.error().str().c_str());
+        return 1;
+      }
+      std::printf("wrote metrics to %s\n", Opt.MetricsOut.c_str());
+    }
+    return RC;
   }
 
   for (const QueryDef &Q : M->queries()) {

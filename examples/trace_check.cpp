@@ -1,0 +1,96 @@
+//===- examples/trace_check.cpp - Chrome trace document validator ---------===//
+//
+// The CI-facing end of the observability subsystem (DESIGN.md §8):
+// validates that a file produced by `anosy_cli --trace-out` is a
+// well-formed Chrome trace_event document (the structural rules of
+// tests/obs/trace_event.schema.json, implemented by
+// obs::validateChromeTrace) and, optionally, that named spans appear.
+//
+//   trace_check trace.json [--require SPAN]... [--list]
+//
+// Exit 0 when the document validates and every required span is present;
+// 1 on a validation failure or a missing span; 2 on bad usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceValidate.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace anosy;
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  std::vector<std::string> Required;
+  bool List = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--require") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--require needs a span name\n");
+        return 2;
+      }
+      Required.push_back(Argv[++I]);
+    } else if (Arg.rfind("--require=", 0) == 0) {
+      Required.push_back(Arg.substr(std::strlen("--require=")));
+    } else if (Arg == "--list") {
+      List = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s trace.json [--require SPAN]... [--list]\n",
+                   Argv[0]);
+      return 2;
+    } else if (Path.empty()) {
+      Path = Arg;
+    } else {
+      std::fprintf(stderr, "only one trace file, got '%s' and '%s'\n",
+                   Path.c_str(), Arg.c_str());
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: %s trace.json [--require SPAN]... [--list]\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  auto Spans = obs::validateChromeTrace(Buf.str());
+  if (!Spans) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                 Spans.error().str().c_str());
+    return 1;
+  }
+  std::printf("%s: valid Chrome trace, %zu span event%s\n", Path.c_str(),
+              Spans->size(), Spans->size() == 1 ? "" : "s");
+  if (List)
+    for (const std::string &Name : *Spans)
+      std::printf("  %s\n", Name.c_str());
+
+  int Missing = 0;
+  for (const std::string &Want : Required) {
+    bool Found = false;
+    for (const std::string &Name : *Spans)
+      if (Name == Want) {
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr, "missing required span: %s\n", Want.c_str());
+      ++Missing;
+    }
+  }
+  return Missing == 0 ? 0 : 1;
+}

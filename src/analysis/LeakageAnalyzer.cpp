@@ -3,6 +3,7 @@
 #include "analysis/LeakageAnalyzer.h"
 
 #include "expr/Simplify.h"
+#include "obs/Instrument.h"
 
 using namespace anosy;
 
@@ -234,15 +235,26 @@ void sequencePass(const Module &M, const ModuleAnalysis &MA,
 
 ModuleAnalysis anosy::analyzeModule(const Module &M,
                                     const LintOptions &Options) {
+  ANOSY_OBS_SPAN(Span, "anosy.lint.module");
   ModuleAnalysis MA;
+  size_t Rejected = 0;
   for (const QueryDef &Q : M.queries()) {
     QueryAnalysis QA =
         analyzeQueryBranches(M.schema(), Q.Name, Q.Body, Options);
     appendQueryDiagnostics(QA, Options, MA.Diagnostics);
+    if (QA.RejectStatically)
+      ++Rejected;
     MA.Queries.push_back(std::move(QA));
   }
   if (Options.SequencePass)
     sequencePass(M, MA, Options, MA.Diagnostics);
+  ANOSY_OBS_SPAN_ARG(Span, "queries", MA.Queries.size());
+  ANOSY_OBS_SPAN_ARG(Span, "diagnostics", MA.Diagnostics.size());
+  ANOSY_OBS_SPAN_ARG(Span, "static_rejections", Rejected);
+  ANOSY_OBS_COUNT("anosy_lint_modules_total", "Modules analyzed by the linter",
+                  1);
+  ANOSY_OBS_COUNT("anosy_lint_static_rejections_total",
+                  "Queries the analyzer proved policy-unsatisfiable", Rejected);
   return MA;
 }
 

@@ -47,6 +47,8 @@
 #include "core/Degradation.h"
 #include "core/KnowledgeTracker.h"
 #include "expr/Module.h"
+#include "obs/Instrument.h"
+#include "support/Stats.h"
 #include "synth/Sketch.h"
 #include "verify/RefinementChecker.h"
 
@@ -128,11 +130,16 @@ public:
   /// instead of failing — inspect degradation() afterwards.
   static Result<AnosySession> create(Module M, KnowledgePolicy<D> Policy,
                                      SessionOptions Options = {}) {
+    ANOSY_OBS_SPAN(Span, "anosy.session.create");
     AnosySession Session(std::move(M), std::move(Policy), Options);
     const std::vector<QueryDef> &Queries = Session.M.queries();
     const std::vector<ClassifierDef> &Classifiers = Session.M.classifiers();
+    ANOSY_OBS_SPAN_ARG(Span, "queries", Queries.size());
+    ANOSY_OBS_SPAN_ARG(Span, "classifiers", Classifiers.size());
 
     ThreadPool *Pool = Session.Options.Synth.Par.Pool;
+    ANOSY_OBS_SPAN_ARG(Span, "threads",
+                       Pool != nullptr ? Pool->threadCount() : 1u);
     if (Pool != nullptr && Pool->threadCount() > 1) {
       // Build every declaration's artifacts concurrently (builds are
       // independent and pure), then install serially in declaration
@@ -172,6 +179,9 @@ public:
         Session.installClassifier(Info.takeValue());
       }
     }
+    publishSessionStats(Session.Stats);
+    if (Pool != nullptr)
+      publishPoolStats(Pool->stats());
     return Session;
   }
 
@@ -186,9 +196,13 @@ public:
   static Result<AnosySession>
   createFromKnowledgeBase(const std::string &Text, KnowledgePolicy<D> Policy,
                           SessionOptions Options = {}) {
+    ANOSY_OBS_SPAN(Span, "anosy.session.load_kb");
     auto Rec = recoverKnowledgeBase<D>(Text);
     if (!Rec)
       return Rec.error();
+    ANOSY_OBS_SPAN_ARG(Span, "intact", Rec->Intact.size());
+    ANOSY_OBS_SPAN_ARG(Span, "damaged", Rec->Damaged.size());
+    ANOSY_OBS_SPAN_ARG(Span, "lost", Rec->Lost.size());
 
     std::vector<QueryDef> Defs;
     for (const QueryInfo<D> &Info : Rec->Intact)
@@ -261,6 +275,7 @@ public:
       Session.Report.Queries.push_back(
           {Name, DegradationReason::KnowledgeBaseCorrupt, 0, true,
            "record unrecoverable; query dropped"});
+    publishSessionStats(Session.Stats);
     return Session;
   }
 
@@ -452,6 +467,9 @@ private:
   Result<QueryArtifacts<D>> buildQueryArtifacts(const QueryDef &Q) const {
     const Schema &S = M.schema();
     const unsigned MaxAttempts = std::max(1u, Options.Retry.MaxAttempts);
+    Stopwatch BuildTimer;
+    ANOSY_OBS_SPAN(Span, "anosy.query.build");
+    ANOSY_OBS_SPAN_ARG(Span, "query", Q.Name);
 
     // Static admission (DESIGN.md §7): a PolicyUnsatisfiable verdict
     // means *both* responses' exact posteriors sit at or below the
@@ -476,6 +494,9 @@ private:
         IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
         Art.SynthesizedSource =
             Sketch.renderFilled(Art.Ind.TrueSet, Art.Ind.FalseSet);
+        ANOSY_OBS_SPAN_ARG(Span, "outcome", "statically-rejected");
+        ANOSY_OBS_COUNT("anosy_queries_statically_rejected_total",
+                        "Queries rejected by static admission", 1);
         return Art;
       }
       if (QA->SkipSynthesis && QA->ConstantValue) {
@@ -491,6 +512,9 @@ private:
         IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
         Art.SynthesizedSource =
             Sketch.renderFilled(Art.Ind.TrueSet, Art.Ind.FalseSet);
+        ANOSY_OBS_SPAN_ARG(Span, "outcome", "constant-answer");
+        ANOSY_OBS_COUNT("anosy_queries_constant_answer_total",
+                        "Queries decided statically as constant-answer", 1);
         return Art;
       }
     }
@@ -614,6 +638,19 @@ private:
     IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
     Art.SynthesizedSource =
         Sketch.renderFilled(Art.Ind.TrueSet, Art.Ind.FalseSet);
+    ANOSY_OBS_SPAN_ARG(Span, "outcome",
+                       Art.Degradation ? "degraded" : "verified");
+    ANOSY_OBS_SPAN_ARG(Span, "attempts", Passes);
+    ANOSY_OBS_SPAN_ARG(Span, "solver_nodes", Acc.SolverNodes);
+    if (SessionBudget != nullptr)
+      ANOSY_OBS_SPAN_ARG(Span, "budget_remaining",
+                         SessionBudget->used() >= SessionBudget->MaxNodes
+                             ? uint64_t(0)
+                             : SessionBudget->MaxNodes -
+                                   SessionBudget->used());
+    ANOSY_OBS_OBSERVE_SECONDS("anosy_query_build_seconds",
+                              "Wall time to build one query's artifacts",
+                              BuildTimer.seconds());
     return Art;
   }
 
@@ -629,8 +666,12 @@ private:
     Stats.SolverNodes += Art.Stats.SolverNodes;
     Stats.SynthSeconds += Art.Stats.Seconds;
     Stats.Attempts += Art.Attempts;
+    ANOSY_OBS_COUNT("anosy_queries_registered_total",
+                    "Queries registered into a session tracker", 1);
     if (Art.Degradation) {
       ++Stats.DegradedQueries;
+      ANOSY_OBS_COUNT("anosy_queries_degraded_total",
+                      "Queries whose artifacts were degraded", 1);
       Report.Queries.push_back(*Art.Degradation);
     }
     Artifacts.emplace(Q.Name, std::move(Art));
@@ -640,8 +681,12 @@ private:
     Stats.SolverNodes += Build.Stats.SolverNodes;
     Stats.SynthSeconds += Build.Stats.Seconds;
     Stats.Attempts += Build.Attempts;
+    ANOSY_OBS_COUNT("anosy_queries_registered_total",
+                    "Queries registered into a session tracker", 1);
     if (Build.Degradation) {
       ++Stats.DegradedQueries;
+      ANOSY_OBS_COUNT("anosy_queries_degraded_total",
+                      "Queries whose artifacts were degraded", 1);
       Report.Queries.push_back(*Build.Degradation);
     }
     Tracker->registerClassifier(std::move(Build.Info));

@@ -3,6 +3,7 @@
 #include "core/ArtifactIO.h"
 
 #include "expr/Parser.h"
+#include "obs/Instrument.h"
 #include "support/Checksum.h"
 #include "support/FaultInjection.h"
 
@@ -322,6 +323,8 @@ template <AbstractDomain D>
 std::string
 anosy::serializeKnowledgeBaseV2(const Schema &S,
                                 const std::vector<QueryInfo<D>> &Infos) {
+  ANOSY_OBS_SPAN(Span, "anosy.kb.serialize");
+  ANOSY_OBS_SPAN_ARG(Span, "records", Infos.size());
   std::string Out = std::string("anosy-knowledge-base v2 domain ") +
                     domainTag<D>() + "\n";
   Out += "secret " + S.str() + "\n";
@@ -421,6 +424,7 @@ Result<KnowledgeBase<D>> anosy::parseKnowledgeBase(const std::string &Text) {
 template <AbstractDomain D>
 Result<RecoveredKnowledgeBase<D>>
 anosy::recoverKnowledgeBase(const std::string &Text) {
+  ANOSY_OBS_SPAN(Span, "anosy.kb.recover");
   LineIndex Idx = splitLines(Text);
   const std::vector<std::string> &L = Idx.Lines;
   size_t N = L.size();
@@ -523,10 +527,24 @@ anosy::recoverKnowledgeBase(const std::string &Text) {
     }
     Rec.Intact.push_back(Info.takeValue());
   }
+  ANOSY_OBS_SPAN_ARG(Span, "intact", Rec.Intact.size());
+  ANOSY_OBS_SPAN_ARG(Span, "damaged", Rec.Damaged.size());
+  ANOSY_OBS_SPAN_ARG(Span, "lost", Rec.Lost.size());
+  ANOSY_OBS_COUNT("anosy_kb_records_intact_total",
+                  "Knowledge-base records recovered intact",
+                  Rec.Intact.size());
+  ANOSY_OBS_COUNT("anosy_kb_records_damaged_total",
+                  "Knowledge-base records salvaged for resynthesis",
+                  Rec.Damaged.size());
+  ANOSY_OBS_COUNT("anosy_kb_records_lost_total",
+                  "Knowledge-base records dropped as unrecoverable",
+                  Rec.Lost.size());
   return Rec;
 }
 
 Result<std::string> anosy::readKnowledgeBaseFile(const std::string &Path) {
+  ANOSY_OBS_SPAN(Span, "anosy.kb.read");
+  ANOSY_OBS_SPAN_ARG(Span, "path", Path);
   int Fd = ::open(Path.c_str(), O_RDONLY);
   if (Fd < 0)
     return Error(ErrorCode::Other, "cannot open knowledge base '" + Path +
@@ -554,6 +572,11 @@ Result<std::string> anosy::readKnowledgeBaseFile(const std::string &Path) {
 
 Result<void> anosy::writeKnowledgeBaseFileAtomic(const std::string &Path,
                                                  const std::string &Text) {
+  ANOSY_OBS_SPAN(Span, "anosy.kb.write");
+  ANOSY_OBS_SPAN_ARG(Span, "path", Path);
+  ANOSY_OBS_SPAN_ARG(Span, "bytes", Text.size());
+  ANOSY_OBS_COUNT("anosy_kb_writes_total",
+                  "Atomic knowledge-base writes attempted", 1);
   std::string Tmp = Path + ".tmp";
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (Fd < 0)

@@ -2,7 +2,39 @@
 
 #include "core/Degradation.h"
 
+#include "obs/Instrument.h"
+
 using namespace anosy;
+
+void anosy::publishSessionStats(const SessionStats &Stats) {
+  ANOSY_OBS_GAUGE_SET("anosy_session_solver_nodes",
+                      "Cumulative solver nodes of the last session creation",
+                      static_cast<int64_t>(Stats.SolverNodes));
+  ANOSY_OBS_GAUGE_SET("anosy_session_synth_attempts",
+                      "Synthesis attempts across the last session creation",
+                      static_cast<int64_t>(Stats.Attempts));
+  ANOSY_OBS_GAUGE_SET("anosy_session_degraded_queries",
+                      "Queries degraded during the last session creation",
+                      static_cast<int64_t>(Stats.DegradedQueries));
+  ANOSY_OBS_OBSERVE_SECONDS("anosy_session_synth_seconds",
+                            "Synthesis wall time per session creation",
+                            Stats.SynthSeconds);
+}
+
+void anosy::publishPoolStats(const ThreadPool::PoolStats &Stats) {
+  ANOSY_OBS_GAUGE_SET("anosy_pool_tasks_submitted",
+                      "Tasks submitted to the session thread pool",
+                      static_cast<int64_t>(Stats.Submitted));
+  ANOSY_OBS_GAUGE_SET("anosy_pool_tasks_executed",
+                      "Tasks executed by the session thread pool",
+                      static_cast<int64_t>(Stats.Executed));
+  ANOSY_OBS_GAUGE_SET("anosy_pool_tasks_stolen",
+                      "Tasks stolen across worker deques",
+                      static_cast<int64_t>(Stats.Stolen));
+  ANOSY_OBS_GAUGE_SET("anosy_pool_peak_queue_depth",
+                      "High-water mark of the pool's queued-task count",
+                      static_cast<int64_t>(Stats.PeakQueueDepth));
+}
 
 const char *anosy::degradationReasonName(DegradationReason R) {
   switch (R) {

@@ -24,6 +24,8 @@
 #ifndef ANOSY_CORE_DEGRADATION_H
 #define ANOSY_CORE_DEGRADATION_H
 
+#include "support/ThreadPool.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -95,6 +97,17 @@ struct SessionStats {
   unsigned Attempts = 0;
   unsigned DegradedQueries = 0;
 };
+
+/// The SessionStats → MetricsRegistry bridge (DESIGN.md §8): publishes the
+/// cumulative creation cost as anosy_session_* gauges. A no-op while the
+/// obs runtime switch is off (and compiled out under ANOSY_OBS_DISABLED),
+/// so sessions stay observability-free by default.
+void publishSessionStats(const SessionStats &Stats);
+
+/// Publishes a pool's activity counters as anosy_pool_* gauges. The pool
+/// itself keeps plain atomics (support must not depend on obs); callers
+/// holding both ends — AnosySession, the CLI — bridge them here.
+void publishPoolStats(const ThreadPool::PoolStats &Stats);
 
 } // namespace anosy
 

@@ -32,6 +32,7 @@
 
 #include "core/Policy.h"
 #include "core/QueryInfo.h"
+#include "obs/Instrument.h"
 #include "support/Result.h"
 
 #include <map>
@@ -101,10 +102,16 @@ public:
   /// UnknownQuery / PolicyViolation errors.
   Result<bool> downgrade(const Point &Secret, const std::string &QueryName) {
     assert(S.contains(Secret) && "secret outside its schema");
+    ANOSY_OBS_SPAN(Span, "anosy.monitor.downgrade");
+    ANOSY_OBS_SPAN_ARG(Span, "query", QueryName);
     auto It = Queries.find(QueryName);
-    if (It == Queries.end())
+    if (It == Queries.end()) {
+      ANOSY_OBS_SPAN_ARG(Span, "decision", "unknown-query");
+      ANOSY_OBS_COUNT("anosy_downgrades_unknown_total",
+                      "Downgrades refused: query not registered", 1);
       return Error(ErrorCode::UnknownQuery,
                    "Can't downgrade " + QueryName);
+    }
     const QueryInfo<D> &Info = It->second;
 
     D Prior = knowledgeFor(Secret);
@@ -115,14 +122,21 @@ public:
     // The policy is checked on both posteriors, irrespective of the actual
     // response, "to prevent potential leaks due to the security decision"
     // (§3).
-    if (!Policy(PostT) || !Policy(PostF))
+    if (!Policy(PostT) || !Policy(PostF)) {
+      ANOSY_OBS_SPAN_ARG(Span, "decision", "refused");
+      ANOSY_OBS_COUNT("anosy_downgrades_refused_total",
+                      "Downgrades refused by the knowledge policy", 1);
       return Error(ErrorCode::PolicyViolation,
                    "Policy Violation: downgrading '" + QueryName +
                        "' would breach policy [" + Policy.Name + "]");
+    }
 
     bool Response = Info.run(Secret);
     Secrets.insert_or_assign(Secret, Response ? std::move(PostT)
                                               : std::move(PostF));
+    ANOSY_OBS_SPAN_ARG(Span, "decision", "admitted");
+    ANOSY_OBS_COUNT("anosy_downgrades_admitted_total",
+                    "Downgrades admitted by the knowledge policy", 1);
     return Response;
   }
 
@@ -134,30 +148,43 @@ public:
   Result<int64_t> downgradeClassifier(const Point &Secret,
                                       const std::string &Name) {
     assert(S.contains(Secret) && "secret outside its schema");
+    ANOSY_OBS_SPAN(Span, "anosy.monitor.downgrade_classifier");
+    ANOSY_OBS_SPAN_ARG(Span, "classifier", Name);
     auto It = ClassifierRegistry.find(Name);
-    if (It == ClassifierRegistry.end())
+    if (It == ClassifierRegistry.end()) {
+      ANOSY_OBS_COUNT("anosy_downgrades_unknown_total",
+                      "Downgrades refused: query not registered", 1);
       return Error(ErrorCode::UnknownQuery, "Can't downgrade " + Name);
+    }
     const ClassifierInfo<D> &Info = It->second;
     // A degraded classifier registers with an empty feasible-output list
     // (DESIGN.md §6): refusing outright is the conservative rejection —
     // no posterior, no leak.
-    if (Info.Ind.empty())
+    if (Info.Ind.empty()) {
+      ANOSY_OBS_COUNT("anosy_downgrades_refused_total",
+                      "Downgrades refused by the knowledge policy", 1);
       return Error(ErrorCode::PolicyViolation,
                    "Policy Violation: classifier '" + Name +
                        "' is degraded (no verified ind. sets); refusing "
                        "to downgrade");
+    }
 
     D Prior = knowledgeFor(Secret);
     std::vector<OutputIndSet<D>> Posts = Info.approx(Prior);
     for (OutputIndSet<D> &P : Posts) {
       compactKnowledge(P.Set, MaxKnowledgeBoxes);
-      if (!Policy(P.Set))
+      if (!Policy(P.Set)) {
+        ANOSY_OBS_COUNT("anosy_downgrades_refused_total",
+                        "Downgrades refused by the knowledge policy", 1);
         return Error(ErrorCode::PolicyViolation,
                      "Policy Violation: downgrading classifier '" + Name +
                          "' would breach policy [" + Policy.Name +
                          "] on output " + std::to_string(P.Value));
+      }
     }
 
+    ANOSY_OBS_COUNT("anosy_downgrades_admitted_total",
+                    "Downgrades admitted by the knowledge policy", 1);
     int64_t Output = Info.run(Secret);
     for (OutputIndSet<D> &P : Posts)
       if (P.Value == Output) {

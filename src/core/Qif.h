@@ -73,12 +73,42 @@ template <AbstractDomain D> KnowledgePolicy<D> minEntropyPolicy(double Bits) {
   // size > 2^Bits, computed in the double domain to permit fractional bit
   // requirements; exact enough because policy thresholds are coarse.
   //
-  // Published to the static analyzer as MinSize = floor(2^Bits): integer
-  // sizes make `log2 size > Bits` and `size > floor(2^Bits)` equivalent,
-  // so a static rejection at that threshold is exact, not approximate.
-  std::optional<int64_t> MinSize;
-  if (Bits >= 0 && Bits < 62)
-    MinSize = static_cast<int64_t>(std::floor(std::pow(2.0, Bits)));
+  // Published-threshold contract (what MinSize promises the static
+  // analyzer, see Policy.h): a posterior of size <= MinSize is
+  // *guaranteed* to fail the dynamic check, so static rejection at the
+  // threshold refuses only downgrades the monitor would refuse anyway.
+  // Every constructible Bits therefore publishes a threshold:
+  //   * NaN: the dynamic comparison `log2 size > NaN` is always false —
+  //     the policy refuses everything. Publishing INT64_MAX keeps the
+  //     contract (everything representable is <= it) and lets anosy-lint
+  //     diagnose the misconfiguration statically instead of the session
+  //     silently refusing every query; the policy name says why.
+  //   * Bits < 0 (including -inf): any nonempty posterior passes
+  //     (log2 size >= 0 > Bits), so only the empty posterior is refused:
+  //     MinSize = 0.
+  //   * 0 <= Bits < 63: MinSize = floor(2^Bits). Integer sizes make
+  //     `log2 size > Bits` and `size > floor(2^Bits)` equivalent, so the
+  //     static threshold is exact for posteriors that fit int64 (clamped
+  //     to INT64_MAX if the double floor rounds past it).
+  //   * Bits >= 63 (including +inf): every int64-sized posterior has
+  //     log2 size < 63 <= Bits and is refused: MinSize = INT64_MAX.
+  //     Posteriors larger than int64 are never statically rejected
+  //     (sound: static rejection may only under-shoot).
+  if (std::isnan(Bits))
+    return KnowledgePolicy<D>{
+        "min-entropy > NaN bits (invalid threshold: every downgrade is "
+        "refused)",
+        [](const D &) { return false; }, INT64_MAX};
+  int64_t MinSize;
+  if (Bits < 0) {
+    MinSize = 0;
+  } else if (Bits >= 63) {
+    MinSize = INT64_MAX;
+  } else {
+    double Floor = std::floor(std::pow(2.0, Bits));
+    MinSize = Floor >= 9.223372036854775e18 ? INT64_MAX
+                                            : static_cast<int64_t>(Floor);
+  }
   return KnowledgePolicy<D>{
       "min-entropy > " + std::to_string(Bits) + " bits",
       [Bits](const D &Dom) {

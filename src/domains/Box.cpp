@@ -109,7 +109,7 @@ Point Box::center() const {
   Point P;
   P.reserve(Dims.size());
   for (const Interval &I : Dims)
-    P.push_back(I.Lo + (I.Hi - I.Lo) / 2);
+    P.push_back(I.midpoint());
   return P;
 }
 
@@ -131,7 +131,7 @@ std::pair<Box, Box> Box::splitAt(size_t Dim) const {
   assert(!Empty && "splitting empty box");
   const Interval &I = dim(Dim);
   assert(I.Lo < I.Hi && "splitting a unit dimension");
-  int64_t Mid = I.Lo + (I.Hi - I.Lo) / 2;
+  int64_t Mid = I.midpoint();
   return {withDim(Dim, {I.Lo, Mid}), withDim(Dim, {Mid + 1, I.Hi})};
 }
 

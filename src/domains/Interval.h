@@ -59,11 +59,22 @@ struct Interval {
     return {std::min(Lo, O.Lo), std::max(Hi, O.Hi)};
   }
 
-  /// Number of integers in the interval.
+  /// Number of integers in the interval. Full-range safe: the width of
+  /// [INT64_MIN, INT64_MAX] is 2^64, which BigCount represents exactly —
+  /// callers needing a plain integer width must go through BigCount
+  /// (width().fitsInt64() / toInt64()) rather than assume it fits.
   BigCount width() const { return BigCount::ofInterval(Lo, Hi); }
 
-  /// Width as a plain integer; asserts it fits.
-  int64_t widthInt64() const { return width().toInt64(); }
+  /// floor((Lo + Hi) / 2) without signed overflow: computed in uint64,
+  /// where two's-complement wraparound makes Lo + (Hi - Lo) / 2 exact for
+  /// every interval including [INT64_MIN, INT64_MAX] (the naive signed
+  /// form is UB whenever Hi - Lo overflows). Matches the naive form
+  /// bit-for-bit on non-overflowing inputs, so split trees — and with
+  /// them solver node counts and synthesized artifacts — are unchanged.
+  int64_t midpoint() const {
+    uint64_t Diff = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo);
+    return static_cast<int64_t>(static_cast<uint64_t>(Lo) + Diff / 2);
+  }
 
   bool operator==(const Interval &O) const {
     if (isEmpty() && O.isEmpty())

@@ -1,0 +1,155 @@
+//===- obs/Metrics.cpp - Counters, gauges, histograms ---------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace anosy;
+using namespace anosy::obs;
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      Buckets(new std::atomic<uint64_t>[Bounds.size() + 1]) {
+  for (size_t I = 0; I != Bounds.size() + 1; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  assert([&] {
+    for (size_t I = 1; I < Bounds.size(); ++I)
+      if (!(Bounds[I - 1] < Bounds[I]))
+        return false;
+    return true;
+  }() && "histogram bounds must be strictly increasing");
+}
+
+std::vector<double> Histogram::defaultSecondsBounds() {
+  return {0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384, 65.536,
+          262.144};
+}
+
+void Histogram::observe(double X) {
+  size_t I = 0;
+  while (I != Bounds.size() && X > Bounds[I])
+    ++I;
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  double Cur = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Cur, Cur + X, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return Sum.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  for (size_t I = 0; I != Bounds.size() + 1; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  N.store(0, std::memory_order_relaxed);
+  Sum.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = Entries[Name];
+  if (E.C == nullptr) {
+    assert(E.G == nullptr && E.H == nullptr && "metric kind mismatch");
+    E.C = std::make_unique<Counter>();
+    E.Help = Help;
+  }
+  return *E.C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = Entries[Name];
+  if (E.G == nullptr) {
+    assert(E.C == nullptr && E.H == nullptr && "metric kind mismatch");
+    E.G = std::make_unique<Gauge>();
+    E.Help = Help;
+  }
+  return *E.G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::string &Help,
+                                      std::vector<double> UpperBounds) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = Entries[Name];
+  if (E.H == nullptr) {
+    assert(E.C == nullptr && E.G == nullptr && "metric kind mismatch");
+    E.H = std::make_unique<Histogram>(UpperBounds.empty()
+                                          ? Histogram::defaultSecondsBounds()
+                                          : std::move(UpperBounds));
+    E.Help = Help;
+  }
+  return *E.H;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> L(M);
+  for (auto &[Name, E] : Entries) {
+    (void)Name;
+    if (E.C != nullptr)
+      E.C->reset();
+    if (E.G != nullptr)
+      E.G->set(0);
+    if (E.H != nullptr)
+      E.H->reset();
+  }
+}
+
+namespace {
+
+std::string fmtDouble(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> L(M);
+  std::string Out;
+  for (const auto &[Name, E] : Entries) {
+    if (!E.Help.empty())
+      Out += "# HELP " + Name + " " + E.Help + "\n";
+    if (E.C != nullptr) {
+      Out += "# TYPE " + Name + " counter\n";
+      Out += Name + " " + std::to_string(E.C->value()) + "\n";
+    } else if (E.G != nullptr) {
+      Out += "# TYPE " + Name + " gauge\n";
+      Out += Name + " " + std::to_string(E.G->value()) + "\n";
+    } else if (E.H != nullptr) {
+      Out += "# TYPE " + Name + " histogram\n";
+      uint64_t Cum = 0;
+      for (size_t I = 0; I != E.H->bounds().size(); ++I) {
+        Cum += E.H->bucketCount(I);
+        Out += Name + "_bucket{le=\"" + fmtDouble(E.H->bounds()[I]) + "\"} " +
+               std::to_string(Cum) + "\n";
+      }
+      Cum += E.H->bucketCount(E.H->bounds().size());
+      Out += Name + "_bucket{le=\"+Inf\"} " + std::to_string(Cum) + "\n";
+      Out += Name + "_sum " + fmtDouble(E.H->sum()) + "\n";
+      Out += Name + "_count " + std::to_string(E.H->count()) + "\n";
+    }
+  }
+  return Out;
+}
+
+Result<void> MetricsRegistry::writeFile(const std::string &Path) const {
+  std::string Text = renderPrometheus();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (F == nullptr)
+    return Error(ErrorCode::Other, "cannot open " + Path + " for writing");
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  int CloseRc = std::fclose(F);
+  if (Written != Text.size() || CloseRc != 0)
+    return Error(ErrorCode::Other, "short write to " + Path);
+  return {};
+}

@@ -1,0 +1,133 @@
+//===- obs/Metrics.h - Counters, gauges, histograms -------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MetricsRegistry (DESIGN.md §8): named counters, gauges, and
+/// fixed-bucket histograms with a Prometheus text-exposition dump. The
+/// global() registry backs the ANOSY_OBS_* macros; tests use private
+/// instances.
+///
+/// Instruments are allocated once per name and never destroyed while the
+/// registry lives, so instrumentation sites may cache `Counter &`
+/// references in function-local statics. Updates are relaxed atomics;
+/// renderPrometheus sorts by name, making the dump deterministic given
+/// the same sequence of updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_OBS_METRICS_H
+#define ANOSY_OBS_METRICS_H
+
+#include "support/Result.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace anosy::obs {
+
+/// Monotone counter.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  /// Test/bench hygiene (MetricsRegistry::reset), not a runtime API —
+  /// Prometheus counters are monotone.
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Point-in-time signed value.
+class Gauge {
+public:
+  void set(int64_t X) { V.store(X, std::memory_order_relaxed); }
+  /// Monotone raise: set(max(current, X)) — peak-depth style gauges.
+  void setMax(int64_t X) {
+    int64_t Cur = V.load(std::memory_order_relaxed);
+    while (Cur < X &&
+           !V.compare_exchange_weak(Cur, X, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Fixed-bound histogram in the Prometheus style: cumulative `le` buckets
+/// plus sum and count.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  /// Default bounds for wall-time observations in seconds: 1ms..~4m in
+  /// powers of 4.
+  static std::vector<double> defaultSecondsBounds();
+
+  void observe(double X);
+
+  const std::vector<double> &bounds() const { return Bounds; }
+  /// Observations <= bounds()[I]; I == bounds().size() is the +Inf bucket.
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// Test/bench hygiene (MetricsRegistry::reset).
+  void reset();
+
+private:
+  std::vector<double> Bounds;
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets; ///< Bounds.size() + 1
+  std::atomic<uint64_t> N{0};
+  std::atomic<double> Sum{0.0};
+};
+
+/// Name-keyed registry of the three instrument kinds. Lookup is mutexed
+/// (sites cache references); updates are lock-free on the instruments.
+class MetricsRegistry {
+public:
+  /// The process-wide registry the instrumentation macros write to.
+  static MetricsRegistry &global();
+
+  /// Finds or creates. The first registration's help text and (for
+  /// histograms) bounds win; kind mismatches on an existing name abort.
+  Counter &counter(const std::string &Name, const std::string &Help = "");
+  Gauge &gauge(const std::string &Name, const std::string &Help = "");
+  Histogram &histogram(const std::string &Name, const std::string &Help = "",
+                       std::vector<double> UpperBounds = {});
+
+  /// Zeroes every registered instrument (counts, gauge values, buckets).
+  /// Instruments are never deallocated, so cached references stay valid.
+  void reset();
+
+  /// Prometheus text exposition: # HELP / # TYPE headers and samples,
+  /// sorted by metric name.
+  std::string renderPrometheus() const;
+
+  Result<void> writeFile(const std::string &Path) const;
+
+private:
+  struct Entry {
+    std::string Help;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  mutable std::mutex M;
+  std::map<std::string, Entry> Entries;
+};
+
+} // namespace anosy::obs
+
+#endif // ANOSY_OBS_METRICS_H

@@ -1,0 +1,147 @@
+//===- obs/Trace.cpp - Structured tracing with RAII spans -----------------===//
+
+#include "obs/Trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+using namespace anosy;
+using namespace anosy::obs;
+
+namespace {
+
+std::atomic<bool> Enabled{false};
+std::atomic<uint32_t> NextThreadId{1};
+
+} // namespace
+
+bool obs::enabled() { return Enabled.load(std::memory_order_relaxed); }
+
+void obs::setEnabled(bool On) {
+  Enabled.store(On, std::memory_order_relaxed);
+}
+
+uint32_t obs::threadId() {
+  thread_local uint32_t Id =
+      NextThreadId.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+std::string obs::jsonQuote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+void TraceSpan::arg(const char *Key, double V) {
+  if (R == nullptr)
+    return;
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  E.Args.push_back({Key, Buf});
+}
+
+TraceRecorder::TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder R;
+  return R;
+}
+
+uint64_t TraceRecorder::nowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void TraceRecorder::record(TraceEvent E) {
+  std::lock_guard<std::mutex> L(M);
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> L(M);
+  Events.clear();
+  Epoch = std::chrono::steady_clock::now();
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> L(M);
+  return Events.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> L(M);
+  return Events;
+}
+
+std::string TraceRecorder::renderChromeJson() const {
+  std::vector<TraceEvent> Evs = snapshot();
+  std::string Out;
+  Out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  // Process-name metadata first, so the viewer labels the lane.
+  Out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"name\": \"anosy\"}}";
+  for (const TraceEvent &E : Evs) {
+    Out += ",\n{\"name\": " + jsonQuote(E.Name) +
+           ", \"cat\": \"anosy\", \"ph\": \"X\", \"ts\": " +
+           std::to_string(E.TsMicros) +
+           ", \"dur\": " + std::to_string(E.DurMicros) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(E.Tid);
+    if (!E.Args.empty()) {
+      Out += ", \"args\": {";
+      for (size_t I = 0; I != E.Args.size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += jsonQuote(E.Args[I].Key) + ": " + E.Args[I].Value;
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+Result<void> TraceRecorder::writeFile(const std::string &Path) const {
+  std::string Text = renderChromeJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (F == nullptr)
+    return Error(ErrorCode::Other, "cannot open " + Path + " for writing");
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  int CloseRc = std::fclose(F);
+  if (Written != Text.size() || CloseRc != 0)
+    return Error(ErrorCode::Other, "short write to " + Path);
+  return Result<void>();
+}

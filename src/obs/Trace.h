@@ -1,0 +1,148 @@
+//===- obs/Trace.h - Structured tracing with RAII spans ---------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TraceRecorder and TraceSpan (DESIGN.md §8): per-query phase spans —
+/// parse → lint → seed → synthesis → verify → monitor decision → KB write
+/// — recorded as complete ("X") events and rendered in the Chrome
+/// `trace_event` JSON format, loadable in chrome://tracing and Perfetto.
+///
+/// Spans are *phase*-grained, never per-solver-node: a traced fig5a run
+/// records tens of events per query, so the recorder's mutex is nowhere
+/// near the solver's hot loop. Timestamps are microseconds on the
+/// recorder's steady-clock epoch; argument values are rendered to JSON at
+/// record time so rendering the file is pure string assembly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_OBS_TRACE_H
+#define ANOSY_OBS_TRACE_H
+
+#include "obs/Obs.h"
+#include "support/Result.h"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace anosy::obs {
+
+/// One pre-rendered span argument; Value is already valid JSON (quoted
+/// and escaped for strings).
+struct TraceArg {
+  std::string Key;
+  std::string Value;
+};
+
+/// One Chrome trace_event; only complete ("X") events are produced.
+struct TraceEvent {
+  std::string Name;
+  uint64_t TsMicros = 0;
+  uint64_t DurMicros = 0;
+  uint32_t Tid = 0;
+  std::vector<TraceArg> Args;
+};
+
+/// Escapes \p S into a double-quoted JSON string literal.
+std::string jsonQuote(const std::string &S);
+
+/// Collects spans and renders them as Chrome trace JSON. The global()
+/// recorder backs every ANOSY_OBS_SPAN site; tests may use private
+/// instances.
+class TraceRecorder {
+public:
+  TraceRecorder();
+
+  /// The process-wide recorder the instrumentation macros write to.
+  static TraceRecorder &global();
+
+  /// Microseconds since this recorder's epoch.
+  uint64_t nowMicros() const;
+
+  void record(TraceEvent E);
+
+  /// Drops every recorded event and restarts the epoch.
+  void clear();
+
+  size_t eventCount() const;
+  std::vector<TraceEvent> snapshot() const;
+
+  /// The Chrome trace_event JSON document: {"displayTimeUnit": "ms",
+  /// "traceEvents": [...]} with one process-name metadata event followed
+  /// by the recorded spans in record order.
+  std::string renderChromeJson() const;
+
+  /// Renders and writes the JSON document to \p Path.
+  Result<void> writeFile(const std::string &Path) const;
+
+private:
+  mutable std::mutex M;
+  std::vector<TraceEvent> Events;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// RAII span: opens on construction, records one complete event into the
+/// recorder on destruction (or an explicit end()). A span constructed
+/// while the runtime switch is off binds to no recorder and costs only
+/// the disabled check.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name)
+      : TraceSpan(enabled() ? &TraceRecorder::global() : nullptr, Name) {}
+
+  /// Test hook: bind to a specific recorder (nullptr = disabled span).
+  TraceSpan(TraceRecorder *R, const char *Name) : R(R) {
+    if (R != nullptr) {
+      E.Name = Name;
+      E.Tid = threadId();
+      E.TsMicros = R->nowMicros();
+    }
+  }
+
+  ~TraceSpan() { end(); }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  bool active() const { return R != nullptr; }
+
+  void arg(const char *Key, const std::string &V) {
+    if (R != nullptr)
+      E.Args.push_back({Key, jsonQuote(V)});
+  }
+  void arg(const char *Key, const char *V) { arg(Key, std::string(V)); }
+  void arg(const char *Key, bool V) {
+    if (R != nullptr)
+      E.Args.push_back({Key, V ? "true" : "false"});
+  }
+  void arg(const char *Key, double V);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void arg(const char *Key, T V) {
+    if (R != nullptr)
+      E.Args.push_back({Key, std::to_string(V)});
+  }
+
+  /// Closes the span now (idempotent; the destructor is then a no-op).
+  void end() {
+    if (R == nullptr)
+      return;
+    E.DurMicros = R->nowMicros() - E.TsMicros;
+    R->record(std::move(E));
+    R = nullptr;
+  }
+
+private:
+  TraceRecorder *R;
+  TraceEvent E;
+};
+
+} // namespace anosy::obs
+
+#endif // ANOSY_OBS_TRACE_H

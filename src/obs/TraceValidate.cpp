@@ -1,0 +1,293 @@
+//===- obs/TraceValidate.cpp - Chrome trace JSON validation ---------------===//
+
+#include "obs/TraceValidate.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace anosy;
+using namespace anosy::obs;
+
+namespace {
+
+/// Recursive-descent JSON parser over a string view with an error slot.
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : Text(Text) {}
+
+  Result<JsonValue> parseDocument() {
+    JsonValue V;
+    if (auto E = parseValue(V))
+      return *E;
+    skipWs();
+    if (Pos != Text.size())
+      return err("trailing characters after JSON value");
+    return V;
+  }
+
+private:
+  Error err(const std::string &Msg) const {
+    return Error(ErrorCode::ParseError,
+                 "JSON: " + Msg + " at offset " + std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Error> parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return err("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (C == 't' || C == 'f')
+      return parseKeyword(Out);
+    if (C == 'n')
+      return parseKeyword(Out);
+    return parseNumber(Out);
+  }
+
+  std::optional<Error> parseKeyword(JsonValue &Out) {
+    auto Match = [&](const char *Kw) {
+      size_t N = std::string(Kw).size();
+      if (Text.compare(Pos, N, Kw) == 0) {
+        Pos += N;
+        return true;
+      }
+      return false;
+    };
+    if (Match("true")) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return std::nullopt;
+    }
+    if (Match("false")) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return std::nullopt;
+    }
+    if (Match("null")) {
+      Out.K = JsonValue::Kind::Null;
+      return std::nullopt;
+    }
+    return err("invalid literal");
+  }
+
+  std::optional<Error> parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (eat('-')) {
+    }
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) != 0 ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return err("invalid number");
+    std::string Tok = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double V = std::strtod(Tok.c_str(), &End);
+    if (End == nullptr || *End != '\0')
+      return err("invalid number '" + Tok + "'");
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = V;
+    return std::nullopt;
+  }
+
+  std::optional<Error> parseString(std::string &Out) {
+    if (!eat('"'))
+      return err("expected '\"'");
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return err("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return std::nullopt;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return err("unescaped control character in string");
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return err("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return err("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code += static_cast<unsigned>(H - 'a') + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code += static_cast<unsigned>(H - 'A') + 10;
+          else
+            return err("invalid \\u escape");
+        }
+        // The recorder only emits \u00XX for control bytes; decode the
+        // BMP code point as UTF-8.
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return err("invalid escape");
+      }
+    }
+  }
+
+  std::optional<Error> parseArray(JsonValue &Out) {
+    eat('[');
+    Out.K = JsonValue::Kind::Array;
+    skipWs();
+    if (eat(']'))
+      return std::nullopt;
+    while (true) {
+      JsonValue Elem;
+      if (auto E = parseValue(Elem))
+        return E;
+      Out.Arr.push_back(std::move(Elem));
+      skipWs();
+      if (eat(']'))
+        return std::nullopt;
+      if (!eat(','))
+        return err("expected ',' or ']'");
+    }
+  }
+
+  std::optional<Error> parseObject(JsonValue &Out) {
+    eat('{');
+    Out.K = JsonValue::Kind::Object;
+    skipWs();
+    if (eat('}'))
+      return std::nullopt;
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (auto E = parseString(Key))
+        return E;
+      skipWs();
+      if (!eat(':'))
+        return err("expected ':'");
+      JsonValue Val;
+      if (auto E = parseValue(Val))
+        return E;
+      Out.Obj.insert_or_assign(std::move(Key), std::move(Val));
+      skipWs();
+      if (eat('}'))
+        return std::nullopt;
+      if (!eat(','))
+        return err("expected ',' or '}'");
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+Error badTrace(const std::string &Msg) {
+  return Error(ErrorCode::ParseError, "trace schema: " + Msg);
+}
+
+bool nonNegativeNumber(const JsonValue *V) {
+  return V != nullptr && V->isNumber() && V->Num >= 0;
+}
+
+} // namespace
+
+Result<JsonValue> anosy::obs::parseJson(const std::string &Text) {
+  return JsonParser(Text).parseDocument();
+}
+
+Result<std::vector<std::string>>
+anosy::obs::validateChromeTrace(const std::string &Text) {
+  auto Doc = parseJson(Text);
+  if (!Doc)
+    return Doc.error();
+  if (!Doc->isObject())
+    return badTrace("root must be an object");
+  const JsonValue *Events = Doc->get("traceEvents");
+  if (Events == nullptr || !Events->isArray())
+    return badTrace("root.traceEvents must be an array");
+
+  std::vector<std::string> SpanNames;
+  for (size_t I = 0; I != Events->Arr.size(); ++I) {
+    const JsonValue &E = Events->Arr[I];
+    std::string Where = "traceEvents[" + std::to_string(I) + "]";
+    if (!E.isObject())
+      return badTrace(Where + " must be an object");
+    const JsonValue *Name = E.get("name");
+    if (Name == nullptr || !Name->isString())
+      return badTrace(Where + ".name must be a string");
+    const JsonValue *Ph = E.get("ph");
+    if (Ph == nullptr || !Ph->isString() || Ph->Str.size() != 1)
+      return badTrace(Where + ".ph must be a one-character string");
+    if (Ph->Str == "M")
+      continue; // Metadata events: name + ph suffice.
+    if (Ph->Str != "X")
+      return badTrace(Where + ".ph must be \"X\" or \"M\", got \"" + Ph->Str +
+                      "\"");
+    for (const char *Field : {"ts", "dur", "pid", "tid"})
+      if (!nonNegativeNumber(E.get(Field)))
+        return badTrace(Where + "." + Field +
+                        " must be a non-negative number");
+    if (const JsonValue *Args = E.get("args"); Args != nullptr)
+      if (!Args->isObject())
+        return badTrace(Where + ".args must be an object");
+    SpanNames.push_back(Name->Str);
+  }
+  return SpanNames;
+}

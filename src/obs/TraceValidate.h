@@ -1,0 +1,67 @@
+//===- obs/TraceValidate.h - Chrome trace JSON validation -------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free validator for the Chrome trace_event documents the
+/// TraceRecorder emits, used by tests/obs/ and the `trace_check` CI tool.
+/// It implements the checked-in schema tests/obs/trace_event.schema.json
+/// in C++ (the repo builds without python jsonschema): a strict JSON
+/// parse followed by the structural rules — root object with a
+/// traceEvents array; every event an object with a string `name` and
+/// string `ph`; complete ("X") events additionally carry non-negative
+/// numeric `ts`, `dur`, `pid`, `tid` and an optional object `args`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_OBS_TRACEVALIDATE_H
+#define ANOSY_OBS_TRACEVALIDATE_H
+
+#include "support/Result.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace anosy::obs {
+
+/// A parsed JSON value (enough of JSON for trace documents).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+};
+
+/// Strict JSON parse of the whole of \p Text (trailing garbage is an
+/// error).
+Result<JsonValue> parseJson(const std::string &Text);
+
+/// Validates \p Text as a Chrome trace_event document per the rules
+/// above. On success returns the names of the complete ("X") span events
+/// in document order.
+Result<std::vector<std::string>> validateChromeTrace(const std::string &Text);
+
+} // namespace anosy::obs
+
+#endif // ANOSY_OBS_TRACEVALIDATE_H

@@ -2,16 +2,23 @@
 
 #include "solver/ParallelBnB.h"
 
+#include "obs/Instrument.h"
+
 #include <algorithm>
 
 using namespace anosy;
 using namespace anosy::bnb;
 
-Decomposition bnb::decomposeSearch(const Predicate &P, const SplitHints &Hints,
-                                   const Box &B, ExploreOrder Order,
-                                   uint64_t Salt, size_t TargetTasks,
-                                   uint64_t CutoffVolume, Tribool StopState,
-                                   SolverBudget &Budget) {
+/// The actual frontier construction; the public entry point wraps it with
+/// phase-grained observability (once per parallel solver call — never per
+/// node, see obs/Instrument.h).
+static Decomposition decomposeSearchImpl(const Predicate &P,
+                                         const SplitHints &Hints, const Box &B,
+                                         ExploreOrder Order, uint64_t Salt,
+                                         size_t TargetTasks,
+                                         uint64_t CutoffVolume,
+                                         Tribool StopState,
+                                         SolverBudget &Budget) {
   Decomposition D;
   if (B.isEmpty())
     return D;
@@ -74,5 +81,20 @@ Decomposition bnb::decomposeSearch(const Predicate &P, const SplitHints &Hints,
     if (Stop)
       return D; // The answer sits on this frontier already.
   }
+  return D;
+}
+
+Decomposition bnb::decomposeSearch(const Predicate &P, const SplitHints &Hints,
+                                   const Box &B, ExploreOrder Order,
+                                   uint64_t Salt, size_t TargetTasks,
+                                   uint64_t CutoffVolume, Tribool StopState,
+                                   SolverBudget &Budget) {
+  Decomposition D = decomposeSearchImpl(P, Hints, B, Order, Salt, TargetTasks,
+                                        CutoffVolume, StopState, Budget);
+  ANOSY_OBS_COUNT("anosy_bnb_decompositions_total",
+                  "Parallel search-tree decompositions built", 1);
+  ANOSY_OBS_COUNT("anosy_bnb_subtree_tasks_total",
+                  "Subtree tasks produced by search decomposition",
+                  D.Leaves.size());
   return D;
 }

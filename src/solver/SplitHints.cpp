@@ -218,7 +218,9 @@ std::pair<Box, Box> anosy::splitWithHints(const Box &B,
   // Pick the (dimension, hint) pair with the most balanced partition.
   size_t BestDim = 0;
   int64_t BestHint = 0;
-  int64_t BestScore = -1;
+  // Scores are interval widths, which reach 2^63 on near-full-range
+  // dimensions: computed and compared in uint64 (0 = no candidate found).
+  uint64_t BestScore = 0;
   for (size_t D = 0, N = B.arity(); D != N && D < Hints.size(); ++D) {
     const Interval &I = B.dim(D);
     if (I.Lo >= I.Hi)
@@ -229,13 +231,19 @@ std::pair<Box, Box> anosy::splitWithHints(const Box &B,
     auto End = std::upper_bound(Dim.begin(), Dim.end(), I.Hi);
     if (Begin == End)
       continue;
-    int64_t Mid = I.Lo + (I.Hi - I.Lo) / 2 + 1;
+    // Overflow-safe ceil-midpoint: Lo < Hi here, so midpoint() < Hi and
+    // the +1 cannot wrap (the naive Lo + (Hi - Lo) / 2 + 1 is UB on
+    // near-full-range dimensions).
+    int64_t Mid = I.midpoint() + 1;
     auto It = std::lower_bound(Begin, End, Mid);
     for (auto Cand : {It, It == Begin ? End : It - 1}) {
       if (Cand == End)
         continue;
       int64_t H = *Cand;
-      int64_t Score = std::min(H - I.Lo, I.Hi - H + 1);
+      // Lo < H <= Hi: both distances are in [1, 2^64), exact in uint64.
+      uint64_t Score =
+          std::min(static_cast<uint64_t>(H) - static_cast<uint64_t>(I.Lo),
+                   static_cast<uint64_t>(I.Hi) - static_cast<uint64_t>(H) + 1);
       if (Score > BestScore) {
         BestScore = Score;
         BestDim = D;

@@ -37,10 +37,21 @@ ThreadPool::~ThreadPool() {
     T.join();
 }
 
+ThreadPool::PoolStats ThreadPool::stats() const {
+  PoolStats S;
+  S.Submitted = StatSubmitted.load(std::memory_order_relaxed);
+  S.Executed = StatExecuted.load(std::memory_order_relaxed);
+  S.Stolen = StatStolen.load(std::memory_order_relaxed);
+  S.PeakQueueDepth = StatPeakDepth.load(std::memory_order_relaxed);
+  return S;
+}
+
 void ThreadPool::submit(std::function<void()> Task) {
+  StatSubmitted.fetch_add(1, std::memory_order_relaxed);
   // 1-thread pools have no worker to drain a deque reliably; run inline.
   if (NumThreads <= 1) {
     Task();
+    StatExecuted.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Worker *Target;
@@ -58,7 +69,11 @@ void ThreadPool::submit(std::function<void()> Task) {
     // small; thieves take from the other end.
     Target->Deque.push_back(std::move(Task));
   }
-  QueuedTasks.fetch_add(1, std::memory_order_release);
+  size_t Depth = QueuedTasks.fetch_add(1, std::memory_order_release) + 1;
+  uint64_t Peak = StatPeakDepth.load(std::memory_order_relaxed);
+  while (Depth > Peak && !StatPeakDepth.compare_exchange_weak(
+                             Peak, Depth, std::memory_order_relaxed))
+    ;
   {
     std::lock_guard<std::mutex> L(SleepM);
   }
@@ -88,11 +103,14 @@ bool ThreadPool::runOneTask() {
     size_t N = Workers.size();
     size_t Start = static_cast<size_t>(StealRng.next()) % N;
     for (size_t K = 0; K != N && !Task; ++K) {
-      Worker &V = *Workers[(Start + K) % N];
+      size_t Victim = (Start + K) % N;
+      Worker &V = *Workers[Victim];
       std::lock_guard<std::mutex> L(V.M);
       if (!V.Deque.empty()) {
         Task = std::move(V.Deque.front());
         V.Deque.pop_front();
+        if (Victim != Own)
+          StatStolen.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -100,6 +118,7 @@ bool ThreadPool::runOneTask() {
     return false;
   QueuedTasks.fetch_sub(1, std::memory_order_release);
   Task();
+  StatExecuted.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -122,14 +141,18 @@ void ThreadPool::workerLoop(unsigned Index) {
 
 void ThreadPool::TaskGroup::spawn(std::function<void()> Fn) {
   if (Pool.NumThreads <= 1) {
+    Pool.StatSubmitted.fetch_add(1, std::memory_order_relaxed);
     Fn(); // Inline: a 1-thread pool is the serial path.
+    Pool.StatExecuted.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // Fault-injection site: a "lost" pool task degrades to inline execution
   // on the spawner — parallelism shrinks, results don't change, and joins
   // can never be left waiting on a task that nobody runs.
   if (faults::armed() && faults::shouldFail(FaultSite::PoolTask)) {
+    Pool.StatSubmitted.fetch_add(1, std::memory_order_relaxed);
     Fn();
+    Pool.StatExecuted.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Pending.fetch_add(1, std::memory_order_relaxed);

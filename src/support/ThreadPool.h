@@ -27,6 +27,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -67,6 +68,21 @@ public:
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   unsigned threadCount() const { return NumThreads; }
+
+  /// Monotone activity counters, maintained with relaxed atomics (a few
+  /// nanoseconds next to the deque mutexes already on these paths). The
+  /// support layer stays free of the obs library: callers that want these
+  /// in a MetricsRegistry snapshot them out via stats() and publish them
+  /// there (see core/Degradation publishSessionStats).
+  struct PoolStats {
+    uint64_t Submitted = 0; ///< tasks enqueued (incl. inline runs)
+    uint64_t Executed = 0;  ///< tasks completed
+    uint64_t Stolen = 0;    ///< tasks taken from another worker's deque
+    uint64_t PeakQueueDepth = 0; ///< high-water mark of queued tasks
+  };
+
+  /// A relaxed snapshot of the counters (exact once the pool is idle).
+  PoolStats stats() const;
 
   /// A fork-join scope: spawn() forks tasks onto the pool, wait() joins
   /// them, executing queued tasks while waiting. Destruction joins.
@@ -117,6 +133,10 @@ private:
   std::vector<std::thread> Threads;
   std::atomic<size_t> QueuedTasks{0};
   std::atomic<size_t> InjectIndex{0};
+  std::atomic<uint64_t> StatSubmitted{0};
+  std::atomic<uint64_t> StatExecuted{0};
+  std::atomic<uint64_t> StatStolen{0};
+  std::atomic<uint64_t> StatPeakDepth{0};
   std::atomic<bool> Stopping{false};
   std::mutex SleepM;
   std::condition_variable SleepCV;

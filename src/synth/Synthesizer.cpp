@@ -4,6 +4,7 @@
 
 #include "expr/Analysis.h"
 #include "expr/Simplify.h"
+#include "obs/Instrument.h"
 #include "support/Stats.h"
 
 using namespace anosy;
@@ -110,6 +111,9 @@ Result<Box> Synthesizer::synthUnderBox(const ResponseSearch &Search,
 Result<IndSets<Box>>
 Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
   Stopwatch Timer;
+  ANOSY_OBS_SPAN(Span, "anosy.synth.interval");
+  ANOSY_OBS_SPAN_ARG(Span, "kind",
+                     Kind == ApproxKind::Under ? "under" : "over");
   SolverBudget Budget;
   initBudget(Budget, Options);
 
@@ -160,6 +164,16 @@ Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
     Stats->SolverNodes += Budget.used();
     Stats->Seconds += Timer.seconds();
   }
+  ANOSY_OBS_SPAN_ARG(Span, "solver_nodes", Budget.used());
+  ANOSY_OBS_SPAN_ARG(Span, "boxes",
+                     Stats != nullptr ? Stats->BoxesSynthesized : 0u);
+  ANOSY_OBS_COUNT("anosy_synth_passes_total",
+                  "Completed synthesis passes (interval + powerset)", 1);
+  ANOSY_OBS_COUNT("anosy_solver_nodes_total",
+                  "Solver nodes charged (synthesis + verification)",
+                  Budget.used());
+  ANOSY_OBS_OBSERVE_SECONDS("anosy_synth_seconds",
+                            "Wall time of one synthesis pass", Timer.seconds());
   return Sets;
 }
 
@@ -269,6 +283,10 @@ Synthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
     return Error(ErrorCode::SynthesisFailure,
                  "powerset synthesis requires k >= 1");
   Stopwatch Timer;
+  ANOSY_OBS_SPAN(Span, "anosy.synth.powerset");
+  ANOSY_OBS_SPAN_ARG(Span, "kind",
+                     Kind == ApproxKind::Under ? "under" : "over");
+  ANOSY_OBS_SPAN_ARG(Span, "k", K);
   SolverBudget Budget;
   initBudget(Budget, Options);
 
@@ -301,5 +319,13 @@ Synthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
     Stats->SolverNodes += Budget.used();
     Stats->Seconds += Timer.seconds();
   }
+  ANOSY_OBS_SPAN_ARG(Span, "solver_nodes", Budget.used());
+  ANOSY_OBS_COUNT("anosy_synth_passes_total",
+                  "Completed synthesis passes (interval + powerset)", 1);
+  ANOSY_OBS_COUNT("anosy_solver_nodes_total",
+                  "Solver nodes charged (synthesis + verification)",
+                  Budget.used());
+  ANOSY_OBS_OBSERVE_SECONDS("anosy_synth_seconds",
+                            "Wall time of one synthesis pass", Timer.seconds());
   return Sets;
 }

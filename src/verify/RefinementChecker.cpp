@@ -2,6 +2,8 @@
 
 #include "verify/RefinementChecker.h"
 
+#include "obs/Instrument.h"
+
 using namespace anosy;
 
 RefinementChecker::RefinementChecker(const Schema &InS, ExprRef InQuery,
@@ -60,6 +62,8 @@ PredicateRef RefinementChecker::memberPredicate(const D &Dom) {
 template <AbstractDomain D>
 CertificateBundle RefinementChecker::checkIndSets(const IndSets<D> &Sets,
                                                   ApproxKind Kind) const {
+  ANOSY_OBS_SPAN(Span, "anosy.verify.indsets");
+  uint64_t NodesBefore = NodesUsed;
   PredicateRef Q = exprPredicate(Query);
   PredicateRef NotQ = notPredicate(Q);
   PredicateRef InT = memberPredicate(Sets.TrueSet);
@@ -85,6 +89,17 @@ CertificateBundle RefinementChecker::checkIndSets(const IndSets<D> &Sets,
         "forall x. not (query x) => x in dF   (over_indset, False)",
         orPredicate(Q, InF), Bounds));
   }
+  ANOSY_OBS_SPAN_ARG(Span, "obligations", Bundle.Parts.size());
+  ANOSY_OBS_SPAN_ARG(Span, "solver_nodes", NodesUsed - NodesBefore);
+  ANOSY_OBS_SPAN_ARG(Span, "valid", Bundle.valid());
+  ANOSY_OBS_COUNT("anosy_verify_obligations_total",
+                  "Individual proof obligations checked", Bundle.Parts.size());
+  if (Bundle.firstRefuted() != nullptr)
+    ANOSY_OBS_COUNT("anosy_verify_refuted_total",
+                    "Obligations refuted by a counterexample", 1);
+  ANOSY_OBS_COUNT("anosy_solver_nodes_total",
+                  "Solver nodes charged (synthesis + verification)",
+                  NodesUsed - NodesBefore);
   return Bundle;
 }
 

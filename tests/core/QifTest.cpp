@@ -2,6 +2,10 @@
 
 #include "core/Qif.h"
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 using namespace anosy;
@@ -72,4 +76,58 @@ TEST(Qif, MinEntropyPolicyIsMonotone) {
   Box Small({{0, 7}, {0, 7}});
   Box Big({{0, 63}, {0, 63}});
   EXPECT_TRUE(checkMonotoneOnChain(P, Small, Big));
+}
+
+// Published-threshold contract (regression for the edge-case rework):
+// size <= MinSize must imply the dynamic check refuses, for *every*
+// constructible Bits — the old code published nothing for NaN, negative,
+// and >= 62-bit thresholds, so the static analyzer silently treated
+// refuse-everything policies as permissive.
+
+TEST(Qif, MinEntropyPolicyNaNRefusesEverythingAndSaysSo) {
+  auto P = minEntropyPolicy<Box>(std::nan(""));
+  // `log2 size > NaN` is false for every size: the policy is
+  // refuse-everything, and the published threshold must reflect that.
+  EXPECT_FALSE(P(Box({{0, 400}, {0, 400}})));
+  EXPECT_FALSE(P(Box::bottom(2)));
+  ASSERT_TRUE(P.MinSize.has_value());
+  EXPECT_EQ(*P.MinSize, std::numeric_limits<int64_t>::max());
+  EXPECT_NE(P.Name.find("invalid threshold"), std::string::npos);
+}
+
+TEST(Qif, MinEntropyPolicyNegativeBitsRefusesOnlyEmpty) {
+  for (double Bits : {-3.0, -std::numeric_limits<double>::infinity()}) {
+    auto P = minEntropyPolicy<Box>(Bits);
+    EXPECT_TRUE(P(Box({{5, 5}})));  // singleton: log2 1 = 0 > Bits
+    EXPECT_FALSE(P(Box::bottom(1)));
+    ASSERT_TRUE(P.MinSize.has_value());
+    EXPECT_EQ(*P.MinSize, 0);
+  }
+}
+
+TEST(Qif, MinEntropyPolicyHugeBitsPublishesSaturatedThreshold) {
+  for (double Bits : {63.0, 100.0, std::numeric_limits<double>::infinity()}) {
+    auto P = minEntropyPolicy<Box>(Bits);
+    // Every int64-sized posterior has fewer than 63 bits of min-entropy.
+    EXPECT_FALSE(P(Box({{std::numeric_limits<int64_t>::min(), -1}})));
+    ASSERT_TRUE(P.MinSize.has_value());
+    EXPECT_EQ(*P.MinSize, std::numeric_limits<int64_t>::max());
+  }
+}
+
+TEST(Qif, MinEntropyPolicyPublishesAboveOldSixtyTwoBitCutoff) {
+  // 62 <= Bits < 63 published no threshold before the rework.
+  auto P = minEntropyPolicy<Box>(62.5);
+  ASSERT_TRUE(P.MinSize.has_value());
+  EXPECT_EQ(*P.MinSize, static_cast<int64_t>(std::floor(std::pow(2.0, 62.5))));
+}
+
+TEST(Qif, MinEntropyPolicyThresholdContractAtBoundary) {
+  auto P = minEntropyPolicy<Box>(10.0);
+  ASSERT_TRUE(P.MinSize.has_value());
+  EXPECT_EQ(*P.MinSize, 1024);
+  // Exactly the threshold refuses; one above admits — the static
+  // rejection at size <= MinSize matches the dynamic check exactly.
+  EXPECT_FALSE(P(Box({{1, 1024}})));
+  EXPECT_TRUE(P(Box({{1, 1025}})));
 }

@@ -116,3 +116,32 @@ TEST(Box, Str) {
   EXPECT_EQ(box(1, 2, 3, 4).str(), "[1, 2] x [3, 4]");
   EXPECT_EQ(Box::bottom(2).str(), "<empty/2>");
 }
+
+// Regression (ISSUE 5): splitAt and center went through the naive signed
+// midpoint, which overflows (UB) on full- and near-full-range dimensions;
+// the old wraparound split produced the degenerate [MIN, MIN] / rest pair.
+TEST(Box, SplitAtFullRange) {
+  Box Full({{INT64_MIN, INT64_MAX}});
+  auto [L, R] = Full.splitAt(0);
+  EXPECT_EQ(L.dim(0), (Interval{INT64_MIN, -1}));
+  EXPECT_EQ(R.dim(0), (Interval{0, INT64_MAX}));
+  EXPECT_EQ((L.volume() + R.volume()).str(), Full.volume().str());
+  EXPECT_TRUE(L.intersect(R).isEmpty());
+}
+
+TEST(Box, SplitAtNearFullRange) {
+  Box B({{INT64_MIN + 1, INT64_MAX}});
+  auto [L, R] = B.splitAt(0);
+  EXPECT_EQ(L.dim(0), (Interval{INT64_MIN + 1, 0}));
+  EXPECT_EQ(R.dim(0), (Interval{1, INT64_MAX}));
+  EXPECT_EQ((L.volume() + R.volume()).str(), B.volume().str());
+}
+
+TEST(Box, CenterFullRange) {
+  Box Full({{INT64_MIN, INT64_MAX}, {0, INT64_MAX}});
+  Point C = Full.center();
+  ASSERT_EQ(C.size(), 2u);
+  EXPECT_EQ(C[0], -1);
+  EXPECT_EQ(C[1], INT64_MAX / 2);
+  EXPECT_TRUE(Full.contains(C));
+}

@@ -47,17 +47,57 @@ TEST(Interval, Hull) {
 }
 
 TEST(Interval, Width) {
-  EXPECT_EQ((Interval{3, 3}).widthInt64(), 1);
-  EXPECT_EQ((Interval{0, 9}).widthInt64(), 10);
+  EXPECT_EQ((Interval{3, 3}).width().toInt64(), 1);
+  EXPECT_EQ((Interval{0, 9}).width().toInt64(), 10);
   EXPECT_TRUE(Interval::empty().width().isZero());
-  EXPECT_EQ((Interval{-5, 5}).widthInt64(), 11);
+  EXPECT_EQ((Interval{-5, 5}).width().toInt64(), 11);
+}
+
+// Regression (ISSUE 5): the removed widthInt64() asserted on full-range
+// intervals; width() must represent 2^64 and near-2^63 widths exactly.
+TEST(Interval, WidthFullRange) {
+  Interval Full{INT64_MIN, INT64_MAX};
+  EXPECT_FALSE(Full.width().fitsInt64());
+  EXPECT_EQ(Full.width().str(), "18446744073709551616"); // 2^64
+  Interval NearFull{INT64_MIN + 1, INT64_MAX};
+  EXPECT_FALSE(NearFull.width().fitsInt64());
+  Interval Half{INT64_MIN, -1};
+  EXPECT_FALSE(Half.width().fitsInt64()); // 2^63
+  Interval JustFits{1, INT64_MAX};
+  EXPECT_TRUE(JustFits.width().fitsInt64());
+  EXPECT_EQ(JustFits.width().toInt64(), INT64_MAX); // 2^63 - 1
+}
+
+// Regression (ISSUE 5): the naive Lo + (Hi - Lo) / 2 midpoint is signed
+// overflow (UB) on full- and near-full-range intervals; midpoint() must
+// be exact there and bit-identical to the naive form everywhere else.
+TEST(Interval, MidpointFullRange) {
+  EXPECT_EQ((Interval{INT64_MIN, INT64_MAX}).midpoint(), -1);
+  EXPECT_EQ((Interval{INT64_MIN, INT64_MAX - 1}).midpoint(), -1);
+  EXPECT_EQ((Interval{INT64_MIN + 1, INT64_MAX}).midpoint(), 0);
+  EXPECT_EQ((Interval{INT64_MIN, 0}).midpoint(), INT64_MIN / 2);
+  EXPECT_EQ((Interval{0, INT64_MAX}).midpoint(), INT64_MAX / 2);
+  EXPECT_EQ((Interval{INT64_MAX, INT64_MAX}).midpoint(), INT64_MAX);
+  EXPECT_EQ((Interval{INT64_MIN, INT64_MIN}).midpoint(), INT64_MIN);
+}
+
+TEST(Interval, MidpointMatchesNaiveFormOffOverflow) {
+  for (int64_t Lo : {-100, -7, -1, 0, 1, 13}) {
+    for (int64_t Hi : {-7, -1, 0, 1, 13, 100}) {
+      if (Lo > Hi)
+        continue;
+      Interval I{Lo, Hi};
+      EXPECT_EQ(I.midpoint(), Lo + (Hi - Lo) / 2) << I.str();
+      EXPECT_TRUE(I.contains(I.midpoint())) << I.str();
+    }
+  }
 }
 
 TEST(Interval, PointConstructor) {
   Interval P = Interval::point(42);
   EXPECT_EQ(P.Lo, 42);
   EXPECT_EQ(P.Hi, 42);
-  EXPECT_EQ(P.widthInt64(), 1);
+  EXPECT_EQ(P.width().toInt64(), 1);
 }
 
 TEST(Interval, Str) {

@@ -1,0 +1,44 @@
+# Regression harness for the CLI's strict numeric-flag parsing. Each bad
+# invocation must exit with the usage status (2) and name the offending
+# flag — the pre-fix atoi/strtoll code accepted all of these silently.
+# Run via:  ctest -R cli_rejects_bad_numerics
+if(NOT DEFINED ANOSY_CLI)
+  message(FATAL_ERROR "pass -DANOSY_CLI=<path to anosy_cli>")
+endif()
+
+function(expect_parse_error flag)
+  execute_process(
+    COMMAND ${ANOSY_CLI} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+      "anosy_cli ${ARGN}: expected exit 2, got ${rc}\nstderr: ${err}")
+  endif()
+  if(NOT err MATCHES "invalid value for ${flag}")
+    message(FATAL_ERROR
+      "anosy_cli ${ARGN}: stderr does not name ${flag}: ${err}")
+  endif()
+endfunction()
+
+expect_parse_error("--k" --k abc)
+expect_parse_error("--k" --k 0)            # zero boxes is not a powerset
+expect_parse_error("--threads" --threads 1O)
+expect_parse_error("--threads" --threads=-2)
+expect_parse_error("--timeout-ms" --timeout-ms 10s)
+expect_parse_error("--max-session-nodes" --max-session-nodes 99999999999999999999)
+expect_parse_error("--retry" --retry x7)
+expect_parse_error("--min-size" --min-size 12x)
+expect_parse_error("--min-size" lint --min-size abc)
+expect_parse_error("--threads" lint --threads abc)
+
+# A good invocation still runs end to end (built-in module, no files).
+execute_process(
+  COMMAND ${ANOSY_CLI} --threads 2 --k 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "good invocation failed (${rc}): ${err}")
+endif()

@@ -1,0 +1,106 @@
+//===- tests/obs/MetricsTest.cpp - MetricsRegistry tests ------------------===//
+
+#include "obs/Metrics.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+using namespace anosy::obs;
+
+namespace {
+
+std::string readGolden(const std::string &Name) {
+  std::ifstream In(std::string(ANOSY_OBS_GOLDEN_DIR) + "/" + Name);
+  EXPECT_TRUE(In.good()) << "missing golden file " << Name;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// A registry with one instrument of each kind, fixed values.
+void populate(MetricsRegistry &R) {
+  R.counter("anosy_test_total", "Things counted").add(3);
+  R.gauge("anosy_test_depth", "Current depth").set(-2);
+  Histogram &H = R.histogram("anosy_test_seconds", "Sample seconds",
+                             {0.5, 2.0});
+  H.observe(0.1);
+  H.observe(1.0);
+  H.observe(10.0);
+}
+
+} // namespace
+
+TEST(Metrics, CounterAccumulates) {
+  Counter C;
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndMax) {
+  Gauge G;
+  G.set(-5);
+  EXPECT_EQ(G.value(), -5);
+  G.setMax(10);
+  EXPECT_EQ(G.value(), 10);
+  G.setMax(3); // never lowers
+  EXPECT_EQ(G.value(), 10);
+}
+
+TEST(Metrics, HistogramBucketsAreCumulativeInRender) {
+  Histogram H({1.0, 4.0});
+  H.observe(0.5);
+  H.observe(2.0);
+  H.observe(100.0);
+  EXPECT_EQ(H.bucketCount(0), 1u); // <= 1.0
+  EXPECT_EQ(H.bucketCount(1), 1u); // (1.0, 4.0]
+  EXPECT_EQ(H.bucketCount(2), 1u); // +Inf
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_DOUBLE_EQ(H.sum(), 102.5);
+}
+
+TEST(Metrics, SameNameReturnsSameInstrument) {
+  MetricsRegistry R;
+  Counter &A = R.counter("anosy_same", "first help wins");
+  Counter &B = R.counter("anosy_same", "ignored second help");
+  EXPECT_EQ(&A, &B);
+  A.add(2);
+  EXPECT_EQ(B.value(), 2u);
+  // The dump carries the first registration's help text.
+  EXPECT_NE(R.renderPrometheus().find("# HELP anosy_same first help wins"),
+            std::string::npos);
+  EXPECT_EQ(R.renderPrometheus().find("ignored"), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesButKeepsInstruments) {
+  MetricsRegistry R;
+  populate(R);
+  Counter &C = R.counter("anosy_test_total");
+  R.reset();
+  EXPECT_EQ(C.value(), 0u); // cached reference still valid, now zero
+  EXPECT_EQ(R.gauge("anosy_test_depth").value(), 0);
+  EXPECT_EQ(R.histogram("anosy_test_seconds").count(), 0u);
+}
+
+TEST(Metrics, RenderMatchesGoldenFile) {
+  MetricsRegistry R;
+  populate(R);
+  EXPECT_EQ(R.renderPrometheus(), readGolden("metrics_basic.prom"));
+}
+
+TEST(Metrics, WriteFileRoundTrips) {
+  MetricsRegistry R;
+  populate(R);
+  std::string Path = ::testing::TempDir() + "metrics_roundtrip.prom";
+  auto W = R.writeFile(Path);
+  ASSERT_TRUE(W.ok()) << W.error().str();
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), R.renderPrometheus());
+}

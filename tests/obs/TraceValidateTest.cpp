@@ -1,0 +1,69 @@
+//===- tests/obs/TraceValidateTest.cpp - Chrome trace validator tests -----===//
+
+#include "obs/TraceValidate.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+using namespace anosy::obs;
+
+TEST(TraceValidate, ParsesScalarsAndContainers) {
+  auto V = parseJson(R"({"a": [1, -2.5, true, null, "s\"q"], "b": {}})");
+  ASSERT_TRUE(V.ok()) << V.error().str();
+  ASSERT_TRUE(V->isObject());
+  const JsonValue *A = V->get("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->Arr.size(), 5u);
+  EXPECT_DOUBLE_EQ(A->Arr[0].Num, 1.0);
+  EXPECT_DOUBLE_EQ(A->Arr[1].Num, -2.5);
+  EXPECT_TRUE(A->Arr[2].B);
+  EXPECT_EQ(A->Arr[3].K, JsonValue::Kind::Null);
+  EXPECT_EQ(A->Arr[4].Str, "s\"q");
+}
+
+TEST(TraceValidate, RejectsTrailingGarbage) {
+  EXPECT_FALSE(parseJson("{} trailing").ok());
+  EXPECT_FALSE(parseJson("[1,]").ok());
+  EXPECT_FALSE(parseJson("").ok());
+}
+
+TEST(TraceValidate, AcceptsMinimalDocument) {
+  auto Names = validateChromeTrace(
+      R"({"traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0},
+        {"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1},
+        {"name": "b", "ph": "X", "ts": 2, "dur": 0, "pid": 1, "tid": 1,
+         "args": {"k": 1}}
+      ]})");
+  ASSERT_TRUE(Names.ok()) << Names.error().str();
+  ASSERT_EQ(Names->size(), 2u); // metadata events are not spans
+  EXPECT_EQ((*Names)[0], "a");
+  EXPECT_EQ((*Names)[1], "b");
+}
+
+TEST(TraceValidate, RejectsStructuralViolations) {
+  // No traceEvents array.
+  EXPECT_FALSE(validateChromeTrace(R"({"foo": []})").ok());
+  // Root not an object.
+  EXPECT_FALSE(validateChromeTrace(R"([])").ok());
+  // Event missing name.
+  EXPECT_FALSE(validateChromeTrace(
+                   R"({"traceEvents": [{"ph": "X", "ts": 0, "dur": 0,
+                       "pid": 1, "tid": 1}]})")
+                   .ok());
+  // Complete event missing dur.
+  EXPECT_FALSE(validateChromeTrace(
+                   R"({"traceEvents": [{"name": "a", "ph": "X", "ts": 0,
+                       "pid": 1, "tid": 1}]})")
+                   .ok());
+  // Negative timestamp.
+  EXPECT_FALSE(validateChromeTrace(
+                   R"({"traceEvents": [{"name": "a", "ph": "X", "ts": -1,
+                       "dur": 0, "pid": 1, "tid": 1}]})")
+                   .ok());
+  // args not an object.
+  EXPECT_FALSE(validateChromeTrace(
+                   R"({"traceEvents": [{"name": "a", "ph": "X", "ts": 0,
+                       "dur": 0, "pid": 1, "tid": 1, "args": 3}]})")
+                   .ok());
+}
