@@ -1,0 +1,195 @@
+//===- bench/corpus_suite.cpp - Corpus trajectory numbers -----------------===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scenario-corpus scorecard (DESIGN.md §9). Generates a deterministic
+/// corpus from src/gen, then reports three things:
+///
+///   1. Shape: module and trace counts per family at the given seed.
+///   2. Lint quality: anosy-lint's constant-answer and static-rejection
+///      verdicts scored against the exhaustive ground-truth oracle —
+///      precision must be 1.0 (both verdicts are soundness claims);
+///      recall is the trajectory number we want to see trend upward.
+///   3. Soak throughput: oracle-checked session replays per second, the
+///      figure that bounds how much corpus a CI soak minute buys.
+///
+/// Writes BENCH_corpus.json next to the binary (same reporting style as
+/// BENCH_static_analysis.json). Flags: --seed N, --per-family K,
+/// --traces N, --steps N.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Corpus.h"
+#include "gen/Oracle.h"
+#include "support/ParseNum.h"
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace anosy;
+
+namespace {
+
+struct FamilyRow {
+  std::string Family;
+  unsigned Modules = 0;
+  unsigned Traces = 0;
+  LintScore Lint;
+};
+
+[[noreturn]] void badFlagValue(const char *Flag, const char *Value) {
+  std::fprintf(stderr, "error: invalid value for %s: '%s'\n", Flag, Value);
+  std::exit(2);
+}
+
+void writeCorpusJson(const std::string &Path, const CorpusOptions &Opt,
+                     const std::vector<FamilyRow> &Rows,
+                     const LintScore &Total, unsigned Sessions,
+                     unsigned Mismatches, double SoakSeconds) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (F == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  unsigned Modules = 0, Traces = 0;
+  for (const FamilyRow &R : Rows) {
+    Modules += R.Modules;
+    Traces += R.Traces;
+  }
+  std::fprintf(F,
+               "{\n  \"seed\": %llu,\n  \"modules\": %u,\n"
+               "  \"traces\": %u,\n  \"policy_min_size\": %lld,\n"
+               "  \"families\": [\n",
+               static_cast<unsigned long long>(Opt.Seed), Modules, Traces,
+               static_cast<long long>(Opt.PolicyMinSize));
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const FamilyRow &R = Rows[I];
+    std::fprintf(
+        F,
+        "    {\"family\": \"%s\", \"modules\": %u, \"traces\": %u, "
+        "\"const_precision\": %.4f, \"const_recall\": %.4f, "
+        "\"reject_precision\": %.4f, \"reject_recall\": %.4f}%s\n",
+        R.Family.c_str(), R.Modules, R.Traces,
+        LintScore::precision(R.Lint.ConstTP, R.Lint.ConstFP),
+        LintScore::recall(R.Lint.ConstTP, R.Lint.ConstFN),
+        LintScore::precision(R.Lint.RejectTP, R.Lint.RejectFP),
+        LintScore::recall(R.Lint.RejectTP, R.Lint.RejectFN),
+        I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(
+      F,
+      "  ],\n  \"lint\": {\"queries_scored\": %u, \"sound\": %s, "
+      "\"const_precision\": %.4f, \"const_recall\": %.4f, "
+      "\"reject_precision\": %.4f, \"reject_recall\": %.4f},\n"
+      "  \"soak\": {\"sessions\": %u, \"mismatches\": %u, "
+      "\"seconds\": %.4f, \"sessions_per_s\": %.2f}\n}\n",
+      Total.QueriesScored, Total.sound() ? "true" : "false",
+      LintScore::precision(Total.ConstTP, Total.ConstFP),
+      LintScore::recall(Total.ConstTP, Total.ConstFN),
+      LintScore::precision(Total.RejectTP, Total.RejectFP),
+      LintScore::recall(Total.RejectTP, Total.RejectFN), Sessions,
+      Mismatches, SoakSeconds,
+      SoakSeconds > 0 ? Sessions / SoakSeconds : 0.0);
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CorpusOptions Opt;
+  Opt.ModulesPerFamily = 2;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *V;
+    if (Arg == "--seed" && (V = Next())) {
+      auto N = parseUint64(V);
+      if (!N)
+        badFlagValue("--seed", V);
+      Opt.Seed = *N;
+    } else if (Arg == "--per-family" && (V = Next())) {
+      auto N = parseUnsigned(V);
+      if (!N)
+        badFlagValue("--per-family", V);
+      Opt.ModulesPerFamily = *N;
+    } else if (Arg == "--traces" && (V = Next())) {
+      auto N = parseUnsigned(V);
+      if (!N)
+        badFlagValue("--traces", V);
+      Opt.TracesPerModule = *N;
+    } else if (Arg == "--steps" && (V = Next())) {
+      auto N = parseUnsigned(V);
+      if (!N)
+        badFlagValue("--steps", V);
+      Opt.StepsPerTrace = *N;
+    } else {
+      std::fprintf(stderr,
+                   "usage: corpus_suite [--seed N] [--per-family K] "
+                   "[--traces N] [--steps N]\n");
+      return 2;
+    }
+  }
+
+  auto C = generateCorpus(Opt);
+  if (!C) {
+    std::fprintf(stderr, "%s\n", C.error().str().c_str());
+    return 1;
+  }
+
+  // Per-family lint scorecard against the exhaustive oracle.
+  std::vector<FamilyRow> Rows(NumScenarioFamilies);
+  for (unsigned F = 0; F != NumScenarioFamilies; ++F)
+    Rows[F].Family = scenarioFamilyName(static_cast<ScenarioFamily>(F));
+  LintScore Total;
+  for (const CorpusEntry &E : C->Entries) {
+    FamilyRow &Row = Rows[static_cast<unsigned>(E.Mod.Family)];
+    ++Row.Modules;
+    Row.Traces += static_cast<unsigned>(E.Traces.size());
+    GroundTruth GT = computeGroundTruth(E.Parsed);
+    LintScore S = scoreLint(E.Parsed, E.Mod.PolicyMinSize, GT);
+    Row.Lint.merge(S);
+    Total.merge(S);
+  }
+
+  // Soak throughput: oracle-checked replay of every trace in the corpus.
+  Stopwatch Clock;
+  unsigned Sessions = 0, Mismatches = 0;
+  for (const CorpusEntry &E : C->Entries) {
+    for (const GeneratedTrace &T : E.Traces) {
+      ReplayResult R = replayWithOracle(E.Parsed, T);
+      ++Sessions;
+      Mismatches += static_cast<unsigned>(R.Mismatches.size());
+      for (const std::string &M : R.Mismatches)
+        std::fprintf(stderr, "ORACLE MISMATCH %s: %s\n", T.Name.c_str(),
+                     M.c_str());
+    }
+  }
+  double SoakSeconds = Clock.seconds();
+
+  std::printf("%-12s %8s %8s %8s %8s %8s %8s\n", "family", "modules",
+              "traces", "c_prec", "c_rec", "r_prec", "r_rec");
+  for (const FamilyRow &R : Rows)
+    std::printf("%-12s %8u %8u %8.3f %8.3f %8.3f %8.3f\n", R.Family.c_str(),
+                R.Modules, R.Traces,
+                LintScore::precision(R.Lint.ConstTP, R.Lint.ConstFP),
+                LintScore::recall(R.Lint.ConstTP, R.Lint.ConstFN),
+                LintScore::precision(R.Lint.RejectTP, R.Lint.RejectFP),
+                LintScore::recall(R.Lint.RejectTP, R.Lint.RejectFN));
+  std::printf("soak: %u sessions in %.2fs (%.1f sessions/s), %u mismatches\n",
+              Sessions, SoakSeconds,
+              SoakSeconds > 0 ? Sessions / SoakSeconds : 0.0, Mismatches);
+
+  writeCorpusJson("BENCH_corpus.json", Opt, Rows, Total, Sessions,
+                  Mismatches, SoakSeconds);
+  std::printf("wrote BENCH_corpus.json (seed %llu)\n",
+              static_cast<unsigned long long>(Opt.Seed));
+  return Mismatches == 0 && Total.sound() ? 0 : 1;
+}

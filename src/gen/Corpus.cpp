@@ -1,0 +1,70 @@
+//===- gen/Corpus.cpp - Deterministic module+trace corpora ----------------===//
+//
+// Part of anosy-cpp (see DESIGN.md §9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Corpus.h"
+
+#include "expr/Parser.h"
+
+namespace anosy {
+
+uint64_t corpusModuleSeed(uint64_t CorpusSeed, ScenarioFamily F, unsigned I) {
+  // Affine, not a shared stream: entry seeds are independent of how many
+  // other entries the corpus has.
+  return CorpusSeed + static_cast<uint64_t>(F) * 1000003ULL +
+         static_cast<uint64_t>(I) * 101ULL;
+}
+
+Result<Corpus> generateCorpus(const CorpusOptions &Options) {
+  Corpus C;
+  C.Seed = Options.Seed;
+  for (unsigned F = 0; F != NumScenarioFamilies; ++F) {
+    auto Family = static_cast<ScenarioFamily>(F);
+    for (unsigned I = 0; I != Options.ModulesPerFamily; ++I) {
+      ScenarioOptions SOpt;
+      SOpt.Family = Family;
+      SOpt.Seed = corpusModuleSeed(Options.Seed, Family, I);
+      SOpt.PolicyMinSize = Options.PolicyMinSize;
+      SOpt.MaxDomainSize = Options.MaxDomainSize;
+
+      CorpusEntry E;
+      E.Mod = generateScenarioModule(SOpt);
+      auto Parsed = parseModule(E.Mod.Source);
+      if (!Parsed)
+        return Error(Parsed.error().code(),
+                     "generated module '" + E.Mod.Name +
+                         "' does not parse: " + Parsed.error().message());
+      E.Parsed = Parsed.takeValue();
+
+      for (unsigned J = 0; J != Options.TracesPerModule; ++J) {
+        // Rotate strategies and policies so every (family, strategy,
+        // policy-kind) combination appears somewhere in a modest corpus.
+        auto Strategy = static_cast<AttackerStrategy>(
+            (I + J) % NumAttackerStrategies);
+        TracePolicy Policy;
+        switch ((F + J) % 3) {
+        case 0:
+          Policy.K = TracePolicy::Kind::MinSize;
+          Policy.MinSize = Options.PolicyMinSize;
+          break;
+        case 1:
+          Policy.K = TracePolicy::Kind::Permissive;
+          break;
+        default:
+          Policy.K = TracePolicy::Kind::MinEntropy;
+          Policy.Bits = 3;
+          break;
+        }
+        E.Traces.push_back(generateTrace(E.Parsed, E.Mod.Name, Strategy,
+                                         Policy, SOpt.Seed + J,
+                                         Options.StepsPerTrace));
+      }
+      C.Entries.push_back(std::move(E));
+    }
+  }
+  return C;
+}
+
+} // namespace anosy

@@ -1,0 +1,69 @@
+//===- gen/Corpus.h - Deterministic module+trace corpora --------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md §9).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundles the scenario and trace generators into whole corpora: for each
+/// scenario family, a run of modules, each with a rotation of attacker
+/// strategies and knowledge policies. Per-entry seeds are a fixed affine
+/// function of (corpus seed, family, module index) — NOT a shared PRNG
+/// stream — so changing the corpus shape (more modules, more traces)
+/// never perturbs the entries that already existed. Byte-determinism of
+/// the whole corpus follows from the generators' contracts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_GEN_CORPUS_H
+#define ANOSY_GEN_CORPUS_H
+
+#include "gen/ScenarioGen.h"
+#include "gen/TraceGen.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace anosy {
+
+struct CorpusOptions {
+  uint64_t Seed = 1;
+  unsigned ModulesPerFamily = 2;
+  unsigned TracesPerModule = 2;
+  unsigned StepsPerTrace = 12;
+  /// Passed through to ScenarioOptions (and the min-size trace policies).
+  int64_t PolicyMinSize = 8;
+  int64_t MaxDomainSize = 10'000;
+};
+
+/// One module with its parsed form and generated traces.
+struct CorpusEntry {
+  GeneratedModule Mod;
+  Module Parsed;
+  std::vector<GeneratedTrace> Traces;
+};
+
+struct Corpus {
+  uint64_t Seed = 0;
+  std::vector<CorpusEntry> Entries;
+
+  size_t traceCount() const {
+    size_t N = 0;
+    for (const CorpusEntry &E : Entries)
+      N += E.Traces.size();
+    return N;
+  }
+};
+
+/// The module seed for (corpus seed, family, index) — exposed so tools
+/// can regenerate a single corpus entry from its name.
+uint64_t corpusModuleSeed(uint64_t CorpusSeed, ScenarioFamily F, unsigned I);
+
+/// Generates the full corpus. Fails only if a generated module does not
+/// parse — which is itself a generator bug worth surfacing loudly.
+Result<Corpus> generateCorpus(const CorpusOptions &Options);
+
+} // namespace anosy
+
+#endif // ANOSY_GEN_CORPUS_H

@@ -1,14 +1,21 @@
-//===- tests/fuzz/QueryGen.h - Random query generation ----------*- C++ -*-===//
+//===- gen/QueryGen.h - Random query generation -----------------*- C++ -*-===//
 //
-// A grammar-directed random generator for the §5.1 query fragment, used by
-// the property-test sweeps: random boolean queries over a fixed small
-// schema, built from the same constructors the parser emits (linear
-// arithmetic with abs/min/max/ite, comparisons, connectives).
+// Part of anosy-cpp (see DESIGN.md).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// A grammar-directed random generator for the §5.1 query fragment: random
+/// boolean queries over a fixed small schema, built from the same
+/// constructors the parser emits (linear arithmetic with abs/min/max/ite,
+/// comparisons, connectives). Shared by the property-test sweeps and the
+/// scenario generator's adversarial family (gen/ScenarioGen.h); it lived
+/// in tests/fuzz/ until the corpus work promoted it to a library.
+///
+//===----------------------------------------------------------------------===//
 
-#ifndef ANOSY_TESTS_FUZZ_QUERYGEN_H
-#define ANOSY_TESTS_FUZZ_QUERYGEN_H
+#ifndef ANOSY_GEN_QUERYGEN_H
+#define ANOSY_GEN_QUERYGEN_H
 
 #include "expr/Expr.h"
 #include "support/Rng.h"
@@ -98,4 +105,4 @@ private:
 
 } // namespace anosy
 
-#endif // ANOSY_TESTS_FUZZ_QUERYGEN_H
+#endif // ANOSY_GEN_QUERYGEN_H

@@ -1,0 +1,333 @@
+//===- gen/ScenarioGen.cpp - Seeded scenario-module generator -------------===//
+//
+// Part of anosy-cpp (see DESIGN.md §9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ScenarioGen.h"
+
+#include "gen/QueryGen.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace anosy;
+
+const char *anosy::scenarioFamilyName(ScenarioFamily F) {
+  switch (F) {
+  case ScenarioFamily::Location:
+    return "location";
+  case ScenarioFamily::Census:
+    return "census";
+  case ScenarioFamily::Medical:
+    return "medical";
+  case ScenarioFamily::Auction:
+    return "auction";
+  case ScenarioFamily::Probe:
+    return "probe";
+  case ScenarioFamily::Adversarial:
+    return "adversarial";
+  }
+  return "unknown";
+}
+
+std::optional<ScenarioFamily>
+anosy::scenarioFamilyByName(const std::string &Name) {
+  for (unsigned I = 0; I != NumScenarioFamilies; ++I) {
+    auto F = static_cast<ScenarioFamily>(I);
+    if (Name == scenarioFamilyName(F))
+      return F;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Largest W with (W+1)^2 <= Max (side of the biggest square domain).
+int64_t squareSide(int64_t Max) {
+  int64_t W = 0;
+  while ((W + 2) * (W + 2) <= Max)
+    ++W;
+  return W;
+}
+
+/// Manhattan-ball cardinality 2r(r+1)+1 (ball fully interior).
+int64_t manhattanBall(int64_t R) { return 2 * R * (R + 1) + 1; }
+
+/// Smallest radius whose interior Manhattan ball exceeds \p K points.
+int64_t radiusJustAbove(int64_t K) {
+  int64_t R = 0;
+  while (manhattanBall(R) <= K)
+    ++R;
+  return R;
+}
+
+/// Shared module-header comment; part of the byte-determinism contract.
+void emitHeader(std::string &Out, const ScenarioOptions &O,
+                const char *Story) {
+  Out += "# anosy corpus scenario: family=";
+  Out += scenarioFamilyName(O.Family);
+  Out += " seed=" + std::to_string(O.Seed) + "\n";
+  Out += "# ";
+  Out += Story;
+  Out += "\n# Deterministic in (family, seed, queries, min-size, "
+         "max-domain); regenerate\n"
+         "# with `anosy_gen modules` at the same options.\n"
+         "#\n"
+         "# anosy-lint: min-size=" +
+         std::to_string(O.PolicyMinSize) + "\n\n";
+}
+
+std::string genLocation(const ScenarioOptions &O, Rng &R) {
+  std::string Out;
+  emitHeader(Out, O,
+             "Secure advertising (paper 6.2): nearby-branch queries over a "
+             "2-D location.");
+  const int64_t W = std::max<int64_t>(squareSide(O.MaxDomainSize), 16);
+  Out += "secret GeoLoc { x: int[0, " + std::to_string(W) + "], y: int[0, " +
+         std::to_string(W) + "] }\n\n";
+  Out += "def nearby(ox: int, oy: int, r: int): bool = "
+         "abs(x - ox) + abs(y - oy) <= r\n\n";
+
+  const unsigned Q = std::clamp(O.Queries, 3u, 8u);
+  // Clean branches: radii wide enough to keep both posteriors fat.
+  const int64_t WideLo = std::max<int64_t>(W / 5, 2);
+  const int64_t WideHi = std::max<int64_t>(W / 3, WideLo);
+  for (unsigned I = 0; I + 2 < Q; ++I) {
+    int64_t Rad = R.range(WideLo, WideHi);
+    int64_t Cx = R.range(Rad, W - Rad);
+    int64_t Cy = R.range(Rad, W - Rad);
+    Out += "query branch_" + std::to_string(I) + " = nearby(" +
+           std::to_string(Cx) + ", " + std::to_string(Cy) + ", " +
+           std::to_string(Rad) + ")\n";
+  }
+  // Near-threshold: smallest interior ball still above the policy floor.
+  {
+    int64_t Rad = radiusJustAbove(O.PolicyMinSize);
+    int64_t Cx = R.range(Rad, W - Rad);
+    int64_t Cy = R.range(Rad, W - Rad);
+    Out += "query pinpoint = nearby(" + std::to_string(Cx) + ", " +
+           std::to_string(Cy) + ", " + std::to_string(Rad) + ")\n";
+  }
+  // Policy-unsatisfiable: a ball at or below the floor (the monitor would
+  // refuse this downgrade for every secret; lint should reject it).
+  {
+    int64_t Rad = std::max<int64_t>(radiusJustAbove(O.PolicyMinSize) - 1, 0);
+    int64_t Cx = R.range(Rad, W - Rad);
+    int64_t Cy = R.range(Rad, W - Rad);
+    Out += "query tracker = nearby(" + std::to_string(Cx) + ", " +
+           std::to_string(Cy) + ", " + std::to_string(Rad) + ")\n";
+  }
+  return Out;
+}
+
+std::string genCensus(const ScenarioOptions &O, Rng &R) {
+  std::string Out;
+  emitHeader(Out, O,
+             "Census form service: age/income thresholds, brackets, and an "
+             "income-band classifier.");
+  // Both axes shrink under a tight domain cap (floor ~10 values each so
+  // the thresholds below stay meaningful).
+  const int64_t AgeHi = std::clamp<int64_t>(O.MaxDomainSize / 20 - 1, 9, 99);
+  const int64_t IncomeHi =
+      std::clamp<int64_t>(O.MaxDomainSize / (AgeHi + 1) - 1, 9, 1'000);
+  Out += "secret Person { age: int[0, " + std::to_string(AgeHi) +
+         "], income: int[0, " + std::to_string(IncomeHi) + "] }\n\n";
+
+  int64_t Adult = R.range(16, 21);
+  Out += "query adult = age >= " + std::to_string(Adult) + "\n";
+  int64_t SeniorAge = R.range(60, 70);
+  int64_t LowIncome = R.range(IncomeHi / 5, IncomeHi / 2);
+  Out += "query senior_support = age >= " + std::to_string(SeniorAge) +
+         " && income <= " + std::to_string(LowIncome) + "\n";
+  int64_t BracketLo = R.range(0, IncomeHi / 2);
+  int64_t BracketHi = R.range(BracketLo + 1, IncomeHi);
+  Out += "query mid_bracket = income >= " + std::to_string(BracketLo) +
+         " && income <= " + std::to_string(BracketHi) + "\n";
+  // Near-threshold: corner rectangle of ~2k points (above the floor).
+  int64_t Depth = std::max<int64_t>(O.PolicyMinSize - 1, 0);
+  Out += "query flagged = age >= " + std::to_string(AgeHi - 1) +
+         " && income >= " + std::to_string(IncomeHi - Depth) + "\n";
+  // Policy-unsatisfiable: a single-point audit probe.
+  Out += "query audit_probe = age == " + std::to_string(R.range(0, AgeHi)) +
+         " && income == " + std::to_string(R.range(0, IncomeHi)) + "\n";
+  // Constant answer: true on the whole prior.
+  Out += "query registered = age >= 0\n";
+  if (O.Queries >= 6) {
+    int64_t T1 = R.range(IncomeHi / 4, IncomeHi / 2);
+    int64_t T2 = R.range(T1 + 1, IncomeHi);
+    Out += "classify income_band = if income < " + std::to_string(T1) +
+           " then 0 else if income < " + std::to_string(T2) +
+           " then 1 else 2\n";
+  }
+  return Out;
+}
+
+std::string genMedical(const ScenarioOptions &O, Rng &R) {
+  std::string Out;
+  emitHeader(Out, O,
+             "Medical triage: vitals thresholds, linear risk scores, and a "
+             "triage classifier.");
+  // sys in [90, 90+A], dia in [60, 60+B] with (A+1)(B+1) under the cap.
+  int64_t A = 90, B = 50;
+  while ((A + 1) * (B + 1) > O.MaxDomainSize && A > 10 && B > 10) {
+    A = A * 3 / 4;
+    B = B * 3 / 4;
+  }
+  const int64_t SysLo = 90, SysHi = 90 + A, DiaLo = 60, DiaHi = 60 + B;
+  Out += "secret Patient { sys: int[" + std::to_string(SysLo) + ", " +
+         std::to_string(SysHi) + "], dia: int[" + std::to_string(DiaLo) +
+         ", " + std::to_string(DiaHi) + "] }\n\n";
+  Out += "def elevated(st: int, dt: int): bool = sys >= st || dia >= dt\n\n";
+
+  int64_t SysT = R.range(SysLo + A / 3, SysHi - A / 4);
+  int64_t DiaT = R.range(DiaLo + B / 3, DiaHi - B / 4);
+  Out += "query hypertensive = elevated(" + std::to_string(SysT) + ", " +
+         std::to_string(DiaT) + ")\n";
+  int64_t RiskT = 2 * SysT + R.range(DiaLo, DiaT);
+  Out += "query risk_score = 2 * sys + dia >= " + std::to_string(RiskT) +
+         "\n";
+  Out += "query normal = sys <= " + std::to_string(SysLo + A / 3) +
+         " && dia <= " + std::to_string(DiaLo + B / 3) + "\n";
+  // Constant answer: false on the whole prior (below the field floor).
+  Out += "query impossible_reading = sys < " + std::to_string(SysLo) + "\n";
+  // Policy-unsatisfiable corner: at most PolicyMinSize candidates.
+  int64_t E = std::max<int64_t>(O.PolicyMinSize / 2, 0);
+  Out += "query crisis_corner = sys >= " + std::to_string(SysHi) +
+         " && dia >= " + std::to_string(DiaHi - E) + "\n";
+  if (O.Queries >= 6) {
+    Out += "classify triage = if sys >= " + std::to_string(SysHi - A / 5) +
+           " then 2 else if sys >= " + std::to_string(SysT) +
+           " then 1 else 0\n";
+  }
+  return Out;
+}
+
+std::string genAuction(const ScenarioOptions &O, Rng &R) {
+  std::string Out;
+  emitHeader(Out, O,
+             "Sealed-bid auction: a threshold ladder an adversary walks to "
+             "corner the bid.");
+  const int64_t CapHi = std::clamp<int64_t>(O.MaxDomainSize / 20 - 1, 9, 49);
+  const int64_t BidHi =
+      std::clamp<int64_t>(O.MaxDomainSize / (CapHi + 1) - 1, 9, 1'000);
+  Out += "secret Bid { bid: int[0, " + std::to_string(BidHi) +
+         "], cap: int[0, " + std::to_string(CapHi) + "] }\n\n";
+
+  // Ascending ladder of bid thresholds (sorted, deduplicated).
+  const unsigned Rungs = std::clamp(O.Queries, 3u, 6u) - 1;
+  std::vector<int64_t> Ladder;
+  for (unsigned I = 0; I != Rungs; ++I)
+    Ladder.push_back(R.range(1, BidHi));
+  std::sort(Ladder.begin(), Ladder.end());
+  Ladder.erase(std::unique(Ladder.begin(), Ladder.end()), Ladder.end());
+  for (size_t I = 0; I != Ladder.size(); ++I)
+    Out += "query above_" + std::to_string(I) +
+           " = bid >= " + std::to_string(Ladder[I]) + "\n";
+  int64_t Afford = R.range(1, std::min(BidHi, CapHi));
+  Out += "query affordable = min(bid, cap) >= " + std::to_string(Afford) +
+         "\n";
+  // Policy-unsatisfiable: pins the bid to <= PolicyMinSize candidates.
+  int64_t M = std::max<int64_t>(O.PolicyMinSize - 1, 0);
+  Out += "query whale = bid >= " + std::to_string(BidHi) +
+         " && cap >= " + std::to_string(CapHi - M) + "\n";
+  return Out;
+}
+
+std::string genProbe(const ScenarioOptions &O, Rng &R) {
+  std::string Out;
+  emitHeader(Out, O,
+             "Rate-limited probing attacker: fig6-style bisection of one "
+             "field; late probes must be refused.");
+  const int64_t N = std::min<int64_t>(O.MaxDomainSize - 1, 4095);
+  Out += "secret Meter { x: int[0, " + std::to_string(N) + "] }\n\n";
+
+  // The midpoint ladder of a binary search for a hidden target: each
+  // probe halves the consistent interval, so a session replaying the
+  // ladder in order drives knowledge straight at the policy floor.
+  int64_t Target = R.range(0, N);
+  int64_t Lo = 0, Hi = N;
+  const unsigned Q = std::clamp(O.Queries, 3u, 12u);
+  for (unsigned I = 0; I != Q && Lo < Hi; ++I) {
+    int64_t Mid = Lo + (Hi - Lo) / 2;
+    Out += "query probe_" + std::to_string(I) +
+           " = x <= " + std::to_string(Mid) + "\n";
+    if (Target <= Mid)
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  // The endgame probe lint must reject: a single-point pin.
+  Out += "query pin = x == " + std::to_string(Target) + "\n";
+  return Out;
+}
+
+std::string genAdversarial(const ScenarioOptions &O, Rng &R) {
+  std::string Out;
+  emitHeader(Out, O,
+             "Hostile inputs: grammar-random queries over the full "
+             "abs/min/max/ite fragment.");
+  const int64_t W = std::min<int64_t>(squareSide(O.MaxDomainSize) , 12);
+  Schema S("Fuzz", {{"a", 0, W}, {"b", 0, W}});
+  Out += "secret Fuzz { a: int[0, " + std::to_string(W) + "], b: int[0, " +
+         std::to_string(W) + "] }\n\n";
+
+  QueryGenConfig Config;
+  Config.Arity = 2;
+  Config.ConstLo = -W - 3;
+  Config.ConstHi = W + 3;
+  Config.MaxDepth = 3;
+  QueryGen Gen(R.next(), Config);
+  const unsigned Q = std::clamp(O.Queries, 2u, 10u);
+  for (unsigned I = 0; I != Q; ++I)
+    Out += "query q" + std::to_string(I) + " = " +
+           Gen.genQuery()->str(S) + "\n";
+  return Out;
+}
+
+} // namespace
+
+GeneratedModule anosy::generateScenarioModule(const ScenarioOptions &O) {
+  // Fold every family into the stream so equal seeds in different
+  // families do not correlate.
+  Rng R(O.Seed ^ (0x5ca1ab1eULL + static_cast<uint64_t>(O.Family) *
+                                      0x9e3779b97f4a7c15ULL));
+  GeneratedModule M;
+  M.Family = O.Family;
+  M.Seed = O.Seed;
+  M.PolicyMinSize = O.PolicyMinSize;
+  M.Name = std::string(scenarioFamilyName(O.Family)) + "_s" +
+           std::to_string(O.Seed);
+  switch (O.Family) {
+  case ScenarioFamily::Location:
+    M.Source = genLocation(O, R);
+    break;
+  case ScenarioFamily::Census:
+    M.Source = genCensus(O, R);
+    break;
+  case ScenarioFamily::Medical:
+    M.Source = genMedical(O, R);
+    break;
+  case ScenarioFamily::Auction:
+    M.Source = genAuction(O, R);
+    break;
+  case ScenarioFamily::Probe:
+    M.Source = genProbe(O, R);
+    break;
+  case ScenarioFamily::Adversarial:
+    M.Source = genAdversarial(O, R);
+    break;
+  }
+  return M;
+}
+
+std::string anosy::renderModuleSource(const Module &M) {
+  std::string Out = "secret " + M.schema().str() + "\n\n";
+  for (const QueryDef &Q : M.queries())
+    Out += "query " + Q.Name + " = " + Q.Body->str(M.schema()) + "\n";
+  for (const ClassifierDef &C : M.classifiers())
+    Out += "classify " + C.Name + " = " + C.Body->str(M.schema()) + "\n";
+  return Out;
+}

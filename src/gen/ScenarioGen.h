@@ -1,0 +1,114 @@
+//===- gen/ScenarioGen.h - Seeded scenario-module generator -----*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md §9).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scenario generator: seeded, deterministic emission of realistic
+/// `.anosy` module families for the corpus harness (DESIGN.md §9). Each
+/// family models a service the paper's monitor would front — location ads
+/// (§6.2), census forms, medical triage, sealed-bid auctions, a
+/// rate-limited probing attacker bisecting a field, and an adversarial
+/// family of grammar-random queries (gen/QueryGen.h) — over *small*
+/// schemas so the exhaustive oracle (gen/Oracle.h) can check everything
+/// downstream against ground truth.
+///
+/// Determinism contract: the emitted text is a pure function of
+/// ScenarioOptions. Same options ⇒ byte-identical source, on every
+/// platform — no iteration over unordered containers, no
+/// locale-dependent formatting, no wall clock. The corpus fixtures under
+/// tests/corpus/ are golden pins of this contract.
+///
+/// Generated modules also embed the policy threshold they were shaped
+/// against as a `# anosy-lint: min-size=N` pragma, so `anosy_cli lint`
+/// and the session's static admission see the same policy the trace
+/// replays use. Families deliberately emit a mix of clean,
+/// near-threshold, constant-answer, and policy-unsatisfiable queries:
+/// the lint precision/recall harness needs all four classes present.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_GEN_SCENARIOGEN_H
+#define ANOSY_GEN_SCENARIOGEN_H
+
+#include "expr/Module.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace anosy {
+
+/// The service families the generator can emit.
+enum class ScenarioFamily : unsigned {
+  /// §6.2 secure advertising: Manhattan-ball `nearby` branches over a 2-D
+  /// location, some well separated, some overlapping near the policy
+  /// threshold.
+  Location = 0,
+  /// Census-form service: age/income thresholds and brackets, plus an
+  /// income-band classifier (§5.1 extension) on larger instances.
+  Census,
+  /// Medical triage: blood-pressure style vitals, risk scores as linear
+  /// combinations, and deliberately constant screening queries.
+  Medical,
+  /// Sealed-bid auction probes: a ladder of `bid >= v` threshold queries
+  /// an adversary can walk to corner the bid.
+  Auction,
+  /// A rate-limited probing attacker: binary-search midpoint queries on
+  /// one field, the fig6 sequential-attacker shape distilled.
+  Probe,
+  /// Grammar-random queries from gen/QueryGen.h: hostile inputs with no
+  /// service story, exercising the full fragment.
+  Adversarial,
+};
+
+inline constexpr unsigned NumScenarioFamilies = 6;
+
+/// Stable kebab-case family name ("location", "census", ...).
+const char *scenarioFamilyName(ScenarioFamily F);
+
+/// Inverse of scenarioFamilyName; nullopt for unknown names.
+std::optional<ScenarioFamily> scenarioFamilyByName(const std::string &Name);
+
+/// Generator knobs. Everything that influences the output is here — the
+/// determinism contract is over this whole struct.
+struct ScenarioOptions {
+  ScenarioFamily Family = ScenarioFamily::Location;
+  uint64_t Seed = 1;
+  /// Rough query count (families clamp to what their shape supports).
+  unsigned Queries = 4;
+  /// Policy threshold the module is shaped against; emitted as the
+  /// module's `# anosy-lint: min-size=N` pragma.
+  int64_t PolicyMinSize = 8;
+  /// Upper bound on the schema's total secret count, so the exhaustive
+  /// oracle stays cheap. Families size their fields under this.
+  int64_t MaxDomainSize = 10'000;
+};
+
+/// One generated module: deterministic source text plus its metadata.
+struct GeneratedModule {
+  /// Stable stem, e.g. "location_s42" — file names derive from it.
+  std::string Name;
+  /// Full `.anosy` source (parseable; byte-deterministic in the options).
+  std::string Source;
+  ScenarioFamily Family = ScenarioFamily::Location;
+  uint64_t Seed = 0;
+  /// The pragma threshold embedded in Source.
+  int64_t PolicyMinSize = 0;
+};
+
+/// Emits one module for \p Options. The result always parses
+/// (parseModule) and its schema's totalSize is <= Options.MaxDomainSize.
+GeneratedModule generateScenarioModule(const ScenarioOptions &Options);
+
+/// Renders an elaborated Module back to parseable `.anosy` source:
+/// `secret` declaration plus one fully-inlined `query`/`classify` line
+/// per definition (helper `def`s are gone after elaboration, so none are
+/// printed). parse ∘ render is the identity on elaborated ASTs — pinned
+/// by tests/gen/ModuleRoundTripTest.
+std::string renderModuleSource(const Module &M);
+
+} // namespace anosy
+
+#endif // ANOSY_GEN_SCENARIOGEN_H

@@ -1,0 +1,304 @@
+//===- gen/TraceGen.cpp - Seeded traffic-trace generator ------------------===//
+//
+// Part of anosy-cpp (see DESIGN.md §9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/TraceGen.h"
+
+#include "support/ParseNum.h"
+#include "support/Rng.h"
+
+#include <sstream>
+
+namespace anosy {
+
+const char *attackerStrategyName(AttackerStrategy S) {
+  switch (S) {
+  case AttackerStrategy::Sweep:
+    return "sweep";
+  case AttackerStrategy::Repeat:
+    return "repeat";
+  case AttackerStrategy::Bisect:
+    return "bisect";
+  case AttackerStrategy::Hostile:
+    return "hostile";
+  case AttackerStrategy::Interleave:
+    return "interleave";
+  }
+  ANOSY_UNREACHABLE("unknown attacker strategy");
+}
+
+std::optional<AttackerStrategy>
+attackerStrategyByName(const std::string &Name) {
+  for (unsigned I = 0; I < NumAttackerStrategies; ++I) {
+    auto S = static_cast<AttackerStrategy>(I);
+    if (Name == attackerStrategyName(S))
+      return S;
+  }
+  return std::nullopt;
+}
+
+static std::string renderPolicy(const TracePolicy &P) {
+  switch (P.K) {
+  case TracePolicy::Kind::Permissive:
+    return "permissive";
+  case TracePolicy::Kind::MinSize:
+    return "min-size " + std::to_string(P.MinSize);
+  case TracePolicy::Kind::MinEntropy:
+    return "min-entropy " + std::to_string(P.Bits);
+  }
+  ANOSY_UNREACHABLE("unknown trace policy kind");
+}
+
+std::string renderTrace(const GeneratedTrace &T) {
+  std::ostringstream OS;
+  OS << "anosy-trace v1\n";
+  OS << "trace " << T.Name << "\n";
+  OS << "module " << T.ModuleName << "\n";
+  OS << "strategy " << attackerStrategyName(T.Strategy) << "\n";
+  OS << "seed " << T.Seed << "\n";
+  OS << "policy " << renderPolicy(T.Policy) << "\n";
+  for (const Point &P : T.Secrets) {
+    OS << "secret";
+    for (int64_t V : P)
+      OS << " " << V;
+    OS << "\n";
+  }
+  for (const TraceStep &S : T.Steps)
+    OS << "step " << S.SecretIndex << " " << S.Name << "\n";
+  OS << "end\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Splits a line into whitespace-separated words.
+std::vector<std::string> splitWords(const std::string &Line) {
+  std::vector<std::string> Words;
+  std::istringstream IS(Line);
+  std::string W;
+  while (IS >> W)
+    Words.push_back(W);
+  return Words;
+}
+
+Error traceError(unsigned LineNo, const std::string &Message) {
+  return Error(ErrorCode::ParseError,
+               "trace line " + std::to_string(LineNo) + ": " + Message);
+}
+
+} // namespace
+
+Result<GeneratedTrace> parseTrace(const std::string &Text) {
+  GeneratedTrace T;
+  std::istringstream IS(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  bool SawMagic = false, SawEnd = false;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    // Strip a trailing CR so CRLF fixtures parse too.
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    std::vector<std::string> Words = splitWords(Line);
+    if (Words.empty() || Words[0][0] == '#')
+      continue;
+    if (!SawMagic) {
+      if (Words.size() != 2 || Words[0] != "anosy-trace" || Words[1] != "v1")
+        return traceError(LineNo, "expected 'anosy-trace v1' header");
+      SawMagic = true;
+      continue;
+    }
+    if (SawEnd)
+      return traceError(LineNo, "content after 'end'");
+    const std::string &Key = Words[0];
+    if (Key == "end") {
+      if (Words.size() != 1)
+        return traceError(LineNo, "'end' takes no operands");
+      SawEnd = true;
+    } else if (Key == "trace" || Key == "module") {
+      if (Words.size() != 2)
+        return traceError(LineNo, "'" + Key + "' takes one name");
+      (Key == "trace" ? T.Name : T.ModuleName) = Words[1];
+    } else if (Key == "strategy") {
+      if (Words.size() != 2)
+        return traceError(LineNo, "'strategy' takes one name");
+      std::optional<AttackerStrategy> S = attackerStrategyByName(Words[1]);
+      if (!S)
+        return traceError(LineNo, "unknown strategy '" + Words[1] + "'");
+      T.Strategy = *S;
+    } else if (Key == "seed") {
+      std::optional<uint64_t> Seed;
+      if (Words.size() == 2)
+        Seed = parseUint64(Words[1]);
+      if (!Seed)
+        return traceError(LineNo, "'seed' takes one unsigned integer");
+      T.Seed = *Seed;
+    } else if (Key == "policy") {
+      if (Words.size() == 2 && Words[1] == "permissive") {
+        T.Policy.K = TracePolicy::Kind::Permissive;
+      } else if (Words.size() == 3 &&
+                 (Words[1] == "min-size" || Words[1] == "min-entropy")) {
+        std::optional<int64_t> N = parseInt64(Words[2]);
+        if (!N || *N < 0)
+          return traceError(LineNo, "bad policy threshold '" + Words[2] + "'");
+        if (Words[1] == "min-size") {
+          T.Policy.K = TracePolicy::Kind::MinSize;
+          T.Policy.MinSize = *N;
+        } else {
+          T.Policy.K = TracePolicy::Kind::MinEntropy;
+          T.Policy.Bits = *N;
+        }
+      } else {
+        return traceError(
+            LineNo, "expected 'permissive', 'min-size N', or 'min-entropy N'");
+      }
+    } else if (Key == "secret") {
+      Point P;
+      for (size_t I = 1; I < Words.size(); ++I) {
+        std::optional<int64_t> V = parseInt64(Words[I]);
+        if (!V)
+          return traceError(LineNo, "bad secret component '" + Words[I] + "'");
+        P.push_back(*V);
+      }
+      if (P.empty())
+        return traceError(LineNo, "'secret' needs at least one component");
+      T.Secrets.push_back(std::move(P));
+    } else if (Key == "step") {
+      std::optional<unsigned> Idx;
+      if (Words.size() == 3)
+        Idx = parseUnsigned(Words[1]);
+      if (!Idx)
+        return traceError(LineNo, "'step' takes a secret index and a name");
+      T.Steps.push_back({*Idx, Words[2]});
+    } else {
+      return traceError(LineNo, "unknown directive '" + Key + "'");
+    }
+  }
+  if (!SawMagic)
+    return Error(ErrorCode::ParseError, "trace: missing 'anosy-trace v1'");
+  if (!SawEnd)
+    return Error(ErrorCode::ParseError, "trace: missing 'end'");
+  if (T.Name.empty() || T.ModuleName.empty())
+    return Error(ErrorCode::ParseError,
+                 "trace: 'trace' and 'module' lines are required");
+  for (const TraceStep &S : T.Steps)
+    if (S.SecretIndex >= T.Secrets.size())
+      return Error(ErrorCode::ParseError,
+                   "trace: step references secret " +
+                       std::to_string(S.SecretIndex) + " but only " +
+                       std::to_string(T.Secrets.size()) + " declared");
+  return T;
+}
+
+namespace {
+
+/// A uniform point of the schema.
+Point randomPoint(const Schema &S, Rng &R) {
+  Point P;
+  P.reserve(S.arity());
+  for (const Field &F : S.fields())
+    P.push_back(R.range(F.Lo, F.Hi));
+  return P;
+}
+
+/// All downgradeable names, queries first, declaration order.
+std::vector<std::string> downgradeNames(const Module &M) {
+  std::vector<std::string> Names;
+  for (const QueryDef &Q : M.queries())
+    Names.push_back(Q.Name);
+  for (const ClassifierDef &C : M.classifiers())
+    Names.push_back(C.Name);
+  return Names;
+}
+
+} // namespace
+
+GeneratedTrace generateTrace(const Module &M, const std::string &ModuleName,
+                             AttackerStrategy Strategy,
+                             const TracePolicy &Policy, uint64_t Seed,
+                             unsigned Steps) {
+  GeneratedTrace T;
+  T.Name = ModuleName + "_" + attackerStrategyName(Strategy) + "_t" +
+           std::to_string(Seed);
+  T.ModuleName = ModuleName;
+  T.Strategy = Strategy;
+  T.Seed = Seed;
+  T.Policy = Policy;
+
+  // Decorrelate from the module generator, which seeds directly on Seed.
+  Rng R(Seed ^ 0x7ace5eedULL);
+  std::vector<std::string> Names = downgradeNames(M);
+  if (Names.empty())
+    Names.push_back("nop"); // Degenerate module: hostile-only trace.
+
+  unsigned NumSecrets = 1;
+  switch (Strategy) {
+  case AttackerStrategy::Sweep:
+    NumSecrets = 2;
+    break;
+  case AttackerStrategy::Interleave:
+    NumSecrets = 3;
+    break;
+  case AttackerStrategy::Repeat:
+  case AttackerStrategy::Bisect:
+  case AttackerStrategy::Hostile:
+    NumSecrets = 1;
+    break;
+  }
+  for (unsigned I = 0; I < NumSecrets; ++I)
+    T.Secrets.push_back(randomPoint(M.schema(), R));
+
+  switch (Strategy) {
+  case AttackerStrategy::Sweep:
+    // Every secret walks the full query list in order, wrapping.
+    for (unsigned I = 0; I < Steps; ++I) {
+      unsigned Secret = (I / static_cast<unsigned>(Names.size())) % NumSecrets;
+      T.Steps.push_back({Secret, Names[I % Names.size()]});
+    }
+    break;
+  case AttackerStrategy::Repeat: {
+    std::string Pick =
+        Names[static_cast<size_t>(R.range(0, (int64_t)Names.size() - 1))];
+    for (unsigned I = 0; I < Steps; ++I)
+      T.Steps.push_back({0, Pick});
+    break;
+  }
+  case AttackerStrategy::Bisect:
+    // One pass over the ladder, then hammer the sharpest (last) query.
+    for (unsigned I = 0; I < Steps; ++I) {
+      size_t Pos = I < Names.size() ? I : Names.size() - 1;
+      T.Steps.push_back({0, Names[Pos]});
+    }
+    break;
+  case AttackerStrategy::Hostile:
+    for (unsigned I = 0; I < Steps; ++I) {
+      // One in three requests is for a name the module never defined; a
+      // refused request is immediately re-asked (monitor must be stable).
+      if (R.range(0, 2) == 0) {
+        T.Steps.push_back({0, "ghost_" + std::to_string(I)});
+      } else {
+        std::string Pick =
+            Names[static_cast<size_t>(R.range(0, (int64_t)Names.size() - 1))];
+        T.Steps.push_back({0, Pick});
+        if (I + 1 < Steps) {
+          T.Steps.push_back({0, Pick});
+          ++I;
+        }
+      }
+    }
+    break;
+  case AttackerStrategy::Interleave:
+    for (unsigned I = 0; I < Steps; ++I) {
+      unsigned Secret = static_cast<unsigned>(R.range(0, NumSecrets - 1));
+      std::string Pick =
+          Names[static_cast<size_t>(R.range(0, (int64_t)Names.size() - 1))];
+      T.Steps.push_back({Secret, Pick});
+    }
+    break;
+  }
+  return T;
+}
+
+} // namespace anosy

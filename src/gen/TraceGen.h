@@ -1,0 +1,123 @@
+//===- gen/TraceGen.h - Seeded traffic-trace generator ----------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md §9).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traffic traces for generated scenario modules: sequences of bounded
+/// downgrade requests (fig6's sequential attackers, generalized) that the
+/// corpus harness replays through an AnosySession and cross-checks
+/// against the exhaustive oracle (gen/Oracle.h).
+///
+/// A trace is a named list of secrets (points of the module's schema) and
+/// steps (secret index + query/classifier name, possibly a name the
+/// module does not define — the hostile strategies probe the monitor's
+/// error paths too), plus the knowledge policy the session must run
+/// under. Traces have a line-oriented text form so the curated corpus can
+/// check them in next to their modules:
+///
+/// \code
+///   anosy-trace v1
+///   trace location_s7_sweep
+///   module location_s7
+///   strategy sweep
+///   seed 7
+///   policy min-size 100
+///   secret 42 17
+///   step 0 branch_0
+///   end
+/// \endcode
+///
+/// Generation is deterministic in (module, strategy, policy, seed,
+/// steps): same inputs ⇒ byte-identical rendered text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_GEN_TRACEGEN_H
+#define ANOSY_GEN_TRACEGEN_H
+
+#include "expr/Module.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// Sequential attacker shapes (fig6 and beyond).
+enum class AttackerStrategy : unsigned {
+  /// Every secret asks every query in declaration order, wrapping until
+  /// the step budget is spent — the fig6 sweep.
+  Sweep = 0,
+  /// One secret asks one query over and over: downgrade idempotence
+  /// (knowledge must stabilize, answers must never flip).
+  Repeat,
+  /// One secret walks the queries in declaration order once, then leans
+  /// on the last query — the bisection-ladder endgame where a minimum-
+  /// size policy has to start refusing.
+  Bisect,
+  /// Valid queries interleaved with requests for names the module never
+  /// defined, plus immediate re-asks after refusals.
+  Hostile,
+  /// Several secrets' sessions interleaved at random — the concurrent-
+  /// sessions shape of "Assume but Verify", serialized.
+  Interleave,
+};
+
+inline constexpr unsigned NumAttackerStrategies = 5;
+
+/// Stable kebab-case strategy name ("sweep", "repeat", ...).
+const char *attackerStrategyName(AttackerStrategy S);
+
+/// Inverse of attackerStrategyName; nullopt for unknown names.
+std::optional<AttackerStrategy>
+attackerStrategyByName(const std::string &Name);
+
+/// The knowledge policy a trace replays under.
+struct TracePolicy {
+  enum class Kind { Permissive, MinSize, MinEntropy } K = Kind::MinSize;
+  /// minSizePolicy threshold (Kind::MinSize).
+  int64_t MinSize = 8;
+  /// minEntropyPolicy bits (Kind::MinEntropy); integral so the rendered
+  /// form stays byte-stable.
+  int64_t Bits = 3;
+};
+
+/// One downgrade request: which secret asks for which name.
+struct TraceStep {
+  unsigned SecretIndex = 0;
+  std::string Name; ///< Query or classifier name; may be undefined.
+};
+
+/// A generated (or parsed) trace.
+struct GeneratedTrace {
+  std::string Name;
+  std::string ModuleName; ///< Stem of the module this trace drives.
+  AttackerStrategy Strategy = AttackerStrategy::Sweep;
+  uint64_t Seed = 0;
+  TracePolicy Policy;
+  std::vector<Point> Secrets;
+  std::vector<TraceStep> Steps;
+};
+
+/// Renders the trace text form (byte-deterministic).
+std::string renderTrace(const GeneratedTrace &T);
+
+/// Parses a trace text form; validates structure but not the module
+/// linkage (replay resolves names against the module and treats unknown
+/// names as the hostile path). Secrets' arity is checked at replay.
+Result<GeneratedTrace> parseTrace(const std::string &Text);
+
+/// Generates a trace of about \p Steps downgrades for \p M under
+/// \p Strategy. Secrets are uniform points of the module's schema.
+GeneratedTrace generateTrace(const Module &M, const std::string &ModuleName,
+                             AttackerStrategy Strategy,
+                             const TracePolicy &Policy, uint64_t Seed,
+                             unsigned Steps);
+
+} // namespace anosy
+
+#endif // ANOSY_GEN_TRACEGEN_H

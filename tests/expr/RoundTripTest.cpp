@@ -7,7 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "../fuzz/QueryGen.h"
+#include "gen/QueryGen.h"
 
 #include "baselines/Exhaustive.h"
 #include "expr/Eval.h"

@@ -2,7 +2,7 @@
 
 #include "expr/Simplify.h"
 
-#include "../fuzz/QueryGen.h"
+#include "gen/QueryGen.h"
 #include "baselines/Exhaustive.h"
 #include "expr/Eval.h"
 #include "expr/Parser.h"

@@ -15,7 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "QueryGen.h"
+#include "gen/QueryGen.h"
 
 #include "baselines/AbstractInterpreter.h"
 #include "baselines/Exhaustive.h"

@@ -1,0 +1,202 @@
+//===- tests/gen/ScenarioGenTest.cpp - Scenario generator contract --------===//
+//
+// The generator's determinism contract (DESIGN.md §9): emitted source is
+// a pure function of ScenarioOptions — byte-identical across calls — and
+// every emitted module parses with a schema small enough for the
+// exhaustive oracle. The CorpusGolden test extends the pin to the whole
+// curated corpus: regenerating tests/corpus/ from its recorded options
+// must reproduce the checked-in fixtures byte for byte.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ScenarioGen.h"
+
+#include "expr/Parser.h"
+#include "gen/Corpus.h"
+#include "gen/TraceGen.h"
+
+#include "CorpusFixture.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace anosy;
+
+namespace {
+
+ScenarioOptions optionsFor(ScenarioFamily F, uint64_t Seed) {
+  ScenarioOptions Opt;
+  Opt.Family = F;
+  Opt.Seed = Seed;
+  return Opt;
+}
+
+std::vector<ScenarioFamily> allFamilies() {
+  std::vector<ScenarioFamily> Fs;
+  for (unsigned F = 0; F != NumScenarioFamilies; ++F)
+    Fs.push_back(static_cast<ScenarioFamily>(F));
+  return Fs;
+}
+
+} // namespace
+
+TEST(ScenarioGen, SameOptionsSameBytes) {
+  for (ScenarioFamily F : allFamilies()) {
+    for (uint64_t Seed : {1, 42, 1000}) {
+      GeneratedModule A = generateScenarioModule(optionsFor(F, Seed));
+      GeneratedModule B = generateScenarioModule(optionsFor(F, Seed));
+      EXPECT_EQ(A.Name, B.Name);
+      EXPECT_EQ(A.Source, B.Source) << A.Name;
+    }
+  }
+}
+
+TEST(ScenarioGen, DifferentSeedsDiffer) {
+  for (ScenarioFamily F : allFamilies()) {
+    GeneratedModule A = generateScenarioModule(optionsFor(F, 1));
+    GeneratedModule B = generateScenarioModule(optionsFor(F, 2));
+    EXPECT_NE(A.Name, B.Name);
+    EXPECT_NE(A.Source, B.Source) << scenarioFamilyName(F);
+  }
+}
+
+TEST(ScenarioGen, EveryFamilyParsesWithinDomainBound) {
+  for (ScenarioFamily F : allFamilies()) {
+    for (uint64_t Seed : {1, 7, 99}) {
+      ScenarioOptions Opt = optionsFor(F, Seed);
+      GeneratedModule Mod = generateScenarioModule(Opt);
+      auto M = parseModule(Mod.Source);
+      ASSERT_TRUE(M.ok()) << Mod.Name << ": " << M.error().str() << "\n"
+                          << Mod.Source;
+      BigCount Size = M->schema().totalSize();
+      ASSERT_TRUE(Size.fitsInt64()) << Mod.Name;
+      EXPECT_LE(Size.toInt64(), Opt.MaxDomainSize) << Mod.Name;
+      EXPECT_FALSE(M->queries().empty()) << Mod.Name;
+    }
+  }
+}
+
+TEST(ScenarioGen, RespectsTighterDomainBound) {
+  for (ScenarioFamily F : allFamilies()) {
+    ScenarioOptions Opt = optionsFor(F, 5);
+    Opt.MaxDomainSize = 500;
+    GeneratedModule Mod = generateScenarioModule(Opt);
+    auto M = parseModule(Mod.Source);
+    ASSERT_TRUE(M.ok()) << Mod.Name << ": " << M.error().str();
+    BigCount Size = M->schema().totalSize();
+    ASSERT_TRUE(Size.fitsInt64());
+    EXPECT_LE(Size.toInt64(), 500) << Mod.Name;
+  }
+}
+
+TEST(ScenarioGen, EmbedsLintPragmaAndName) {
+  ScenarioOptions Opt = optionsFor(ScenarioFamily::Location, 42);
+  Opt.PolicyMinSize = 17;
+  GeneratedModule Mod = generateScenarioModule(Opt);
+  EXPECT_EQ(Mod.Name, "location_s42");
+  EXPECT_EQ(Mod.PolicyMinSize, 17);
+  EXPECT_NE(Mod.Source.find("# anosy-lint: min-size=17"), std::string::npos)
+      << Mod.Source;
+}
+
+TEST(ScenarioGen, FamilyNamesRoundTrip) {
+  for (ScenarioFamily F : allFamilies()) {
+    std::string Name = scenarioFamilyName(F);
+    auto Back = scenarioFamilyByName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, F);
+  }
+  EXPECT_FALSE(scenarioFamilyByName("nonesuch").has_value());
+}
+
+TEST(ScenarioGen, CorpusIsDeterministic) {
+  CorpusOptions Opt;
+  Opt.Seed = 3;
+  Opt.ModulesPerFamily = 1;
+  Opt.MaxDomainSize = 2'000;
+  auto A = generateCorpus(Opt);
+  auto B = generateCorpus(Opt);
+  ASSERT_TRUE(A.ok()) << A.error().str();
+  ASSERT_TRUE(B.ok()) << B.error().str();
+  ASSERT_EQ(A->Entries.size(), B->Entries.size());
+  for (size_t I = 0; I != A->Entries.size(); ++I) {
+    EXPECT_EQ(A->Entries[I].Mod.Source, B->Entries[I].Mod.Source);
+    ASSERT_EQ(A->Entries[I].Traces.size(), B->Entries[I].Traces.size());
+    for (size_t J = 0; J != A->Entries[I].Traces.size(); ++J)
+      EXPECT_EQ(renderTrace(A->Entries[I].Traces[J]),
+                renderTrace(B->Entries[I].Traces[J]));
+  }
+}
+
+TEST(ScenarioGen, CorpusGrowthKeepsExistingEntries) {
+  // Affine per-entry seeds: adding modules/traces must not perturb the
+  // entries that already existed.
+  CorpusOptions Small;
+  Small.Seed = 11;
+  Small.ModulesPerFamily = 1;
+  Small.TracesPerModule = 1;
+  Small.MaxDomainSize = 2'000;
+  CorpusOptions Big = Small;
+  Big.ModulesPerFamily = 2;
+  Big.TracesPerModule = 2;
+  auto A = generateCorpus(Small);
+  auto B = generateCorpus(Big);
+  ASSERT_TRUE(A.ok()) << A.error().str();
+  ASSERT_TRUE(B.ok()) << B.error().str();
+  std::map<std::string, std::string> BigModules, BigTraces;
+  for (const CorpusEntry &E : B->Entries) {
+    BigModules[E.Mod.Name] = E.Mod.Source;
+    for (const GeneratedTrace &T : E.Traces)
+      BigTraces[T.Name] = renderTrace(T);
+  }
+  for (const CorpusEntry &E : A->Entries) {
+    ASSERT_TRUE(BigModules.count(E.Mod.Name)) << E.Mod.Name;
+    EXPECT_EQ(BigModules[E.Mod.Name], E.Mod.Source);
+    for (const GeneratedTrace &T : E.Traces) {
+      ASSERT_TRUE(BigTraces.count(T.Name)) << T.Name;
+      EXPECT_EQ(BigTraces[T.Name], renderTrace(T));
+    }
+  }
+}
+
+// Regenerating the curated corpus from its recorded options reproduces
+// the checked-in fixtures byte for byte. If this fails after an
+// intentional generator change, regenerate tests/corpus/ with the
+// command in CorpusFixture.h and review the diff like any golden update.
+TEST(ScenarioGen, CorpusGolden) {
+  namespace fs = std::filesystem;
+  fs::path Dir(ANOSY_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(Dir)) << Dir;
+
+  auto C = generateCorpus(fixtureCorpusOptions());
+  ASSERT_TRUE(C.ok()) << C.error().str();
+  std::map<std::string, std::string> Expected;
+  for (const CorpusEntry &E : C->Entries) {
+    Expected[E.Mod.Name + ".anosy"] = E.Mod.Source;
+    for (const GeneratedTrace &T : E.Traces)
+      Expected[T.Name + ".trace"] = renderTrace(T);
+  }
+
+  size_t Seen = 0;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Dir)) {
+    std::string File = DE.path().filename().string();
+    std::string Ext = DE.path().extension().string();
+    if (Ext != ".anosy" && Ext != ".trace")
+      continue;
+    ++Seen;
+    auto It = Expected.find(File);
+    ASSERT_TRUE(It != Expected.end())
+        << File << " is checked in but not regenerated";
+    std::ifstream In(DE.path(), std::ios::binary);
+    ASSERT_TRUE(In.good()) << File;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    EXPECT_EQ(Buf.str(), It->second) << File << " drifted from generator";
+  }
+  EXPECT_EQ(Seen, Expected.size())
+      << "fixture file count does not match the regenerated corpus";
+}

@@ -1,0 +1,189 @@
+//===- tests/gen/TraceGenTest.cpp - Trace format and generator ------------===//
+//
+// The trace text form round-trips byte-exactly (render ∘ parse ∘ render
+// = render), the parser rejects malformed input with clean errors, and
+// generation is deterministic in its inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/TraceGen.h"
+
+#include "expr/Parser.h"
+#include "gen/ScenarioGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace anosy;
+
+namespace {
+
+Module smallModule() {
+  auto M = parseModule("secret S { x: int[0, 15], y: int[0, 15] }\n"
+                       "query q1 = x >= 8\n"
+                       "query q2 = x + y <= 12\n"
+                       "classify band = if x >= 10 then 2 else "
+                       "if x >= 5 then 1 else 0\n");
+  EXPECT_TRUE(M.ok()) << M.error().str();
+  return *M;
+}
+
+std::vector<AttackerStrategy> allStrategies() {
+  std::vector<AttackerStrategy> Ss;
+  for (unsigned S = 0; S != NumAttackerStrategies; ++S)
+    Ss.push_back(static_cast<AttackerStrategy>(S));
+  return Ss;
+}
+
+} // namespace
+
+TEST(TraceGen, StrategyNamesRoundTrip) {
+  for (AttackerStrategy S : allStrategies()) {
+    std::string Name = attackerStrategyName(S);
+    auto Back = attackerStrategyByName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, S);
+  }
+  EXPECT_FALSE(attackerStrategyByName("nonesuch").has_value());
+}
+
+TEST(TraceGen, GenerateIsDeterministic) {
+  Module M = smallModule();
+  for (AttackerStrategy S : allStrategies()) {
+    GeneratedTrace A = generateTrace(M, "small", S, {}, 42, 12);
+    GeneratedTrace B = generateTrace(M, "small", S, {}, 42, 12);
+    EXPECT_EQ(renderTrace(A), renderTrace(B))
+        << attackerStrategyName(S);
+    GeneratedTrace C = generateTrace(M, "small", S, {}, 43, 12);
+    EXPECT_NE(renderTrace(A), renderTrace(C))
+        << attackerStrategyName(S) << ": seed must matter";
+  }
+}
+
+TEST(TraceGen, RenderParseRenderIsByteIdentity) {
+  Module M = smallModule();
+  TracePolicy Policies[3];
+  Policies[0].K = TracePolicy::Kind::Permissive;
+  Policies[1].K = TracePolicy::Kind::MinSize;
+  Policies[1].MinSize = 100;
+  Policies[2].K = TracePolicy::Kind::MinEntropy;
+  Policies[2].Bits = 4;
+  for (AttackerStrategy S : allStrategies()) {
+    for (const TracePolicy &P : Policies) {
+      GeneratedTrace T = generateTrace(M, "small", S, P, 7, 10);
+      std::string Text = renderTrace(T);
+      auto Parsed = parseTrace(Text);
+      ASSERT_TRUE(Parsed.ok())
+          << attackerStrategyName(S) << ": " << Parsed.error().str()
+          << "\n" << Text;
+      EXPECT_EQ(renderTrace(*Parsed), Text) << attackerStrategyName(S);
+      EXPECT_EQ(Parsed->Name, T.Name);
+      EXPECT_EQ(Parsed->ModuleName, "small");
+      EXPECT_EQ(Parsed->Strategy, S);
+      EXPECT_EQ(Parsed->Seed, T.Seed);
+      EXPECT_EQ(Parsed->Secrets, T.Secrets);
+      ASSERT_EQ(Parsed->Steps.size(), T.Steps.size());
+      for (size_t I = 0; I != T.Steps.size(); ++I) {
+        EXPECT_EQ(Parsed->Steps[I].SecretIndex, T.Steps[I].SecretIndex);
+        EXPECT_EQ(Parsed->Steps[I].Name, T.Steps[I].Name);
+      }
+    }
+  }
+}
+
+TEST(TraceGen, ParsesHandWrittenExample) {
+  auto T = parseTrace("anosy-trace v1\n"
+                      "trace location_s7_sweep\n"
+                      "module location_s7\n"
+                      "strategy sweep\n"
+                      "seed 7\n"
+                      "policy min-size 100\n"
+                      "secret 42 17\n"
+                      "# a comment, and a CRLF line ending:\r\n"
+                      "step 0 branch_0\n"
+                      "end\n");
+  ASSERT_TRUE(T.ok()) << T.error().str();
+  EXPECT_EQ(T->Name, "location_s7_sweep");
+  EXPECT_EQ(T->ModuleName, "location_s7");
+  EXPECT_EQ(T->Strategy, AttackerStrategy::Sweep);
+  EXPECT_EQ(T->Seed, 7u);
+  EXPECT_EQ(T->Policy.K, TracePolicy::Kind::MinSize);
+  EXPECT_EQ(T->Policy.MinSize, 100);
+  ASSERT_EQ(T->Secrets.size(), 1u);
+  EXPECT_EQ(T->Secrets[0], (Point{42, 17}));
+  ASSERT_EQ(T->Steps.size(), 1u);
+  EXPECT_EQ(T->Steps[0].Name, "branch_0");
+}
+
+TEST(TraceGen, RejectsMalformedInput) {
+  // No magic line.
+  EXPECT_FALSE(parseTrace("trace t\nmodule m\nend\n").ok());
+  // Missing `end`.
+  EXPECT_FALSE(parseTrace("anosy-trace v1\ntrace t\nmodule m\n"
+                          "strategy sweep\nseed 1\npolicy permissive\n"
+                          "secret 1\nstep 0 q\n")
+                   .ok());
+  // Step index out of range of the declared secrets.
+  EXPECT_FALSE(parseTrace("anosy-trace v1\ntrace t\nmodule m\n"
+                          "strategy sweep\nseed 1\npolicy permissive\n"
+                          "secret 1\nstep 3 q\nend\n")
+                   .ok());
+  // Unknown strategy.
+  EXPECT_FALSE(parseTrace("anosy-trace v1\ntrace t\nmodule m\n"
+                          "strategy zigzag\nseed 1\npolicy permissive\n"
+                          "secret 1\nstep 0 q\nend\n")
+                   .ok());
+  // Negative policy threshold.
+  EXPECT_FALSE(parseTrace("anosy-trace v1\ntrace t\nmodule m\n"
+                          "strategy sweep\nseed 1\npolicy min-size -5\n"
+                          "secret 1\nstep 0 q\nend\n")
+                   .ok());
+  // Non-numeric seed.
+  EXPECT_FALSE(parseTrace("anosy-trace v1\ntrace t\nmodule m\n"
+                          "strategy sweep\nseed banana\n"
+                          "policy permissive\nsecret 1\nstep 0 q\nend\n")
+                   .ok());
+  // Missing trace name.
+  EXPECT_FALSE(parseTrace("anosy-trace v1\nmodule m\nstrategy sweep\n"
+                          "seed 1\npolicy permissive\nsecret 1\n"
+                          "step 0 q\nend\n")
+                   .ok());
+  EXPECT_FALSE(parseTrace("").ok());
+}
+
+TEST(TraceGen, HostileStrategyEmitsUndefinedNames) {
+  Module M = smallModule();
+  bool FoundGhost = false;
+  for (uint64_t Seed = 1; Seed != 10 && !FoundGhost; ++Seed) {
+    GeneratedTrace T = generateTrace(M, "small", AttackerStrategy::Hostile,
+                                     {}, Seed, 15);
+    for (const TraceStep &Step : T.Steps)
+      if (M.findQuery(Step.Name) == nullptr &&
+          M.findClassifier(Step.Name) == nullptr)
+        FoundGhost = true;
+  }
+  EXPECT_TRUE(FoundGhost)
+      << "hostile traces should probe undefined names";
+}
+
+TEST(TraceGen, SecretsLieInSchema) {
+  for (unsigned F = 0; F != NumScenarioFamilies; ++F) {
+    ScenarioOptions SOpt;
+    SOpt.Family = static_cast<ScenarioFamily>(F);
+    SOpt.Seed = 13;
+    GeneratedModule Mod = generateScenarioModule(SOpt);
+    auto M = parseModule(Mod.Source);
+    ASSERT_TRUE(M.ok()) << Mod.Name;
+    for (AttackerStrategy S : allStrategies()) {
+      GeneratedTrace T = generateTrace(*M, Mod.Name, S, {}, 99, 8);
+      for (const Point &P : T.Secrets) {
+        ASSERT_EQ(P.size(), M->schema().fields().size());
+        for (size_t I = 0; I != P.size(); ++I) {
+          EXPECT_GE(P[I], M->schema().fields()[I].Lo);
+          EXPECT_LE(P[I], M->schema().fields()[I].Hi);
+        }
+      }
+      for (const TraceStep &Step : T.Steps)
+        EXPECT_LT(Step.SecretIndex, T.Secrets.size());
+    }
+  }
+}

@@ -1,0 +1,193 @@
+//===- tests/integration/CorpusSoakTest.cpp - Corpus soak runner ----------===//
+//
+// The generator-driven soak suite (DESIGN.md §9), ctest label `soak`.
+// Three sweeps, each sized by an environment knob so the CI corpus-soak
+// job can scale them up while plain ctest stays fast:
+//
+//   ANOSY_CORPUS_SEED      base corpus seed        (default 1)
+//   ANOSY_CORPUS_SESSIONS  oracle-checked replays  (default 12)
+//   ANOSY_FAULT_SCENARIOS  randomized fault configs (default 6)
+//
+// Plus the fixture replay: every checked-in trace under tests/corpus/
+// must replay against the exhaustive oracle with zero mismatches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Parser.h"
+#include "gen/Corpus.h"
+#include "gen/Oracle.h"
+#include "gen/ScenarioGen.h"
+#include "gen/TraceGen.h"
+#include "support/FaultInjection.h"
+#include "support/ParseNum.h"
+#include "support/Rng.h"
+
+#include "../gen/CorpusFixture.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace anosy;
+
+namespace {
+
+uint64_t envOr(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  if (V == nullptr || *V == '\0')
+    return Default;
+  auto N = parseUint64(V);
+  EXPECT_TRUE(N.has_value()) << Name << "='" << V << "' is not a number";
+  return N.value_or(Default);
+}
+
+std::string slurp(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  EXPECT_TRUE(In.good()) << P;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+void expectReplayClean(const Module &M, const GeneratedTrace &T,
+                       const std::string &Context) {
+  ReplayResult R = replayWithOracle(M, T);
+  EXPECT_TRUE(R.ok()) << Context << "/" << T.Name << ": "
+                      << (R.Mismatches.empty() ? "" : R.Mismatches[0]);
+}
+
+} // namespace
+
+// Sweep 1: rotating-seed corpora, every trace oracle-replayed end to end.
+TEST(CorpusSoak, GeneratedCorporaReplayClean) {
+  uint64_t Seed = envOr("ANOSY_CORPUS_SEED", 1);
+  uint64_t Sessions = envOr("ANOSY_CORPUS_SESSIONS", 12);
+  CorpusOptions Shape;
+  Shape.ModulesPerFamily = 1;
+  Shape.TracesPerModule = 2;
+  Shape.StepsPerTrace = 10;
+  Shape.MaxDomainSize = 2'500;
+  uint64_t Ran = 0, Round = 0;
+  while (Ran < Sessions) {
+    Shape.Seed = Seed + Round++;
+    auto C = generateCorpus(Shape);
+    ASSERT_TRUE(C.ok()) << C.error().str();
+    for (const CorpusEntry &E : C->Entries) {
+      for (const GeneratedTrace &T : E.Traces) {
+        if (Ran++ >= Sessions)
+          return;
+        expectReplayClean(E.Parsed, T,
+                          "seed " + std::to_string(Shape.Seed));
+      }
+    }
+  }
+}
+
+// Sweep 2: the lint scorecard must stay sound (zero false positives on
+// either static claim) across every module of a rotating corpus.
+TEST(CorpusSoak, LintScorecardStaysSound) {
+  CorpusOptions Shape;
+  Shape.Seed = envOr("ANOSY_CORPUS_SEED", 1);
+  Shape.ModulesPerFamily = 2;
+  Shape.MaxDomainSize = 2'500;
+  auto C = generateCorpus(Shape);
+  ASSERT_TRUE(C.ok()) << C.error().str();
+  LintScore Total;
+  for (const CorpusEntry &E : C->Entries) {
+    GroundTruth GT = computeGroundTruth(E.Parsed);
+    LintScore S = scoreLint(E.Parsed, E.Mod.PolicyMinSize, GT);
+    EXPECT_TRUE(S.sound())
+        << E.Mod.Name << ": const FP " << S.ConstFP << ", reject FP "
+        << S.RejectFP;
+    Total.merge(S);
+  }
+  EXPECT_GT(Total.QueriesScored, 0u);
+  EXPECT_EQ(Total.ConstFP, 0u);
+  EXPECT_EQ(Total.RejectFP, 0u);
+}
+
+// Sweep 3: the PR-2 fault harness under randomized configurations. Every
+// injection site degrades to a path the system already tolerates, so an
+// oracle-shadowed replay must stay mismatch-free no matter which faults
+// fire — degraded (refused/⊥) is fine, unsound is not.
+TEST(CorpusSoak, FaultSweepStaysSound) {
+  uint64_t Base = envOr("ANOSY_CORPUS_SEED", 1) * 1'000'003ULL;
+  uint64_t Scenarios = envOr("ANOSY_FAULT_SCENARIOS", 6);
+  for (uint64_t I = 0; I != Scenarios; ++I) {
+    uint64_t Seed = Base + I;
+    Rng R(Seed ^ 0xfa017ULL);
+    FaultConfig FC;
+    FC.Seed = Seed;
+    bool Any = false;
+    for (unsigned S = 0; S != NumFaultSites; ++S) {
+      if (R.range(0, 2) == 0)
+        continue;
+      FC.Sites[S].OneIn = static_cast<uint64_t>(1) << R.range(0, 6);
+      FC.Sites[S].MaxFaults = static_cast<uint64_t>(R.range(0, 3));
+      Any = true;
+    }
+    if (!Any)
+      FC.Sites[static_cast<unsigned>(FaultSite::SolverCharge)].OneIn = 4;
+
+    ScenarioOptions SOpt;
+    SOpt.Family = static_cast<ScenarioFamily>(Seed % NumScenarioFamilies);
+    SOpt.Seed = Seed;
+    SOpt.MaxDomainSize = 2'000;
+    GeneratedModule Mod = generateScenarioModule(SOpt);
+    auto M = parseModule(Mod.Source);
+    ASSERT_TRUE(M.ok()) << Mod.Name;
+    TracePolicy Policy;
+    Policy.MinSize = SOpt.PolicyMinSize;
+    GeneratedTrace T = generateTrace(
+        *M, Mod.Name,
+        static_cast<AttackerStrategy>((Seed / 3) % NumAttackerStrategies),
+        Policy, Seed, 8);
+
+    faults::configure(FC);
+    ReplayResult Replay = replayWithOracle(*M, T);
+    faults::reset();
+    EXPECT_TRUE(Replay.ok())
+        << "fault scenario seed " << Seed << ": "
+        << (Replay.Mismatches.empty() ? "" : Replay.Mismatches[0]);
+  }
+  faults::reset();
+}
+
+// The curated fixtures: every checked-in trace replays green. Also pins
+// the pairing — each trace's `module` line must name a checked-in module.
+TEST(CorpusSoak, FixturesReplayClean) {
+  namespace fs = std::filesystem;
+  fs::path Dir(ANOSY_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(Dir)) << Dir;
+
+  std::map<std::string, Module> Modules;
+  size_t Traces = 0;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Dir)) {
+    if (DE.path().extension() != ".anosy")
+      continue;
+    auto M = parseModule(slurp(DE.path()));
+    ASSERT_TRUE(M.ok()) << DE.path() << ": " << M.error().str();
+    Modules.emplace(DE.path().stem().string(), *M);
+  }
+  EXPECT_FALSE(Modules.empty()) << "no .anosy fixtures in " << Dir;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Dir)) {
+    if (DE.path().extension() != ".trace")
+      continue;
+    auto T = parseTrace(slurp(DE.path()));
+    ASSERT_TRUE(T.ok()) << DE.path() << ": " << T.error().str();
+    auto It = Modules.find(T->ModuleName);
+    ASSERT_TRUE(It != Modules.end())
+        << DE.path() << " names missing module " << T->ModuleName;
+    expectReplayClean(It->second, *T, "fixture");
+    ++Traces;
+  }
+  // The fixture set is exactly the recorded corpus shape.
+  CorpusOptions Opt = fixtureCorpusOptions();
+  EXPECT_EQ(Modules.size(),
+            static_cast<size_t>(NumScenarioFamilies) * Opt.ModulesPerFamily);
+  EXPECT_EQ(Traces, Modules.size() * Opt.TracesPerModule);
+}

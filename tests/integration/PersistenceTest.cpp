@@ -9,7 +9,7 @@
 
 #include "core/ArtifactIO.h"
 
-#include "../fuzz/QueryGen.h"
+#include "gen/QueryGen.h"
 #include "benchlib/Problems.h"
 #include "core/KnowledgeTracker.h"
 #include "synth/Synthesizer.h"

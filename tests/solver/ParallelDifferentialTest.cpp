@@ -16,7 +16,7 @@
 #include "solver/Optimize.h"
 #include "synth/Synthesizer.h"
 
-#include "../fuzz/QueryGen.h"
+#include "gen/QueryGen.h"
 
 #include <gtest/gtest.h>
 
