@@ -118,6 +118,19 @@ inline unsigned parseThreads(int Argc, char **Argv, unsigned Default) {
   return Default;
 }
 
+/// The thread counts the parallel reports sweep: a curve, not a single
+/// point, so the scaling shape (or the single-core overhead plateau) is
+/// visible in the JSON. `--threads N` collapses the sweep to one count.
+inline std::vector<unsigned> parseThreadCounts(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc)
+      return {parseBenchUnsigned("--threads", Argv[I + 1])};
+    if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      return {parseBenchUnsigned("--threads", Argv[I] + 10)};
+  }
+  return {1, 2, 4, 8};
+}
+
 /// One serial-vs-parallel wall-time comparison for the BENCH_parallel
 /// JSON reports.
 struct ParallelSample {

@@ -125,40 +125,44 @@ void BM_DowngradeKnowledgeUpdate(benchmark::State &State) {
 }
 BENCHMARK(BM_DowngradeKnowledgeUpdate);
 
-/// Exact counting over the whole Mardziel suite, serial vs --threads N,
-/// written to BENCH_parallel_ops.json (fig5a writes the synthesis
-/// counterpart to BENCH_parallel.json).
-void emitParallelCountReport(unsigned Threads) {
-  ThreadPool Pool(Threads);
-  SolverParallel Par;
-  Par.Pool = &Pool;
+/// Exact counting over the whole Mardziel suite, serial vs each thread
+/// count, written to BENCH_parallel_ops.json as a scaling curve (fig5a
+/// writes the synthesis counterpart to BENCH_parallel.json).
+void emitParallelCountReport(const std::vector<unsigned> &Counts) {
   std::vector<ParallelSample> Samples;
   for (const BenchmarkProblem &P : mardzielBenchmarks()) {
     PredicateRef Q = exprPredicate(P.query().Body);
     Box Top = Box::top(P.M.schema());
-    if (countSatExact(*Q, Top) != countSatExact(*Q, Top, Par)) {
-      std::fprintf(stderr, "DETERMINISM VIOLATION on %s\n", P.Id.c_str());
-      std::exit(1);
+    // One serial baseline per benchmark, shared by every curve point.
+    double SerialSeconds = medianSeconds(5, [&] { countSatExact(*Q, Top); });
+    for (unsigned Threads : Counts) {
+      ThreadPool Pool(Threads);
+      SolverParallel Par;
+      Par.Pool = &Pool;
+      if (countSatExact(*Q, Top) != countSatExact(*Q, Top, Par)) {
+        std::fprintf(stderr, "DETERMINISM VIOLATION on %s (%u threads)\n",
+                     P.Id.c_str(), Threads);
+        std::exit(1);
+      }
+      ParallelSample Sample;
+      Sample.Name = P.Id + "/countSat";
+      Sample.Threads = Threads;
+      Sample.SerialSeconds = SerialSeconds;
+      Sample.ParallelSeconds =
+          medianSeconds(5, [&] { countSatExact(*Q, Top, Par); });
+      Samples.push_back(Sample);
     }
-    ParallelSample Sample;
-    Sample.Name = P.Id + "/countSat";
-    Sample.Threads = Threads;
-    Sample.SerialSeconds =
-        medianSeconds(5, [&] { countSatExact(*Q, Top); });
-    Sample.ParallelSeconds =
-        medianSeconds(5, [&] { countSatExact(*Q, Top, Par); });
-    Samples.push_back(Sample);
   }
   writeParallelBenchJson("BENCH_parallel_ops.json", Samples,
                          Parallelism{}.resolved());
-  std::printf("wrote BENCH_parallel_ops.json (%u threads)\n", Threads);
+  std::printf("wrote BENCH_parallel_ops.json (%zu thread counts)\n",
+              Counts.size());
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  unsigned Threads =
-      parseThreads(Argc, Argv, std::max(4u, Parallelism{}.resolved()));
+  std::vector<unsigned> Counts = parseThreadCounts(Argc, Argv);
   // Strip our flags so google-benchmark's parser doesn't reject them.
   std::vector<char *> Passthrough;
   for (int I = 0; I != Argc; ++I) {
@@ -177,7 +181,6 @@ int main(int Argc, char **Argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (Threads > 1)
-    emitParallelCountReport(Threads);
+  emitParallelCountReport(Counts);
   return 0;
 }

@@ -357,13 +357,24 @@ int sessionRun(const Module &M, const CliOptions &Opt,
     // tracked secrets.
     Point Secret = Box::top(M.schema()).center();
     std::printf("--- monitor probes (secret = schema center) ---\n");
+    // A refusal backed by a ⊥ fallback is reported with its
+    // machine-readable reason code (deadline/budget/statically-rejected/
+    // ...), so drivers can tell "policy refused" from "artifact degraded"
+    // without parsing prose.
+    auto RefusalNote = [&](const std::string &Name) {
+      const QueryDegradation *QD = S->degradation().find(Name);
+      return QD != nullptr && QD->FellBack
+                 ? std::string(" bottom [code=") + reasonCodeName(QD->code()) +
+                       "]"
+                 : std::string();
+    };
     for (const QueryDef &Q : M.queries()) {
       auto R = S->downgrade(Secret, Q.Name);
       if (R)
         std::printf("  %s -> %s\n", Q.Name.c_str(), *R ? "true" : "false");
       else
-        std::printf("  %s -> refused (%s)\n", Q.Name.c_str(),
-                    R.error().str().c_str());
+        std::printf("  %s -> refused%s (%s)\n", Q.Name.c_str(),
+                    RefusalNote(Q.Name).c_str(), R.error().str().c_str());
     }
     for (const ClassifierDef &C : M.classifiers()) {
       auto R = S->downgradeClassifier(Secret, C.Name);
@@ -371,8 +382,8 @@ int sessionRun(const Module &M, const CliOptions &Opt,
         std::printf("  %s -> %lld\n", C.Name.c_str(),
                     static_cast<long long>(*R));
       else
-        std::printf("  %s -> refused (%s)\n", C.Name.c_str(),
-                    R.error().str().c_str());
+        std::printf("  %s -> refused%s (%s)\n", C.Name.c_str(),
+                    RefusalNote(C.Name).c_str(), R.error().str().c_str());
     }
     std::printf("\n");
   }

@@ -118,6 +118,14 @@ struct SessionOptions {
   /// bench/lint_admission). Off by default: unseeded runs stay
   /// bit-identical to previous releases.
   bool UseAnalysisSeeds = false;
+  /// External budget chained *above* the session budget (borrowed, never
+  /// owned; may outlive nothing — the caller keeps it alive for the whole
+  /// creation). The anosyd watchdog points this at a per-request abort
+  /// handle so a wedged registration can be expired from outside
+  /// (SolverBudget::expireNow); expiry only forces the degradation
+  /// ladder, never an unsound answer. Setting it arms a session budget
+  /// even when MaxSessionNodes and DeadlineMs are 0.
+  SolverBudget *WatchdogBudget = nullptr;
 };
 
 template <AbstractDomain D> class AnosySession {
@@ -345,12 +353,14 @@ private:
     // The session-wide budget every per-call budget chains to. Created
     // only when a cap is requested: the parent check in charge() is not
     // free, and capless sessions must behave exactly as before.
-    if (Options.MaxSessionNodes != 0 || Options.DeadlineMs != 0) {
+    if (Options.MaxSessionNodes != 0 || Options.DeadlineMs != 0 ||
+        Options.WatchdogBudget != nullptr) {
       SessionBudget = std::make_unique<SolverBudget>(
           Options.MaxSessionNodes != 0 ? Options.MaxSessionNodes
                                        : UINT64_MAX);
       if (Options.DeadlineMs != 0)
         SessionBudget->setDeadlineAfterMs(Options.DeadlineMs);
+      SessionBudget->Parent = Options.WatchdogBudget;
       Options.Synth.SessionBudget = SessionBudget.get();
     }
     // Static pre-synthesis analysis (DESIGN.md §7): pure interval
@@ -631,6 +641,11 @@ private:
                     : DegradationReason::SynthesisExhausted,
           Passes, FellBack,
           LastErr ? LastErr->message() : std::string()};
+      // Split the machine-readable code: only a wall-clock (or watchdog)
+      // expiry maps to the deadline code — node caps and injected faults
+      // stay "budget".
+      Art.Degradation->DeadlineExpired =
+          SessionBudget != nullptr && SessionBudget->deadlineExpired();
     }
 
     Art.Stats = Acc;
@@ -793,6 +808,8 @@ private:
         Undecided ? DegradationReason::VerificationUndecided
                   : DegradationReason::SynthesisExhausted,
         Passes, true, LastErr ? LastErr->message() : std::string()};
+    Build.Degradation->DeadlineExpired =
+        SessionBudget != nullptr && SessionBudget->deadlineExpired();
     return Build;
   }
 

@@ -52,12 +52,53 @@ const char *anosy::degradationReasonName(DegradationReason R) {
   return "unknown";
 }
 
+const char *anosy::reasonCodeName(ReasonCode C) {
+  switch (C) {
+  case ReasonCode::None:
+    return "none";
+  case ReasonCode::Deadline:
+    return "deadline";
+  case ReasonCode::Budget:
+    return "budget";
+  case ReasonCode::Shed:
+    return "shed";
+  case ReasonCode::StaticallyRejected:
+    return "statically-rejected";
+  case ReasonCode::Undecided:
+    return "undecided";
+  case ReasonCode::KbCorrupt:
+    return "kb-corrupt";
+  case ReasonCode::ArtifactInvalid:
+    return "artifact-invalid";
+  }
+  return "unknown";
+}
+
+ReasonCode QueryDegradation::code() const {
+  switch (Reason) {
+  case DegradationReason::SynthesisExhausted:
+    return DeadlineExpired ? ReasonCode::Deadline : ReasonCode::Budget;
+  case DegradationReason::VerificationUndecided:
+    return DeadlineExpired ? ReasonCode::Deadline : ReasonCode::Undecided;
+  case DegradationReason::KnowledgeBaseCorrupt:
+    return ReasonCode::KbCorrupt;
+  case DegradationReason::LoadedArtifactInvalid:
+    return ReasonCode::ArtifactInvalid;
+  case DegradationReason::StaticallyRejected:
+    return ReasonCode::StaticallyRejected;
+  }
+  return ReasonCode::None;
+}
+
 std::string QueryDegradation::str() const {
   std::string Out = Query;
   Out += ": ";
   Out += degradationReasonName(Reason);
   Out += FellBack ? " -> bottom fallback" : " -> partial artifact kept";
   Out += " (attempts: " + std::to_string(Attempts) + ")";
+  Out += " [code=";
+  Out += reasonCodeName(code());
+  Out += ']';
   if (!Detail.empty()) {
     Out += "  ";
     Out += Detail;

@@ -53,6 +53,26 @@ enum class DegradationReason {
 
 const char *degradationReasonName(DegradationReason R);
 
+/// Machine-readable reason code attached to every ⊥/degraded answer, so
+/// callers (CLI JSON, the anosyd daemon) can distinguish *why* they got a
+/// conservative response without parsing prose. The codes are a stable
+/// wire vocabulary: `deadline` and `budget` split the two halves of
+/// SynthesisExhausted (the old enum conflated them), and `shed` is minted
+/// by the service queue — it never appears on a session's own records.
+enum class ReasonCode {
+  None,               ///< not degraded: a full verified artifact
+  Deadline,           ///< wall-clock deadline expired (or watchdog abort)
+  Budget,             ///< node budget exhausted before the deadline
+  Shed,               ///< load-shed by a bounded service queue
+  StaticallyRejected, ///< anosy-lint admission rejected before synthesis
+  Undecided,          ///< verification undecided within budget
+  KbCorrupt,          ///< knowledge-base record failed integrity checks
+  ArtifactInvalid,    ///< loaded artifact failed re-verification
+};
+
+/// Stable kebab-case code ("deadline", "budget", "shed", ...).
+const char *reasonCodeName(ReasonCode C);
+
 /// One query's degradation record.
 struct QueryDegradation {
   std::string Query;
@@ -63,6 +83,13 @@ struct QueryDegradation {
   /// false: a partial but machine-checked artifact was kept.
   bool FellBack = false;
   std::string Detail;
+  /// Set when the session budget's wall-clock deadline (or an external
+  /// watchdog abort) — not the node cap — stopped this query. Splits
+  /// SynthesisExhausted into the `deadline` vs `budget` reason codes.
+  bool DeadlineExpired = false;
+
+  /// The machine-readable code for this record.
+  ReasonCode code() const;
 
   std::string str() const;
 };

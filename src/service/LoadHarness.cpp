@@ -1,0 +1,283 @@
+//===- service/LoadHarness.cpp - Multi-tenant daemon load driver ----------===//
+
+#include "service/LoadHarness.h"
+
+#include "expr/Eval.h"
+#include "expr/Parser.h"
+#include "gen/ScenarioGen.h"
+#include "gen/TraceGen.h"
+#include "support/Stats.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace anosy;
+using namespace anosy::service;
+
+namespace {
+
+/// One in-flight step: the submitted future plus what the oracle needs
+/// to judge the response.
+struct PendingStep {
+  std::future<ServiceResponse> Fut;
+  const Module *M = nullptr;
+  std::string Name;
+  Point Secret;
+};
+
+/// A session mid-replay.
+struct LiveSession {
+  const Module *M = nullptr;
+  std::string Tenant;
+  GeneratedTrace Trace;
+  size_t NextStep = 0;
+};
+
+void judge(LoadReport &Rep, PendingStep &P, bool CheckAnswers) {
+  // A future that never resolves is itself a contract violation — the
+  // daemon promises every request an answer. The wait bound is generous;
+  // it only trips on a genuine hang.
+  if (P.Fut.wait_for(std::chrono::seconds(60)) !=
+      std::future_status::ready) {
+    ++Rep.Mismatches;
+    if (Rep.MismatchNotes.size() < 16)
+      Rep.MismatchNotes.push_back("response never resolved for query '" +
+                                  P.Name + "'");
+    return;
+  }
+  ServiceResponse Resp = P.Fut.get();
+  auto Note = [&](const std::string &Msg) {
+    ++Rep.Mismatches;
+    if (Rep.MismatchNotes.size() < 16)
+      Rep.MismatchNotes.push_back(Msg + " (query '" + P.Name + "')");
+  };
+  switch (Resp.Status) {
+  case ResponseStatus::Ok: {
+    ++Rep.Admitted;
+    if (!CheckAnswers)
+      break;
+    if (Resp.HasBool) {
+      const QueryDef *Q = P.M->findQuery(P.Name);
+      if (Q == nullptr)
+        Note("admitted answer for a query the module does not define");
+      else if (Resp.BoolValue != evalBool(*Q->Body, P.Secret))
+        Note("admitted boolean answer contradicts ground truth");
+    } else if (Resp.HasInt) {
+      const ClassifierDef *C = P.M->findClassifier(P.Name);
+      if (C == nullptr)
+        Note("admitted answer for a classifier the module does not define");
+      else if (Resp.IntValue != evalInt(*C->Body, P.Secret))
+        Note("admitted classifier answer contradicts ground truth");
+    } else {
+      Note("Ok response carries no value");
+    }
+    break;
+  }
+  case ResponseStatus::Refused:
+    ++Rep.Refused;
+    break;
+  case ResponseStatus::Bottom:
+    ++Rep.Bottom;
+    if (Resp.Reason == ReasonCode::Deadline)
+      ++Rep.Deadline;
+    if (Resp.Reason == ReasonCode::None)
+      Note("bottom response without a reason code");
+    break;
+  case ResponseStatus::Overloaded:
+    ++Rep.Shed;
+    if (Resp.Reason != ReasonCode::Shed)
+      Note("overloaded response not coded as shed");
+    break;
+  case ResponseStatus::Error:
+    ++Rep.Errors;
+    break;
+  }
+}
+
+} // namespace
+
+LoadReport anosy::service::runLoad(MonitorDaemon &Daemon,
+                                   const LoadOptions &Options) {
+  LoadReport Rep;
+  Stopwatch Timer;
+
+  // One scenario module per tenant, families and seeds rotating so the
+  // tenants exercise different query shapes.
+  std::vector<Module> Modules;
+  std::vector<std::string> TenantNames;
+  Modules.reserve(Options.Tenants);
+  for (unsigned T = 0; T != Options.Tenants; ++T) {
+    ScenarioOptions SO;
+    SO.Family = static_cast<ScenarioFamily>(T % NumScenarioFamilies);
+    SO.Seed = Options.Seed + T;
+    SO.Queries = Options.QueriesPerModule;
+    SO.PolicyMinSize = Options.MinSize >= 0 ? Options.MinSize : 8;
+    SO.MaxDomainSize = Options.MaxDomainSize;
+    GeneratedModule GM = generateScenarioModule(SO);
+
+    // Overloaded registrations are explicit "retry later" responses (an
+    // accept fault or a full queue), so the harness retries with backoff
+    // — the client half of the daemon's transient-fault contract.
+    ServiceResponse Resp;
+    for (unsigned Attempt = 0; Attempt != 5; ++Attempt) {
+      if (Attempt != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 << Attempt));
+      ServiceRequest Reg;
+      Reg.Kind = RequestKind::Register;
+      Reg.Tenant = "t" + std::to_string(T);
+      Reg.ModuleSource = GM.Source;
+      Reg.MinSize = Options.MinSize;
+      Resp = Daemon.call(std::move(Reg));
+      if (Resp.Status != ResponseStatus::Overloaded)
+        break;
+    }
+    if (Resp.Status == ResponseStatus::Ok) {
+      ++Rep.TenantsRegistered;
+      auto M = parseModule(GM.Source);
+      Modules.push_back(M.takeValue());
+      TenantNames.push_back("t" + std::to_string(T));
+    } else {
+      ++Rep.TenantsFailed;
+      if (Rep.MismatchNotes.size() < 16)
+        Rep.MismatchNotes.push_back(
+            "registration failed for t" + std::to_string(T) + " (" +
+            responseStatusName(Resp.Status) + "): " + Resp.Detail);
+    }
+  }
+  if (Modules.empty()) {
+    Rep.Seconds = Timer.seconds();
+    return Rep;
+  }
+
+  // Attacker sessions round-robin over the registered tenants, strategy
+  // rotating with the session index.
+  std::vector<LiveSession> Sessions;
+  Sessions.reserve(Options.Sessions);
+  for (unsigned S = 0; S != Options.Sessions; ++S) {
+    unsigned T = S % static_cast<unsigned>(Modules.size());
+    LiveSession LS;
+    LS.M = &Modules[T];
+    LS.Tenant = TenantNames[T];
+    TracePolicy TP;
+    if (Options.MinSize >= 0) {
+      TP.K = TracePolicy::Kind::MinSize;
+      TP.MinSize = Options.MinSize;
+    } else {
+      TP.K = TracePolicy::Kind::Permissive;
+    }
+    LS.Trace = generateTrace(
+        *LS.M, LS.Tenant,
+        static_cast<AttackerStrategy>(S % NumAttackerStrategies), TP,
+        Options.Seed * 1000003 + S, Options.StepsPerSession);
+    Sessions.push_back(std::move(LS));
+  }
+
+  // Waves: each wave takes the next step of every live session, so
+  // tenants and sessions interleave — the multi-tenant traffic shape.
+  // Pacing: a wave advances Sessions sessions by one step, so a full
+  // session completes every StepsPerSession waves; SPS pacing spaces
+  // wave starts accordingly. Burst mode instead parks the workers,
+  // floods the queue, and releases.
+  const bool Burst = Options.BurstFactor > 0;
+  double WavePeriod = 0;
+  if (Options.SessionsPerSecond > 0 && Options.StepsPerSession > 0 &&
+      !Sessions.empty())
+    WavePeriod = static_cast<double>(Sessions.size()) /
+                 (Options.SessionsPerSecond * Options.StepsPerSession);
+
+  size_t Live = Sessions.size();
+  unsigned Wave = 0;
+  while (Live != 0) {
+    if (WavePeriod > 0) {
+      double Target = Wave * WavePeriod;
+      double Now = Timer.seconds();
+      if (Now < Target)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(Target - Now));
+    }
+    size_t BurstTarget =
+        Burst ? static_cast<size_t>(Options.BurstFactor *
+                                    static_cast<double>(
+                                        Daemon.queueCapacity()))
+              : SIZE_MAX;
+    if (Burst)
+      Daemon.pauseWorkers();
+
+    std::vector<PendingStep> Pending;
+    size_t Submitted = 0;
+    // Burst mode keeps cycling sessions until the burst target is met so
+    // a 2× capacity burst is actually 2× capacity even with few sessions.
+    for (unsigned Round = 0; Submitted < BurstTarget; ++Round) {
+      bool Any = false;
+      for (LiveSession &LS : Sessions) {
+        if (LS.NextStep >= LS.Trace.Steps.size())
+          continue;
+        if (Submitted >= BurstTarget)
+          break;
+        const TraceStep &St = LS.Trace.Steps[LS.NextStep++];
+        const Point &Secret =
+            LS.Trace.Secrets[St.SecretIndex % LS.Trace.Secrets.size()];
+        ServiceRequest R;
+        R.Kind = LS.M->findClassifier(St.Name) != nullptr
+                     ? RequestKind::Classify
+                     : RequestKind::Downgrade;
+        R.Tenant = LS.Tenant;
+        R.Name = St.Name;
+        R.Secret = Secret;
+        R.DeadlineMs = Options.StepDeadlineMs;
+        PendingStep P;
+        P.M = LS.M;
+        P.Name = St.Name;
+        P.Secret = Secret;
+        P.Fut = Daemon.submit(std::move(R));
+        Pending.push_back(std::move(P));
+        ++Rep.Steps;
+        ++Submitted;
+        Any = true;
+      }
+      if (!Burst || !Any)
+        break;
+    }
+    if (Burst)
+      Daemon.resumeWorkers();
+    if (Daemon.options().Workers == 0)
+      Daemon.pump();
+    for (PendingStep &P : Pending)
+      judge(Rep, P, Options.CheckAnswers);
+
+    Live = 0;
+    for (const LiveSession &LS : Sessions)
+      if (LS.NextStep < LS.Trace.Steps.size())
+        ++Live;
+    ++Wave;
+  }
+
+  Rep.Seconds = Timer.seconds();
+  if (Rep.Seconds > 0)
+    Rep.AchievedSps = static_cast<double>(Options.Sessions) / Rep.Seconds;
+  return Rep;
+}
+
+std::string anosy::service::renderLoadReport(const LoadReport &R) {
+  char Buf[64];
+  std::string Out = "{\"tenants_registered\":" +
+                    std::to_string(R.TenantsRegistered);
+  Out += ",\"tenants_failed\":" + std::to_string(R.TenantsFailed);
+  Out += ",\"steps\":" + std::to_string(R.Steps);
+  Out += ",\"admitted\":" + std::to_string(R.Admitted);
+  Out += ",\"refused\":" + std::to_string(R.Refused);
+  Out += ",\"bottom\":" + std::to_string(R.Bottom);
+  Out += ",\"shed\":" + std::to_string(R.Shed);
+  Out += ",\"deadline\":" + std::to_string(R.Deadline);
+  Out += ",\"errors\":" + std::to_string(R.Errors);
+  Out += ",\"mismatches\":" + std::to_string(R.Mismatches);
+  std::snprintf(Buf, sizeof(Buf), "%.3f", R.Seconds);
+  Out += ",\"seconds\":";
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "%.2f", R.AchievedSps);
+  Out += ",\"sessions_per_second\":";
+  Out += Buf;
+  Out += '}';
+  return Out;
+}

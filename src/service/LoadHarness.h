@@ -1,0 +1,92 @@
+//===- service/LoadHarness.h - Multi-tenant daemon load driver --*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sessions-per-second load driver (DESIGN.md §10): generates one
+/// scenario module per tenant (gen/ScenarioGen.h), registers them with a
+/// MonitorDaemon, then drives interleaved attacker traces
+/// (gen/TraceGen.h) through the front door — paced to a target
+/// sessions-per-second rate, or as paused bursts that overload the
+/// bounded queue deterministically.
+///
+/// Every admitted boolean/classifier answer is cross-checked against the
+/// exact evaluator on the generated module (the daemon may *refuse* or
+/// answer ⊥, but an Ok answer must match ground truth), and every ⊥ must
+/// carry a machine-readable reason code. Mismatches — including a future
+/// that never resolves — are counted and described, so the soak driver
+/// and the CI smoke job can assert `Mismatches == 0` under armed faults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_SERVICE_LOADHARNESS_H
+#define ANOSY_SERVICE_LOADHARNESS_H
+
+#include "service/Daemon.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anosy::service {
+
+struct LoadOptions {
+  /// Tenants to register (scenario families rotate across them).
+  unsigned Tenants = 4;
+  /// Attacker sessions to drive, spread round-robin over the tenants.
+  unsigned Sessions = 16;
+  /// Downgrade steps per session.
+  unsigned StepsPerSession = 12;
+  uint64_t Seed = 1;
+  /// Target pacing in sessions per second; 0 = as fast as possible.
+  double SessionsPerSecond = 0;
+  /// > 0 selects burst mode: workers are paused, BurstFactor × queue
+  /// capacity requests are submitted at once, then workers resume — the
+  /// deterministic overload shape (a factor of 2 is the ISSUE-7 gate).
+  double BurstFactor = 0;
+  /// Per-step deadline; 0 = none.
+  uint64_t StepDeadlineMs = 0;
+  /// minSizePolicy threshold for every tenant; < 0 permissive.
+  int64_t MinSize = 8;
+  /// Queries per generated module.
+  unsigned QueriesPerModule = 4;
+  /// Schema size cap for the generated modules.
+  int64_t MaxDomainSize = 4'000;
+  /// Cross-check admitted answers against the exact evaluator.
+  bool CheckAnswers = true;
+};
+
+struct LoadReport {
+  unsigned TenantsRegistered = 0;
+  unsigned TenantsFailed = 0;
+  /// Steps submitted through the front door.
+  uint64_t Steps = 0;
+  /// Responses by shape.
+  uint64_t Admitted = 0;
+  uint64_t Refused = 0;
+  uint64_t Bottom = 0;
+  uint64_t Shed = 0;
+  uint64_t Deadline = 0;
+  uint64_t Errors = 0;
+  /// Oracle violations: wrong admitted answer, uncoded ⊥/shed, or a
+  /// future that never resolved. Must be zero.
+  uint64_t Mismatches = 0;
+  std::vector<std::string> MismatchNotes;
+  double Seconds = 0;
+  /// Sessions completed per wall second.
+  double AchievedSps = 0;
+};
+
+/// Drives \p Daemon with generated multi-tenant load. The daemon must be
+/// started; tenants named `t<N>` are registered by the harness (existing
+/// tenants of those names count as registration failures).
+LoadReport runLoad(MonitorDaemon &Daemon, const LoadOptions &Options);
+
+/// Renders the report as single-line JSON (for soak output and CI).
+std::string renderLoadReport(const LoadReport &R);
+
+} // namespace anosy::service
+
+#endif // ANOSY_SERVICE_LOADHARNESS_H

@@ -1,0 +1,112 @@
+//===- service/Service.cpp - anosyd request/response vocabulary -----------===//
+
+#include "service/Service.h"
+
+#include <cstdio>
+
+using namespace anosy;
+using namespace anosy::service;
+
+const char *anosy::service::requestKindName(RequestKind K) {
+  switch (K) {
+  case RequestKind::Register:
+    return "register";
+  case RequestKind::Downgrade:
+    return "downgrade";
+  case RequestKind::Classify:
+    return "classify";
+  case RequestKind::Flush:
+    return "flush";
+  }
+  return "unknown";
+}
+
+const char *anosy::service::responseStatusName(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::Ok:
+    return "ok";
+  case ResponseStatus::Refused:
+    return "refused";
+  case ResponseStatus::Bottom:
+    return "bottom";
+  case ResponseStatus::Overloaded:
+    return "overloaded";
+  case ResponseStatus::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string anosy::service::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch & 0xff);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string ServiceResponse::renderJson() const {
+  std::string Out = "{\"id\":" + std::to_string(Id);
+  Out += ",\"status\":\"";
+  Out += responseStatusName(Status);
+  Out += '"';
+  if (Reason != ReasonCode::None) {
+    Out += ",\"reason\":\"";
+    Out += reasonCodeName(Reason);
+    Out += '"';
+  }
+  if (HasBool)
+    Out += std::string(",\"value\":") + (BoolValue ? "true" : "false");
+  if (HasInt)
+    Out += ",\"value\":" + std::to_string(IntValue);
+  if (Queries != 0 || Classifiers != 0) {
+    Out += ",\"queries\":" + std::to_string(Queries);
+    Out += ",\"classifiers\":" + std::to_string(Classifiers);
+  }
+  if (!Degraded.empty()) {
+    Out += ",\"degraded\":[";
+    for (size_t I = 0; I != Degraded.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      Out += "{\"query\":\"" + jsonEscape(Degraded[I].Name) + "\",\"code\":\"";
+      Out += reasonCodeName(Degraded[I].Code);
+      Out += Degraded[I].FellBack ? "\",\"bottom\":true}" : "\",\"bottom\":false}";
+    }
+    Out += ']';
+  }
+  if (!Detail.empty())
+    Out += ",\"detail\":\"" + jsonEscape(Detail) + '"';
+  if (Seconds > 0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", Seconds);
+    Out += ",\"seconds\":";
+    Out += Buf;
+  }
+  Out += '}';
+  return Out;
+}

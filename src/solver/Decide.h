@@ -69,6 +69,10 @@ struct SolverBudget {
   /// Latched when the deadline expires or a solver-charge fault is
   /// injected; charge() then refuses everything, like a spent budget.
   std::atomic<bool> Expired{false};
+  /// Latched only by the deadline check and expireNow() — never by fault
+  /// injection — so callers can tell "out of time" from "out of nodes"
+  /// when mapping degradations to reason codes.
+  std::atomic<bool> DeadlineHit{false};
 
   /// Deadline-check granularity in nodes. Coarse enough that the clock
   /// read is amortized to noise, fine enough that a 10ms deadline is
@@ -86,10 +90,26 @@ struct SolverBudget {
     HasDeadline = true;
   }
 
+  /// Latches Expired from outside the solver — the daemon watchdog
+  /// aborting a wedged query at its deadline. Exactly the latch the
+  /// deadline check itself sets, so the only observable outcome is the
+  /// sound "Exhausted" verdict; any budget chained below this one (via
+  /// Parent) refuses its next charge.
+  void expireNow() {
+    DeadlineHit.store(true, std::memory_order_relaxed);
+    Expired.store(true, std::memory_order_relaxed);
+  }
+
   uint64_t used() const { return NodesUsed.load(std::memory_order_relaxed); }
   bool expired() const {
     return Expired.load(std::memory_order_relaxed) ||
            (Parent != nullptr && Parent->expired());
+  }
+  /// True iff the expiry came from a wall-clock deadline (here or in a
+  /// parent), not from node exhaustion or an injected fault.
+  bool deadlineExpired() const {
+    return DeadlineHit.load(std::memory_order_relaxed) ||
+           (Parent != nullptr && Parent->deadlineExpired());
   }
   bool exhausted() const {
     return used() >= MaxNodes || Expired.load(std::memory_order_relaxed) ||
@@ -123,6 +143,7 @@ struct SolverBudget {
             (Cur == 0 ||
              Cur / DeadlineCheckNodes != Next / DeadlineCheckNodes) &&
             Clock::now() >= Deadline) {
+          DeadlineHit.store(true, std::memory_order_relaxed);
           Expired.store(true, std::memory_order_relaxed);
           return false;
         }

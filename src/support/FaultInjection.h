@@ -63,9 +63,25 @@ enum class FaultSite : unsigned {
   KbWrite,
   /// A thread-pool task is demoted to inline execution on the spawner.
   PoolTask,
+  /// The daemon front door fails to accept a request (transient listener
+  /// fault); the caller receives an explicit Overloaded response and
+  /// retries — never a hang.
+  ServiceAccept,
+  /// The admission analysis pass is unavailable for one registration;
+  /// the daemon proceeds without static admission (lint is a sound
+  /// optimization, so skipping it never changes answers).
+  ServiceAdmit,
+  /// A request queue slot "fails": the enqueue behaves as if the bounded
+  /// queue were full and the request is shed deterministically.
+  ServiceEnqueue,
+  /// A knowledge-base flush aborts before the atomic write starts (the
+  /// process "crashes" between serialize and write); the on-disk KB
+  /// keeps its previous valid contents and the flush is retried with
+  /// backoff.
+  ServiceFlush,
 };
 
-inline constexpr unsigned NumFaultSites = 6;
+inline constexpr unsigned NumFaultSites = 10;
 
 /// Stable kebab-case name ("solver-charge", ...) used by spec strings.
 const char *faultSiteName(FaultSite Site);

@@ -1,0 +1,208 @@
+//===- tests/service/DaemonOverloadTest.cpp - ISSUE-7 acceptance gate -----===//
+//
+// The overload+chaos integration gate: drive the daemon at 2x queue
+// capacity with the fault harness armed, and assert the robustness
+// contract — no crash, deterministic responses, deadlines honored, a
+// graceful drain, and knowledge bases that pass salvage on restart.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/LoadHarness.h"
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+using namespace anosy;
+using namespace anosy::service;
+
+namespace {
+
+struct FaultScope {
+  ~FaultScope() { faults::reset(); }
+};
+
+/// The chaos configuration: every service site armed, plus solver and KB
+/// faults, all deterministic in the seed.
+FaultConfig chaosConfig(uint64_t Seed) {
+  FaultConfig C;
+  C.Seed = Seed;
+  C.Sites[static_cast<unsigned>(FaultSite::ServiceAccept)] = {8, UINT64_MAX};
+  C.Sites[static_cast<unsigned>(FaultSite::ServiceAdmit)] = {4, UINT64_MAX};
+  C.Sites[static_cast<unsigned>(FaultSite::ServiceEnqueue)] = {8,
+                                                               UINT64_MAX};
+  C.Sites[static_cast<unsigned>(FaultSite::ServiceFlush)] = {4, UINT64_MAX};
+  C.Sites[static_cast<unsigned>(FaultSite::SolverCharge)] = {64, UINT64_MAX};
+  C.Sites[static_cast<unsigned>(FaultSite::KbWrite)] = {8, UINT64_MAX};
+  return C;
+}
+
+} // namespace
+
+TEST(DaemonOverload, TwiceCapacityBurstShedsExactlyTheExcess) {
+  // Pump mode, quiet queue: a paused burst of 2C requests against a
+  // capacity-C queue accepts exactly C and sheds exactly C, regardless
+  // of timing.
+  DaemonOptions Opt;
+  Opt.Workers = 0;
+  Opt.WatchdogPollMs = 0;
+  Opt.QueueCapacity = 8;
+  MonitorDaemon Daemon(Opt);
+  ASSERT_TRUE(Daemon.start().ok());
+
+  LoadOptions LOpt;
+  LOpt.Tenants = 2;
+  LOpt.Sessions = 4;
+  LOpt.StepsPerSession = 16;
+  LOpt.Seed = 11;
+  LOpt.BurstFactor = 2;
+  LoadReport Rep = runLoad(Daemon, LOpt);
+
+  EXPECT_EQ(Rep.Mismatches, 0u) << (Rep.MismatchNotes.empty()
+                                        ? ""
+                                        : Rep.MismatchNotes[0]);
+  EXPECT_EQ(Rep.TenantsFailed, 0u);
+  // Every burst of 16 sheds exactly 8: total sheds are half the steps.
+  EXPECT_EQ(Rep.Steps, 64u);
+  EXPECT_EQ(Rep.Shed, 32u);
+  EXPECT_EQ(Rep.Admitted + Rep.Refused + Rep.Bottom, 32u);
+  EXPECT_EQ(Daemon.stats().Shed, 32u);
+}
+
+TEST(DaemonOverload, DeterministicAcrossRuns) {
+  // The same configuration twice produces byte-identical outcome counts:
+  // deterministic load shedding is part of the contract.
+  auto Run = [](uint64_t Seed) {
+    DaemonOptions Opt;
+    Opt.Workers = 0;
+    Opt.WatchdogPollMs = 0;
+    Opt.QueueCapacity = 8;
+    MonitorDaemon Daemon(Opt);
+    EXPECT_TRUE(Daemon.start().ok());
+    LoadOptions LOpt;
+    LOpt.Tenants = 3;
+    LOpt.Sessions = 6;
+    LOpt.StepsPerSession = 8;
+    LOpt.Seed = Seed;
+    LOpt.BurstFactor = 2;
+    return runLoad(Daemon, LOpt);
+  };
+  LoadReport A = Run(5);
+  LoadReport B = Run(5);
+  EXPECT_EQ(A.Mismatches, 0u);
+  EXPECT_EQ(A.Steps, B.Steps);
+  EXPECT_EQ(A.Admitted, B.Admitted);
+  EXPECT_EQ(A.Refused, B.Refused);
+  EXPECT_EQ(A.Bottom, B.Bottom);
+  EXPECT_EQ(A.Shed, B.Shed);
+}
+
+TEST(DaemonOverload, ChaosGateNeverViolatesTheContract) {
+  // The full gate: worker threads, 2x-capacity bursts, every fault site
+  // armed, persistence on. Rotating seeds so one lucky schedule cannot
+  // hide a violation. Afterwards: graceful drain, then a clean restart
+  // whose salvage must accept every tenant KB the drain flushed.
+  FaultScope Scope;
+  // TempDir() persists across invocations: scrub the per-seed data dirs
+  // so a previous run's tenants don't collide with this run's.
+  std::string Dir = testing::TempDir() + "anosyd_chaos_gate";
+  for (uint64_t Seed : {1u, 7u, 23u})
+    std::filesystem::remove_all(Dir + std::to_string(Seed));
+
+  for (uint64_t Seed : {1u, 7u, 23u}) {
+    faults::configure(chaosConfig(Seed));
+    DaemonOptions Opt;
+    Opt.Workers = 2;
+    Opt.QueueCapacity = 8;
+    Opt.DataDir = Dir + std::to_string(Seed);
+    MonitorDaemon Daemon(Opt);
+    ASSERT_TRUE(Daemon.start().ok());
+
+    LoadOptions LOpt;
+    LOpt.Tenants = 3;
+    LOpt.Sessions = 6;
+    LOpt.StepsPerSession = 8;
+    LOpt.Seed = Seed;
+    LOpt.BurstFactor = 2;
+    LoadReport Rep = runLoad(Daemon, LOpt);
+
+    // The contract: every response deterministic and sound — zero oracle
+    // mismatches, zero uncoded bottoms — and overload produced real,
+    // explicit shedding.
+    EXPECT_EQ(Rep.Mismatches, 0u)
+        << "seed " << Seed << ": "
+        << (Rep.MismatchNotes.empty() ? "" : Rep.MismatchNotes[0]);
+    EXPECT_EQ(Rep.TenantsFailed, 0u) << "seed " << Seed;
+    EXPECT_GT(Rep.Shed, 0u) << "seed " << Seed;
+
+    // Graceful drain: the queue runs dry and every tenant flushes (the
+    // flush retries ride out the injected faults often enough that a
+    // same-seed retry budget of 3 always lands at these rates).
+    DrainReport Drain = Daemon.drain();
+    EXPECT_EQ(Daemon.queueDepth(), 0u);
+
+    // Restart with the harness disarmed: whatever the drain put on disk
+    // must pass salvage — crash recovery is only as good as the files
+    // the previous life left behind.
+    faults::reset();
+    DaemonOptions Opt2 = Opt;
+    Opt2.Workers = 0;
+    Opt2.WatchdogPollMs = 0;
+    MonitorDaemon Fresh(Opt2);
+    auto Rec = Fresh.start();
+    ASSERT_TRUE(Rec.ok()) << "seed " << Seed;
+    EXPECT_EQ(Rec->TenantsFailed, 0u) << "seed " << Seed;
+    // Every tenant whose drain flush landed is on disk; tenants whose
+    // final flush failed may still be present from an earlier flush, so
+    // the salvage count is bounded below, not pinned.
+    EXPECT_GE(Rec->TenantsRecovered, 3u - Drain.FlushFailures)
+        << "seed " << Seed;
+  }
+}
+
+TEST(DaemonOverload, DeadlinesHonoredUnderBacklog) {
+  // Requests that outlive their deadline in the queue answer ⊥/deadline
+  // without executing; fresh requests still serve.
+  DaemonOptions Opt;
+  Opt.Workers = 0;
+  Opt.WatchdogPollMs = 0;
+  Opt.QueueCapacity = 32;
+  MonitorDaemon Daemon(Opt);
+  ASSERT_TRUE(Daemon.start().ok());
+
+  ServiceRequest Reg;
+  Reg.Kind = RequestKind::Register;
+  Reg.Tenant = "t";
+  Reg.ModuleSource = "secret S { x: int[0, 60] }\nquery high = x >= 30\n";
+  ASSERT_EQ(Daemon.call(std::move(Reg)).Status, ResponseStatus::Ok);
+
+  std::vector<std::future<ServiceResponse>> Futs;
+  for (int I = 0; I != 8; ++I) {
+    ServiceRequest R;
+    R.Kind = RequestKind::Downgrade;
+    R.Tenant = "t";
+    R.Name = "high";
+    R.Secret = {45};
+    R.DeadlineMs = 1;
+    Futs.push_back(Daemon.submit(std::move(R)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Daemon.pump();
+  for (auto &F : Futs) {
+    ServiceResponse R = F.get();
+    EXPECT_EQ(R.Status, ResponseStatus::Bottom);
+    EXPECT_EQ(R.Reason, ReasonCode::Deadline);
+  }
+  EXPECT_EQ(Daemon.stats().DeadlineExpired, 8u);
+
+  ServiceRequest Fresh;
+  Fresh.Kind = RequestKind::Downgrade;
+  Fresh.Tenant = "t";
+  Fresh.Name = "high";
+  Fresh.Secret = {45};
+  ServiceResponse R = Daemon.call(std::move(Fresh));
+  EXPECT_EQ(R.Status, ResponseStatus::Ok);
+}
