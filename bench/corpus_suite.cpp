@@ -18,7 +18,9 @@
 ///
 /// Writes BENCH_corpus.json next to the binary (same reporting style as
 /// BENCH_static_analysis.json). Flags: --seed N, --per-family K,
-/// --traces N, --steps N.
+/// --traces N, --steps N, --relational off|auto|on (the analyzer's
+/// octagon escalation tier; with it enabled, location-family
+/// reject-recall must be nonzero — a hard gate, exit 1 on regression).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +51,7 @@ struct FamilyRow {
 }
 
 void writeCorpusJson(const std::string &Path, const CorpusOptions &Opt,
+                     RelationalTier Relational,
                      const std::vector<FamilyRow> &Rows,
                      const LintScore &Total, unsigned Sessions,
                      unsigned Mismatches, double SoakSeconds) {
@@ -65,9 +68,11 @@ void writeCorpusJson(const std::string &Path, const CorpusOptions &Opt,
   std::fprintf(F,
                "{\n  \"seed\": %llu,\n  \"modules\": %u,\n"
                "  \"traces\": %u,\n  \"policy_min_size\": %lld,\n"
+               "  \"relational\": \"%s\",\n"
                "  \"families\": [\n",
                static_cast<unsigned long long>(Opt.Seed), Modules, Traces,
-               static_cast<long long>(Opt.PolicyMinSize));
+               static_cast<long long>(Opt.PolicyMinSize),
+               relationalTierName(Relational));
   for (size_t I = 0; I != Rows.size(); ++I) {
     const FamilyRow &R = Rows[I];
     std::fprintf(
@@ -104,6 +109,7 @@ void writeCorpusJson(const std::string &Path, const CorpusOptions &Opt,
 int main(int Argc, char **Argv) {
   CorpusOptions Opt;
   Opt.ModulesPerFamily = 2;
+  RelationalTier Relational = RelationalTier::Auto;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
@@ -130,10 +136,15 @@ int main(int Argc, char **Argv) {
       if (!N)
         badFlagValue("--steps", V);
       Opt.StepsPerTrace = *N;
+    } else if (Arg == "--relational" && (V = Next())) {
+      auto T = parseRelationalTier(V);
+      if (!T)
+        badFlagValue("--relational", V);
+      Relational = *T;
     } else {
       std::fprintf(stderr,
                    "usage: corpus_suite [--seed N] [--per-family K] "
-                   "[--traces N] [--steps N]\n");
+                   "[--traces N] [--steps N] [--relational off|auto|on]\n");
       return 2;
     }
   }
@@ -154,7 +165,7 @@ int main(int Argc, char **Argv) {
     ++Row.Modules;
     Row.Traces += static_cast<unsigned>(E.Traces.size());
     GroundTruth GT = computeGroundTruth(E.Parsed);
-    LintScore S = scoreLint(E.Parsed, E.Mod.PolicyMinSize, GT);
+    LintScore S = scoreLint(E.Parsed, E.Mod.PolicyMinSize, GT, Relational);
     Row.Lint.merge(S);
     Total.merge(S);
   }
@@ -187,9 +198,27 @@ int main(int Argc, char **Argv) {
               Sessions, SoakSeconds,
               SoakSeconds > 0 ? Sessions / SoakSeconds : 0.0, Mismatches);
 
-  writeCorpusJson("BENCH_corpus.json", Opt, Rows, Total, Sessions,
-                  Mismatches, SoakSeconds);
+  writeCorpusJson("BENCH_corpus.json", Opt, Relational, Rows, Total,
+                  Sessions, Mismatches, SoakSeconds);
   std::printf("wrote BENCH_corpus.json (seed %llu)\n",
               static_cast<unsigned long long>(Opt.Seed));
-  return Mismatches == 0 && Total.sound() ? 0 : 1;
+
+  // The recall gate: with the octagon tier enabled, the location family
+  // (Manhattan-ball queries, the paper's §6.2 workload) must reject
+  // statically at nonzero recall. A regression back to 0 means the
+  // relational tier silently stopped firing.
+  bool RecallGate = true;
+  if (Relational != RelationalTier::Off) {
+    const FamilyRow &Loc =
+        Rows[static_cast<unsigned>(ScenarioFamily::Location)];
+    if (Loc.Lint.RejectTP + Loc.Lint.RejectFN != 0 &&
+        Loc.Lint.RejectTP == 0) {
+      std::fprintf(stderr,
+                   "FAIL: location reject-recall is 0 with the relational "
+                   "tier enabled (%u forced rejections missed)\n",
+                   Loc.Lint.RejectFN);
+      RecallGate = false;
+    }
+  }
+  return Mismatches == 0 && Total.sound() && RecallGate ? 0 : 1;
 }

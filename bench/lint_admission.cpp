@@ -8,9 +8,10 @@
 /// Measures the static leakage analyzer (DESIGN.md §7) against the
 /// Mardziel benchmarks (B1–B5), on three axes:
 ///
-///   1. Cost: lint wall time vs synthesis wall time. The analyzer is
-///      pure interval arithmetic, so it should be a rounding error next
-///      to any solver call (the acceptance bar is < 5%).
+///   1. Cost: lint wall time vs synthesis wall time, for the box tier
+///      and for the forced octagon tier (--relational=on). The box tier
+///      is pure interval arithmetic (acceptance bar < 5% of synth wall);
+///      the octagon escalation adds closed DBMs and must stay < 10%.
 ///   2. Admission: with a min-size policy and StaticAdmission on, how
 ///      many queries are rejected before synthesis and how many solver
 ///      nodes that saves (a statically rejected query spends zero).
@@ -48,7 +49,8 @@ constexpr int64_t AdmissionMinSize = 100;
 struct AnalysisSample {
   std::string Id;
   std::string Name;
-  double LintSeconds = 0;
+  double LintSeconds = 0;           ///< Box tier only (--relational=off).
+  double LintRelationalSeconds = 0; ///< Octagon tier forced (--relational=on).
   double SynthSeconds = 0;          ///< Unseeded interval under+over.
   unsigned Queries = 0;
   unsigned StaticallyRejected = 0;  ///< At k = AdmissionMinSize.
@@ -95,10 +97,17 @@ AnalysisSample measure(const BenchmarkProblem &P, unsigned Runs) {
   Sample.Queries = static_cast<unsigned>(P.M.queries().size());
 
   // 1. Lint cost (no policy: posterior computation is the dominant
-  //    work and is threshold-independent).
+  //    work and is threshold-independent). Box tier and forced-octagon
+  //    tier are measured separately; the escalation must stay a rounding
+  //    error too (acceptance bar: relational lint < 10% of synth wall).
   LintOptions LOpt;
+  LOpt.Relational = RelationalTier::Off;
   Sample.LintSeconds =
       medianSeconds(Runs, [&] { (void)analyzeModule(P.M, LOpt); });
+  LintOptions ROpt;
+  ROpt.Relational = RelationalTier::On;
+  Sample.LintRelationalSeconds =
+      medianSeconds(Runs, [&] { (void)analyzeModule(P.M, ROpt); });
   ModuleAnalysis MA = analyzeModule(P.M, LOpt);
 
   // 2. Admission at k = 100: which queries reject statically, and how
@@ -158,22 +167,27 @@ void writeAnalysisJson(const std::string &Path,
     std::fprintf(
         F,
         "    {\"id\": \"%s\", \"name\": \"%s\", \"queries\": %u, "
-        "\"lint_s\": %.6f, \"synth_s\": %.6f, \"lint_fraction\": %.4f, "
+        "\"lint_s\": %.6f, \"lint_relational_s\": %.6f, "
+        "\"synth_s\": %.6f, \"lint_fraction\": %.4f, "
+        "\"relational_fraction\": %.4f, "
         "\"statically_rejected\": %u, \"admission_nodes_saved\": %llu, "
         "\"nodes_unseeded\": %llu, \"nodes_seeded\": %llu, "
         "\"node_reduction\": %.4f}%s\n",
         S.Id.c_str(), S.Name.c_str(), S.Queries, S.LintSeconds,
-        S.SynthSeconds, Fraction, S.StaticallyRejected,
+        S.LintRelationalSeconds, S.SynthSeconds, Fraction,
+        S.SynthSeconds > 0 ? S.LintRelationalSeconds / S.SynthSeconds : 0,
+        S.StaticallyRejected,
         static_cast<unsigned long long>(S.AdmissionNodesSaved),
         static_cast<unsigned long long>(S.NodesUnseeded),
         static_cast<unsigned long long>(S.NodesSeeded), Reduction,
         I + 1 == Samples.size() ? "" : ",");
   }
-  double LintTotal = 0, SynthTotal = 0;
+  double LintTotal = 0, RelationalTotal = 0, SynthTotal = 0;
   uint64_t UnseededTotal = 0, SeededTotal = 0;
   unsigned Improved = 0;
   for (const AnalysisSample &S : Samples) {
     LintTotal += S.LintSeconds;
+    RelationalTotal += S.LintRelationalSeconds;
     SynthTotal += S.SynthSeconds;
     UnseededTotal += S.NodesUnseeded;
     SeededTotal += S.NodesSeeded;
@@ -182,10 +196,14 @@ void writeAnalysisJson(const std::string &Path,
   }
   std::fprintf(
       F,
-      "  ],\n  \"totals\": {\"lint_s\": %.6f, \"synth_s\": %.6f, "
-      "\"lint_fraction\": %.4f, \"nodes_unseeded\": %llu, "
+      "  ],\n  \"totals\": {\"lint_s\": %.6f, \"lint_relational_s\": %.6f, "
+      "\"synth_s\": %.6f, "
+      "\"lint_fraction\": %.4f, \"relational_fraction\": %.4f, "
+      "\"nodes_unseeded\": %llu, "
       "\"nodes_seeded\": %llu, \"problems_improved\": %u}\n}\n",
-      LintTotal, SynthTotal, SynthTotal > 0 ? LintTotal / SynthTotal : 0,
+      LintTotal, RelationalTotal, SynthTotal,
+      SynthTotal > 0 ? LintTotal / SynthTotal : 0,
+      SynthTotal > 0 ? RelationalTotal / SynthTotal : 0,
       static_cast<unsigned long long>(UnseededTotal),
       static_cast<unsigned long long>(SeededTotal), Improved);
   std::fclose(F);
@@ -197,9 +215,9 @@ int main(int Argc, char **Argv) {
   unsigned Runs = parseRuns(Argc, Argv, 5);
 
   std::vector<AnalysisSample> Samples;
-  std::printf("%-4s %-10s %10s %10s %8s %9s %14s %14s %10s\n", "id", "name",
-              "lint_s", "synth_s", "lint_%", "rejected", "nodes_unseeded",
-              "nodes_seeded", "reduction");
+  std::printf("%-4s %-10s %10s %10s %10s %8s %9s %14s %14s %10s\n", "id",
+              "name", "lint_s", "oct_s", "synth_s", "lint_%", "rejected",
+              "nodes_unseeded", "nodes_seeded", "reduction");
   for (const BenchmarkProblem &P : mardzielBenchmarks()) {
     AnalysisSample S = measure(P, Runs);
     double Fraction = S.SynthSeconds > 0 ? S.LintSeconds / S.SynthSeconds : 0;
@@ -208,9 +226,10 @@ int main(int Argc, char **Argv) {
             ? 1.0 - static_cast<double>(S.NodesSeeded) /
                         static_cast<double>(S.NodesUnseeded)
             : 0;
-    std::printf("%-4s %-10s %10.6f %10.6f %7.2f%% %9u %14llu %14llu %9.1f%%\n",
-                S.Id.c_str(), S.Name.c_str(), S.LintSeconds, S.SynthSeconds,
-                Fraction * 100.0, S.StaticallyRejected,
+    std::printf(
+        "%-4s %-10s %10.6f %10.6f %10.6f %7.2f%% %9u %14llu %14llu %9.1f%%\n",
+        S.Id.c_str(), S.Name.c_str(), S.LintSeconds, S.LintRelationalSeconds,
+        S.SynthSeconds, Fraction * 100.0, S.StaticallyRejected,
                 static_cast<unsigned long long>(S.NodesUnseeded),
                 static_cast<unsigned long long>(S.NodesSeeded),
                 Reduction * 100.0);

@@ -7,6 +7,7 @@
 //   anosyd [--data-dir DIR] [--queue-capacity N] [--workers N]
 //          [--deadline-ms N] [--max-inflight N] [--max-kb-bytes N]
 //          [--metrics-out FILE] [--fault-inject SPEC]
+//          [--relational off|auto|on]
 //       Serve mode: a line protocol on stdin, one JSON response per line
 //       on stdout:
 //         register <tenant> <module-path> [min-size]
@@ -66,7 +67,7 @@ int usage() {
       "usage: anosyd [--data-dir DIR] [--queue-capacity N] [--workers N]\n"
       "              [--deadline-ms N] [--max-inflight N]\n"
       "              [--max-kb-bytes N] [--metrics-out FILE]\n"
-      "              [--fault-inject SPEC]\n"
+      "              [--fault-inject SPEC] [--relational off|auto|on]\n"
       "   or: anosyd --soak [--tenants N] [--sessions N] [--steps N]\n"
       "              [--sps X] [--burst X] [--seed N] (plus serve flags)\n"
       "serve-mode stdin protocol:\n"
@@ -248,6 +249,16 @@ int main(int Argc, char **Argv) {
       MetricsOut = Argv[++I];
     else if (Arg == "--fault-inject" && I + 1 < Argc)
       FaultSpec = Argv[++I];
+    else if (Arg == "--relational") {
+      const char *V = Next();
+      auto T = V != nullptr ? parseRelationalTier(V) : std::nullopt;
+      if (!T) {
+        std::fprintf(stderr,
+                     "error: invalid value for --relational (off|auto|on)\n");
+        return 2;
+      }
+      DOpt.Session.LintRelational = *T;
+    }
     else if (Arg == "--tenants")
       LOpt.Tenants = static_cast<unsigned>(NextU64("--tenants"));
     else if (Arg == "--sessions")

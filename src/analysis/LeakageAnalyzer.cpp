@@ -23,6 +23,38 @@ const char *anosy::lintVerdictName(LintVerdict V) {
   return "unknown";
 }
 
+const char *anosy::relationalTierName(RelationalTier T) {
+  switch (T) {
+  case RelationalTier::Off:
+    return "off";
+  case RelationalTier::Auto:
+    return "auto";
+  case RelationalTier::On:
+    return "on";
+  }
+  return "unknown";
+}
+
+std::optional<RelationalTier> anosy::parseRelationalTier(std::string_view S) {
+  if (S == "off")
+    return RelationalTier::Off;
+  if (S == "auto")
+    return RelationalTier::Auto;
+  if (S == "on")
+    return RelationalTier::On;
+  return std::nullopt;
+}
+
+const char *anosy::domainTierName(DomainTier T) {
+  switch (T) {
+  case DomainTier::Box:
+    return "box";
+  case DomainTier::Octagon:
+    return "octagon";
+  }
+  return "unknown";
+}
+
 const char *anosy::lintSeverityName(LintSeverity S) {
   switch (S) {
   case LintSeverity::Note:
@@ -80,10 +112,38 @@ QueryAnalysis anosy::analyzeQueryBranches(const Schema &S,
   // pass never sees, so admission verdicts must not depend on them either.
   QA.Features = analyzeQuery(*toNNF(simplify(Body)));
 
+  // Tier 1 (always): the interval refiner, the cheap path every query
+  // takes. Its verdicts stand on their own — escalation never reopens a
+  // concluded query, it only sharpens inconclusive ones.
   Box Prior = Box::top(S);
   BranchPosteriors P = branchPosteriors(Body, Prior, Options.NarrowRounds);
   QA.TruePosterior = P.TruePosterior;
   QA.FalsePosterior = P.FalsePosterior;
+  QA.TrueCardBound = P.TruePosterior.volume();
+  QA.FalseCardBound = P.FalsePosterior.volume();
+
+  bool Concluded = QA.TruePosterior.isEmpty() || QA.FalsePosterior.isEmpty();
+  if (!Concluded && Options.MinSize >= 0)
+    Concluded = QA.TrueCardBound <= Options.MinSize ||
+                QA.FalseCardBound <= Options.MinSize;
+
+  // Tier 2 (escalation): the octagon reduced product. Auto restricts it
+  // to queries with an atom coupling ≥ 2 fields — the only shape where a
+  // relational domain can beat the box (so Auto ≡ On on verdicts).
+  bool Escalate = !Concluded && Options.Relational != RelationalTier::Off &&
+                  (Options.Relational == RelationalTier::On ||
+                   QA.Features.Relational);
+  if (Escalate) {
+    RelationalPosteriors RP =
+        relationalBranchPosteriors(Body, Prior, Options.NarrowRounds);
+    QA.Tier = DomainTier::Octagon;
+    QA.TruePosterior = RP.True.BoxPosterior;
+    QA.FalsePosterior = RP.False.BoxPosterior;
+    QA.TrueOctagon = RP.True.OctPosterior;
+    QA.FalseOctagon = RP.False.OctPosterior;
+    QA.TrueCardBound = RP.True.CardBound;
+    QA.FalseCardBound = RP.False.CardBound;
+  }
 
   if (QA.TruePosterior.isEmpty() || QA.FalsePosterior.isEmpty()) {
     // One branch provably empty over the prior: the query is constant
@@ -93,13 +153,15 @@ QueryAnalysis anosy::analyzeQueryBranches(const Schema &S,
     QA.ConstantValue = QA.FalsePosterior.isEmpty();
     return QA;
   }
-  if (Options.MinSize >= 0 &&
-      (QA.TruePosterior.volume() <= Options.MinSize ||
-       QA.FalsePosterior.volume() <= Options.MinSize)) {
-    // Over-approximated branch already at/below k: by sizeLaw the exact
+  if (Options.MinSize >= 0 && (QA.TrueCardBound <= Options.MinSize ||
+                               QA.FalseCardBound <= Options.MinSize)) {
+    // Branch cardinality bound already at/below k: by sizeLaw the exact
     // branch, and any sound under-approximation, is no larger, so the
     // `size > k` check fails on that branch for every secret — and the
     // monitor checks both branches regardless of the answer (Fig. 2).
+    // On the octagon tier the bound may be far below the box volume
+    // (2r(r+1)+1 interior points of a Manhattan ball vs its (2r+1)^2
+    // bounding box), which is exactly the location-family recall gap.
     QA.Verdict = LintVerdict::PolicyUnsatisfiable;
     QA.RejectStatically = true;
     return QA;
@@ -134,17 +196,19 @@ void appendQueryDiagnostics(const QueryAnalysis &QA, const LintOptions &Opt,
     return;
   }
   case LintVerdict::PolicyUnsatisfiable: {
-    bool TrueSide = QA.TruePosterior.volume() <= Opt.MinSize;
+    bool TrueSide = QA.TrueCardBound <= Opt.MinSize;
     const Box &W = TrueSide ? QA.TruePosterior : QA.FalsePosterior;
+    const BigCount &Bound = TrueSide ? QA.TrueCardBound : QA.FalseCardBound;
     LintDiagnostic D;
     D.Severity = LintSeverity::Error;
     D.Verdict = QA.Verdict;
     D.Query = QA.Name;
     D.Message = std::string("the ") + (TrueSide ? "True" : "False") +
-                " branch keeps at most " + W.volume().str() +
+                " branch keeps at most " + Bound.str() +
                 " candidate secrets <= policy threshold k=" +
                 std::to_string(Opt.MinSize) +
-                "; the monitor would refuse this query for every secret";
+                "; the monitor would refuse this query for every secret" +
+                " [tier=" + domainTierName(QA.Tier) + "]";
     D.Witness = W;
     D.Fix = "coarsen the query (widen its ranges) or lower the policy's "
             "min-size so both branches keep > k candidates";
@@ -159,6 +223,9 @@ void appendQueryDiagnostics(const QueryAnalysis &QA, const LintOptions &Opt,
     D.Message = "a comparison atom couples >= 2 secret fields; synthesis "
                 "explores a non-axis-aligned region (expected-expensive, "
                 "B2-shaped)";
+    if (QA.Tier == DomainTier::Octagon)
+      D.Message += "; octagon tier bounds the True branch to <= " +
+                   QA.TrueCardBound.str() + " candidates";
     D.Witness = QA.TruePosterior;
     D.Fix = "consider per-field query decomposition, or budget extra "
             "solver nodes for this query";
@@ -281,6 +348,17 @@ LintOptions anosy::lintOptionsForSource(std::string_view Source,
       }
       if (Any)
         Base.MinSize = V;
+    }
+    Key = 0;
+    while ((Key = Line.find("relational=", Key)) != std::string_view::npos) {
+      Key += 11;
+      size_t Len = 0;
+      while (Key + Len < Line.size() && Line[Key + Len] >= 'a' &&
+             Line[Key + Len] <= 'z')
+        ++Len;
+      if (auto T = parseRelationalTier(Line.substr(Key, Len)))
+        Base.Relational = *T;
+      Key += Len;
     }
     Pos = End == std::string_view::npos ? Source.size() : End;
   }

@@ -41,6 +41,7 @@
 #define ANOSY_ANALYSIS_LEAKAGEANALYZER_H
 
 #include "analysis/IntervalRefiner.h"
+#include "analysis/OctagonRefiner.h"
 #include "expr/Analysis.h"
 #include "expr/Module.h"
 
@@ -50,6 +51,31 @@
 #include <vector>
 
 namespace anosy {
+
+/// When the relational (octagon) escalation tier runs. The box tier is
+/// always the first pass; escalation only happens when it was
+/// inconclusive (neither constant nor rejected), so `Auto` and `On`
+/// produce identical *verdicts* — `Auto` merely skips queries whose NNF
+/// has no atom coupling ≥ 2 fields, where the octagon provably cannot
+/// improve on the box.
+enum class RelationalTier {
+  Off,  ///< Box tier only (the pre-octagon behaviour).
+  Auto, ///< Escalate queries with a relational atom (default).
+  On,   ///< Escalate every box-inconclusive query.
+};
+
+const char *relationalTierName(RelationalTier T);
+
+/// Strict parser for "--relational=off|auto|on"; nullopt on anything else.
+std::optional<RelationalTier> parseRelationalTier(std::string_view S);
+
+/// Which abstract domain produced a query's verdict.
+enum class DomainTier {
+  Box,     ///< Interval-only analysis concluded (or escalation was off).
+  Octagon, ///< The relational reduced product ran and concluded.
+};
+
+const char *domainTierName(DomainTier T);
 
 /// What the analyzer concluded about one query (or query sequence).
 enum class LintVerdict {
@@ -88,6 +114,9 @@ struct LintOptions {
   unsigned NarrowRounds = 6;
   /// Run the sequence-level cumulative-knowledge pass.
   bool SequencePass = true;
+  /// The relational escalation policy (DESIGN.md §7): box-only stays the
+  /// fast default path; the octagon reduced product runs on escalation.
+  RelationalTier Relational = RelationalTier::Auto;
 };
 
 /// Per-query analysis results; the solver-seeding contract consumes the
@@ -99,6 +128,18 @@ struct QueryAnalysis {
   QueryFeatures Features;
   Box TruePosterior;  ///< Over-approximation of the True branch.
   Box FalsePosterior; ///< Over-approximation of the False branch.
+  /// Which domain tier concluded the analysis for this query. When it is
+  /// Octagon, the posteriors above are the reduced-product boxes (⊆ the
+  /// box-only result) and the octagons/cardinality bounds below carry the
+  /// relational precision.
+  DomainTier Tier = DomainTier::Box;
+  Octagon TrueOctagon;  ///< Closed relational posterior (Octagon tier).
+  Octagon FalseOctagon; ///< Closed relational posterior (Octagon tier).
+  /// Upper bounds on the branch secret counts: the box volume on the box
+  /// tier, min(box volume, octagon count) on the octagon tier. Policy
+  /// verdicts compare these against KnowledgePolicy::MinSize.
+  BigCount TrueCardBound;
+  BigCount FalseCardBound;
   LintVerdict Verdict = LintVerdict::Clean;
   /// ConstantAnswer: synthesis can be skipped, ind. sets are exact.
   bool SkipSynthesis = false;
@@ -129,7 +170,7 @@ QueryAnalysis analyzeQueryBranches(const Schema &S, const std::string &Name,
 ModuleAnalysis analyzeModule(const Module &M, const LintOptions &Options = {});
 
 /// Scans DSL \p Source for lint pragmas of the form
-///   `# anosy-lint: min-size=N`
+///   `# anosy-lint: min-size=N` / `# anosy-lint: relational=off|auto|on`
 /// and overlays them on \p Base. Unknown keys are ignored (comments stay
 /// comments); the last occurrence of a key wins.
 LintOptions lintOptionsForSource(std::string_view Source,

@@ -43,8 +43,10 @@ std::string anosy::renderLintText(const std::vector<LintedModule> &Modules) {
     Out += "== " + M.Name + " ==\n";
     for (const QueryAnalysis &Q : M.Analysis.Queries) {
       Out += "  query " + Q.Name + ": " + lintVerdictName(Q.Verdict);
-      Out += "  True<=" + Q.TruePosterior.volume().str();
-      Out += " False<=" + Q.FalsePosterior.volume().str();
+      Out += "  True<=" + Q.TrueCardBound.str();
+      Out += " False<=" + Q.FalseCardBound.str();
+      Out += "  tier=";
+      Out += domainTierName(Q.Tier);
       Out += "\n";
     }
     for (const LintDiagnostic &D : M.Analysis.Diagnostics) {
@@ -81,12 +83,23 @@ void appendQueryJson(const QueryAnalysis &Q, std::string &Out) {
   Out += "\", \"relational\": ";
   Out += Q.Features.Relational ? "true" : "false";
   Out += ", \"atoms\": " + std::to_string(Q.Features.NumAtoms);
+  Out += ", \"tier\": \"";
+  Out += domainTierName(Q.Tier);
+  Out += "\"";
   Out += ", \"true_posterior\": {\"box\": \"" +
          jsonEscape(Q.TruePosterior.str()) + "\", \"volume\": \"" +
-         Q.TruePosterior.volume().str() + "\"}";
+         Q.TruePosterior.volume().str() + "\", \"card_bound\": \"" +
+         Q.TrueCardBound.str() + "\"";
+  if (Q.Tier == DomainTier::Octagon)
+    Out += ", \"octagon\": \"" + jsonEscape(Q.TrueOctagon.str()) + "\"";
+  Out += "}";
   Out += ", \"false_posterior\": {\"box\": \"" +
          jsonEscape(Q.FalsePosterior.str()) + "\", \"volume\": \"" +
-         Q.FalsePosterior.volume().str() + "\"}";
+         Q.FalsePosterior.volume().str() + "\", \"card_bound\": \"" +
+         Q.FalseCardBound.str() + "\"";
+  if (Q.Tier == DomainTier::Octagon)
+    Out += ", \"octagon\": \"" + jsonEscape(Q.FalseOctagon.str()) + "\"";
+  Out += "}";
   Out += ", \"skip_synthesis\": ";
   Out += Q.SkipSynthesis ? "true" : "false";
   Out += ", \"reject_statically\": ";
@@ -104,6 +117,9 @@ std::string anosy::renderLintJson(const std::vector<LintedModule> &Modules) {
     Out += "    {\"module\": \"" + jsonEscape(M.Name) + "\",\n";
     Out += "      \"min_size\": " + std::to_string(M.Options.MinSize) +
            ",\n";
+    Out += "      \"relational\": \"";
+    Out += relationalTierName(M.Options.Relational);
+    Out += "\",\n";
     Out += "      \"queries\": [\n";
     for (size_t Q = 0; Q != M.Analysis.Queries.size(); ++Q) {
       appendQueryJson(M.Analysis.Queries[Q], Out);

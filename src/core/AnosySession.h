@@ -118,6 +118,11 @@ struct SessionOptions {
   /// bench/lint_admission). Off by default: unseeded runs stay
   /// bit-identical to previous releases.
   bool UseAnalysisSeeds = false;
+  /// Escalation policy of the admission analyzer's relational (octagon)
+  /// tier (LintOptions::Relational). Auto escalates only queries whose
+  /// NNF couples ≥ 2 secret fields in one atom; Off reproduces the
+  /// box-only admission exactly.
+  RelationalTier LintRelational = RelationalTier::Auto;
   /// External budget chained *above* the session budget (borrowed, never
   /// owned; may outlive nothing — the caller keeps it alive for the whole
   /// creation). The anosyd watchdog points this at a per-request abort
@@ -370,6 +375,7 @@ private:
     if (Options.StaticAdmission || Options.UseAnalysisSeeds) {
       LintOptions LOpt;
       LOpt.MinSize = Tracker->policy().MinSize.value_or(-1);
+      LOpt.Relational = Options.LintRelational;
       Analysis = analyzeModule(this->M, LOpt);
     }
   }

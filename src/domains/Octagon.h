@@ -1,0 +1,147 @@
+//===- domains/Octagon.h - The octagon abstract domain ----------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A relational abstract domain of octagons: conjunctions of constraints of
+/// the form ±x_i ± x_j ≤ c over the secret's integer fields. This is the
+/// smallest relational refinement of the interval domain that can represent
+/// the paper's §2 running example exactly — the Manhattan ball
+/// |x−a| + |y−b| ≤ r *is* an octagon (four ±x±y half-planes), while its
+/// bounding box over-counts by nearly 2x.
+///
+/// Representation: the standard difference-bound matrix over 2n nodes,
+/// V_{2k} = +x_k and V_{2k+1} = −x_k, where M[i][j] is an upper bound on
+/// V_i − V_j (Miné 2006). The matrix is kept *coherent*
+/// (M[i][j] = M[j^1][i^1]) by construction, and `close()` computes the
+/// tight integer closure (shortest paths + even-tightening of the unary
+/// ±2x bounds + one strengthening pass), which canonicalizes non-empty
+/// octagons and detects integer emptiness.
+///
+/// Soundness contracts the analyzer relies on:
+///  * `isEmpty()` after `close()` returns true only for octagons with no
+///    integer point (closure detects emptiness exactly over this domain);
+///  * `cardinalityBound()` is an upper bound on the number of integer
+///    points (exact 2-field projections in closed form, multiplied by
+///    the remaining box widths);
+///  * `toBox()` contains every integer point of the octagon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_DOMAINS_OCTAGON_H
+#define ANOSY_DOMAINS_OCTAGON_H
+
+#include "domains/Box.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// An octagon over n integer fields: conjunction of ±x_i ± x_j ≤ c.
+class Octagon {
+public:
+  /// The "no constraint" sentinel for matrix entries.
+  static constexpr int64_t Inf = INT64_MAX;
+
+  Octagon() = default; ///< 0-ary and empty, mirroring Box().
+
+  /// The unconstrained octagon over \p Arity fields.
+  static Octagon top(size_t Arity);
+
+  /// The empty octagon over \p Arity fields.
+  static Octagon bottom(size_t Arity);
+
+  /// The octagon with exactly the box's per-field bounds (closed).
+  static Octagon fromBox(const Box &B);
+
+  size_t arity() const { return N; }
+  bool isEmpty() const { return Empty; }
+
+  /// Tightest enclosing box; requires a closed octagon.
+  Box toBox() const;
+
+  /// Membership test (works on unclosed octagons too).
+  bool contains(const Point &P) const;
+
+  // Constraint injection. Each tightens the raw matrix (min with the
+  // existing bound) and leaves the octagon unclosed; call close() before
+  // using any closure-dependent observer. All are sound for any order.
+  // Each returns true iff it strictly tightened an entry (or bottomed the
+  // octagon): on false, a previously closed matrix is still closed, so
+  // the caller may skip the re-close — the refiner's fixpoint rounds
+  // lean on this to make already-applied constraints free.
+  bool addUpperBound(size_t I, int64_t C);          ///< x_i ≤ C
+  bool addLowerBound(size_t I, int64_t C);          ///< x_i ≥ C
+  bool addSumUpper(size_t I, size_t J, int64_t C);  ///< x_i + x_j ≤ C
+  bool addSumLower(size_t I, size_t J, int64_t C);  ///< x_i + x_j ≥ C
+  bool addDiffUpper(size_t I, size_t J, int64_t C); ///< x_i − x_j ≤ C
+
+  /// Tight integer closure: canonicalizes the matrix and detects
+  /// emptiness (only genuinely point-free octagons become empty).
+  void close();
+
+  /// Greatest lower bound: conjunction of both constraint sets (closed).
+  Octagon meet(const Octagon &O) const;
+
+  /// Octagon hull (join): elementwise max of closed matrices; the
+  /// result contains both arguments and is closed.
+  Octagon join(const Octagon &O) const;
+
+  /// Set inclusion; requires *this closed (O may be raw).
+  bool subsetOf(const Octagon &O) const;
+
+  /// Upper bound on the number of integer points. Exact on 2-field
+  /// octagons (the pairwise projections are counted in closed form, so
+  /// the cost is independent of the fields' widths). Requires a closed
+  /// octagon.
+  BigCount cardinalityBound() const;
+
+  /// Structural equality of closed octagons (empties of equal arity
+  /// compare equal regardless of how they bottomed out).
+  bool operator==(const Octagon &O) const;
+  bool operator!=(const Octagon &O) const { return !(*this == O); }
+
+  /// Renders the enclosing box plus any strictly-tighter relational
+  /// constraints, e.g. "[0, 9] x [0, 9] | x0+x1<=12, x0-x1>=-3".
+  std::string str() const;
+
+private:
+  explicit Octagon(size_t Arity, bool MakeEmpty);
+
+  size_t node(size_t Field, bool Negated) const {
+    return 2 * Field + (Negated ? 1 : 0);
+  }
+  int64_t &at(size_t I, size_t J) { return M[I * 2 * N + J]; }
+  int64_t at(size_t I, size_t J) const { return M[I * 2 * N + J]; }
+
+  /// Tightens M[I][J] (and its coherent mirror) to at most \p C; true
+  /// iff an entry strictly decreased.
+  bool tighten(size_t I, size_t J, int64_t C);
+
+  void markEmpty();
+
+  /// Exact integer-point count of the (I, J) projection, computed as a
+  /// closed-form sum of arithmetic series between the breakpoints of the
+  /// per-slice interval length; saturated only when a field is unbounded
+  /// or the count overflows.
+  BigCount pairCount(size_t I, size_t J) const;
+
+  size_t N = 0;
+  bool Empty = true;
+  /// Whether M is known tightly closed. Maintained so join() can skip
+  /// its O(n³) re-close: the octagon hull (elementwise max) of two
+  /// tightly closed coherent matrices is itself tightly closed — max is
+  /// sub-additive, preserves even unary bounds, and preserves the
+  /// strengthening inequality. Cleared whenever tighten() lowers an
+  /// entry; set by close() (and for top/bottom, which are born closed).
+  bool ClosedForm = false;
+  std::vector<int64_t> M; ///< (2N)^2 entries; cleared when empty.
+};
+
+} // namespace anosy
+
+#endif // ANOSY_DOMAINS_OCTAGON_H

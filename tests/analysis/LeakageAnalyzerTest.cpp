@@ -144,6 +144,130 @@ TEST(LeakageAnalyzer, PragmaParsing) {
   EXPECT_EQ(Two.MinSize, 42);
 }
 
+// === The octagon escalation tier (DESIGN.md §7) =========================
+
+TEST(LeakageAnalyzer, OctagonTierRejectsInteriorTracker) {
+  // The location-family recall gap in miniature: the radius-1 ball keeps
+  // 5 candidates, but its bounding box keeps 9 > k = 8, so the box tier
+  // cannot reject. The octagon tier counts the ball exactly and does.
+  Module M = parse("secret GeoLoc { x: int[0, 49], y: int[0, 49] }\n"
+                   "query tracker = abs(x - 25) + abs(y - 25) <= 1\n");
+  LintOptions Opt;
+  Opt.MinSize = 8;
+  ModuleAnalysis A = analyzeModule(M, Opt);
+  ASSERT_EQ(A.Queries.size(), 1u);
+  const QueryAnalysis &Q = A.Queries[0];
+  EXPECT_EQ(Q.Tier, DomainTier::Octagon);
+  EXPECT_EQ(Q.Verdict, LintVerdict::PolicyUnsatisfiable);
+  EXPECT_TRUE(Q.RejectStatically);
+  EXPECT_EQ(Q.TrueCardBound, BigCount(5));
+  EXPECT_TRUE(A.hasErrors());
+}
+
+TEST(LeakageAnalyzer, OctagonTierKeepsPrecisionOnAdmissibleBall) {
+  // Precision 1.0 is non-negotiable: the radius-2 ball keeps 13 > k = 8
+  // candidates, so the exact octagon count must NOT reject it even
+  // though the escalation tier ran.
+  Module M = parse("secret GeoLoc { x: int[0, 49], y: int[0, 49] }\n"
+                   "query pinpoint = abs(x - 25) + abs(y - 25) <= 2\n");
+  LintOptions Opt;
+  Opt.MinSize = 8;
+  ModuleAnalysis A = analyzeModule(M, Opt);
+  ASSERT_EQ(A.Queries.size(), 1u);
+  const QueryAnalysis &Q = A.Queries[0];
+  EXPECT_EQ(Q.Tier, DomainTier::Octagon);
+  EXPECT_EQ(Q.Verdict, LintVerdict::RelationalHotspot);
+  EXPECT_FALSE(Q.RejectStatically);
+  EXPECT_EQ(Q.TrueCardBound, BigCount(13));
+  EXPECT_FALSE(A.hasErrors());
+}
+
+TEST(LeakageAnalyzer, OctagonTierProvesRelationalConstantAnswer) {
+  // x + y = 0 ∧ x − y = 1 has a rational witness but no integer one;
+  // the box tier narrows without concluding, the tight integer closure
+  // proves the True branch empty — an exact ConstantAnswer(false).
+  Module M = parse("secret S { x: int[-5, 5], y: int[-5, 5] }\n"
+                   "query odd = x + y == 0 && x - y == 1\n");
+  ModuleAnalysis A = analyzeModule(M, {});
+  ASSERT_EQ(A.Queries.size(), 1u);
+  const QueryAnalysis &Q = A.Queries[0];
+  EXPECT_EQ(Q.Tier, DomainTier::Octagon);
+  EXPECT_EQ(Q.Verdict, LintVerdict::ConstantAnswer);
+  EXPECT_TRUE(Q.SkipSynthesis);
+  ASSERT_TRUE(Q.ConstantValue.has_value());
+  EXPECT_FALSE(*Q.ConstantValue);
+}
+
+TEST(LeakageAnalyzer, RelationalOffKeepsBoxBehaviour) {
+  // --relational=off is the pre-octagon analyzer: the tracker stays a
+  // hotspot note, no static rejection, box tier only.
+  Module M = parse("secret GeoLoc { x: int[0, 49], y: int[0, 49] }\n"
+                   "query tracker = abs(x - 25) + abs(y - 25) <= 1\n");
+  LintOptions Opt;
+  Opt.MinSize = 8;
+  Opt.Relational = RelationalTier::Off;
+  ModuleAnalysis A = analyzeModule(M, Opt);
+  ASSERT_EQ(A.Queries.size(), 1u);
+  const QueryAnalysis &Q = A.Queries[0];
+  EXPECT_EQ(Q.Tier, DomainTier::Box);
+  EXPECT_EQ(Q.Verdict, LintVerdict::RelationalHotspot);
+  EXPECT_FALSE(Q.RejectStatically);
+  EXPECT_EQ(Q.TrueCardBound, BigCount(9)); // the bounding-box volume
+  EXPECT_FALSE(A.hasErrors());
+}
+
+TEST(LeakageAnalyzer, AutoAndOnAgreeOnVerdicts) {
+  // Auto only skips queries the octagon provably cannot improve, so the
+  // two escalation policies must produce identical verdicts.
+  Module M = parse("secret GeoLoc { x: int[0, 49], y: int[0, 49] }\n"
+                   "query tracker = abs(x - 25) + abs(y - 25) <= 1\n"
+                   "query axis = x <= 10\n"
+                   "query band = x + y <= 3\n");
+  LintOptions Auto;
+  Auto.MinSize = 8;
+  LintOptions On = Auto;
+  On.Relational = RelationalTier::On;
+  ModuleAnalysis A = analyzeModule(M, Auto);
+  ModuleAnalysis B = analyzeModule(M, On);
+  ASSERT_EQ(A.Queries.size(), B.Queries.size());
+  for (size_t I = 0; I != A.Queries.size(); ++I) {
+    EXPECT_EQ(A.Queries[I].Verdict, B.Queries[I].Verdict);
+    EXPECT_EQ(A.Queries[I].RejectStatically, B.Queries[I].RejectStatically);
+    EXPECT_EQ(A.Queries[I].TruePosterior, B.Queries[I].TruePosterior);
+  }
+}
+
+TEST(LeakageAnalyzer, RelationalTierNamesRoundTrip) {
+  for (RelationalTier T :
+       {RelationalTier::Off, RelationalTier::Auto, RelationalTier::On}) {
+    auto P = parseRelationalTier(relationalTierName(T));
+    ASSERT_TRUE(P.has_value());
+    EXPECT_EQ(*P, T);
+  }
+  EXPECT_FALSE(parseRelationalTier("").has_value());
+  EXPECT_FALSE(parseRelationalTier("On").has_value());
+  EXPECT_FALSE(parseRelationalTier("offx").has_value());
+  EXPECT_FALSE(parseRelationalTier("relational").has_value());
+}
+
+TEST(LeakageAnalyzer, RelationalPragmaParsing) {
+  LintOptions Base;
+  EXPECT_EQ(Base.Relational, RelationalTier::Auto);
+  LintOptions Off = lintOptionsForSource(
+      "# anosy-lint: relational=off\nsecret S { x: int[0,1] }", Base);
+  EXPECT_EQ(Off.Relational, RelationalTier::Off);
+  // Last occurrence wins; invalid values are ignored like unknown keys.
+  LintOptions Two = lintOptionsForSource("# anosy-lint: relational=off\n"
+                                         "# anosy-lint: relational=bogus\n"
+                                         "# anosy-lint: relational=on\n",
+                                         Base);
+  EXPECT_EQ(Two.Relational, RelationalTier::On);
+  LintOptions Both = lintOptionsForSource(
+      "# anosy-lint: min-size=9, relational=off\n", Base);
+  EXPECT_EQ(Both.MinSize, 9);
+  EXPECT_EQ(Both.Relational, RelationalTier::Off);
+}
+
 TEST(LeakageAnalyzer, JsonEscaping) {
   EXPECT_EQ(jsonEscape("plain"), "plain");
   EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
