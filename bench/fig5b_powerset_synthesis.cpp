@@ -11,9 +11,12 @@
 
 #include "BenchCommon.h"
 
+#include "compile/CompiledEval.h"
 #include "support/Table.h"
 #include "synth/Synthesizer.h"
 #include "verify/RefinementChecker.h"
+
+#include <map>
 
 using namespace anosy;
 
@@ -30,6 +33,11 @@ int main(int Argc, char **Argv) {
   std::printf("Fig. 5b: powerset-of-intervals synthesis, k = %u "
               "(%u runs)\n\n", K, Runs);
 
+  // Shared throughput fields (BenchCommon.h): per-benchmark synthesis
+  // nodes/sec, summed over both approximation kinds, comparable with
+  // BENCH_compiled.json. Variant records the active compiled-eval mode.
+  std::map<std::string, ThroughputSample> Throughput;
+
   for (ApproxKind Kind : {ApproxKind::Under, ApproxKind::Over}) {
     std::printf("== %s-approximation ==\n", approxKindName(Kind));
     TextTable T;
@@ -44,16 +52,23 @@ int main(int Argc, char **Argv) {
         T.addRow({P.Id, Sy.error().str(), "-", "-", "-"});
         continue;
       }
-      auto Sets = Sy->synthesizePowerset(Kind, K);
+      SynthStats Stats;
+      auto Sets = Sy->synthesizePowerset(Kind, K, &Stats);
       if (!Sets) {
         T.addRow({P.Id, Sets.error().str(), "-", "-", "-"});
         continue;
       }
 
+      double SynthSeconds = 0;
       std::string SynthTime = timeRepeated(Runs, [&Sy, Kind, K]() {
         auto R = Sy->synthesizePowerset(Kind, K);
         (void)R;
-      });
+      }, &SynthSeconds);
+      ThroughputSample &TS = Throughput[P.Id];
+      TS.Name = P.Id;
+      TS.Variant = compiledEvalModeName(compiledEvalMode());
+      TS.Seconds += SynthSeconds;
+      TS.Nodes += Stats.SolverNodes;
       std::string VerifTime = timeRepeated(Runs, [&]() {
         RefinementChecker Checker(S, P.query().Body);
         CertificateBundle B = Checker.checkIndSets(*Sets, Kind);
@@ -71,6 +86,14 @@ int main(int Argc, char **Argv) {
                 VerifTime, SynthTime});
     }
     std::printf("%s\n", T.render().c_str());
+  }
+
+  {
+    std::vector<ThroughputSample> Samples;
+    for (const auto &KV : Throughput)
+      Samples.push_back(KV.second);
+    writeThroughputJson("BENCH_throughput_fig5b.json", Samples);
+    std::printf("wrote BENCH_throughput_fig5b.json\n\n");
   }
 
   // §6.1's B3/k=4 remark: "it can synthesize the exact ind. set with

@@ -1,0 +1,87 @@
+//===- compile/BoxBatch.h - SoA batch of boxes ------------------*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A batch of same-arity boxes in structure-of-arrays layout: one dense
+/// int64 stripe per dimension for the lower bounds and one for the upper
+/// bounds (`lo(d)[i]` / `hi(d)[i]`). The tape interpreter's batch entry
+/// point (compile/Tape.h) streams over these stripes with per-instruction
+/// lane loops, so the layout is what lets the auto-vectorizer at the
+/// interval arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_COMPILE_BOXBATCH_H
+#define ANOSY_COMPILE_BOXBATCH_H
+
+#include "domains/Box.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace anosy {
+
+/// Dimension-major SoA view of N boxes of a fixed arity.
+class BoxBatch {
+public:
+  BoxBatch() = default;
+
+  /// Reshapes to \p Arity x \p Count lanes, zero-filled. Grow-only
+  /// backing stores, so reusing one batch across solver iterations stops
+  /// allocating after the first.
+  void resize(size_t Arity, size_t Count) {
+    this->Arity = Arity;
+    this->Count = Count;
+    Lo.assign(Arity * Count, 0);
+    Hi.assign(Arity * Count, 0);
+  }
+
+  /// Loads \p N boxes (all of the same arity) into the batch.
+  void assign(const Box *Boxes, size_t N) {
+    assert((N == 0 || Boxes) && "null box array");
+    resize(N == 0 ? 0 : Boxes[0].arity(), N);
+    for (size_t I = 0; I != N; ++I) {
+      const Box &B = Boxes[I];
+      assert(B.arity() == Arity && "mixed arities in one batch");
+      for (size_t D = 0; D != Arity; ++D) {
+        Lo[D * Count + I] = B.dim(D).Lo;
+        Hi[D * Count + I] = B.dim(D).Hi;
+      }
+    }
+  }
+
+  /// Overwrites lane \p I of dimension \p D.
+  void set(size_t I, size_t D, int64_t LoV, int64_t HiV) {
+    assert(I < Count && D < Arity && "lane out of range");
+    Lo[D * Count + I] = LoV;
+    Hi[D * Count + I] = HiV;
+  }
+
+  /// Materializes lane \p I back into a Box (slow path / debugging).
+  Box box(size_t I) const {
+    assert(I < Count && "lane out of range");
+    std::vector<Interval> Dims(Arity);
+    for (size_t D = 0; D != Arity; ++D)
+      Dims[D] = {Lo[D * Count + I], Hi[D * Count + I]};
+    return Box(std::move(Dims));
+  }
+
+  size_t arity() const { return Arity; }
+  size_t count() const { return Count; }
+  const int64_t *lo(size_t D) const { return Lo.data() + D * Count; }
+  const int64_t *hi(size_t D) const { return Hi.data() + D * Count; }
+
+private:
+  size_t Arity = 0;
+  size_t Count = 0;
+  std::vector<int64_t> Lo; ///< [D * Count + I]
+  std::vector<int64_t> Hi; ///< [D * Count + I]
+};
+
+} // namespace anosy
+
+#endif // ANOSY_COMPILE_BOXBATCH_H

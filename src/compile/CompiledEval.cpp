@@ -1,0 +1,144 @@
+//===- compile/CompiledEval.cpp - Compiled-eval mode & tape cache ---------===//
+
+#include "compile/CompiledEval.h"
+
+#include "obs/Instrument.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+using namespace anosy;
+
+namespace {
+
+/// Auto-mode threshold: below this many AST nodes the tree walk is
+/// already a handful of inlined calls and the tape buys nothing.
+constexpr size_t AutoMinTreeSize = 4;
+
+CompiledEvalMode initialMode() {
+  const char *Env = std::getenv("ANOSY_COMPILED_EVAL");
+  CompiledEvalMode M = CompiledEvalMode::Auto;
+  if (Env)
+    parseCompiledEvalMode(Env, M);
+  return M;
+}
+
+std::atomic<CompiledEvalMode> &modeSlot() {
+  static std::atomic<CompiledEvalMode> Mode{initialMode()};
+  return Mode;
+}
+
+/// Bounded process-wide tape cache. Collisions chain through structural
+/// equality; overflow clears wholesale (the workloads that matter hold
+/// far fewer than Cap distinct query shapes, so eviction sophistication
+/// would be dead weight).
+class TapeCache {
+public:
+  TapeRef getOrCompile(const ExprRef &E) {
+    const size_t H = Expr::structuralHash(*E);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      auto It = Entries.find(H);
+      if (It != Entries.end())
+        for (const auto &[CachedExpr, CachedTape] : It->second)
+          if (Expr::structurallyEqual(*CachedExpr, *E))
+            return CachedTape;
+    }
+
+    // Compile outside the lock; a racing duplicate compile is benign.
+    const auto Start = std::chrono::steady_clock::now();
+    ANOSY_OBS_SPAN(Span, "anosy.tape.compile");
+    TapeRef T = Tape::compile(*E);
+    if (!T)
+      return nullptr;
+    const double Us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - Start)
+            .count();
+    ANOSY_OBS_SPAN_ARG(Span, "tape_len", static_cast<int64_t>(T->length()));
+    ANOSY_OBS_SPAN_ARG(Span, "compile_us", Us);
+    ANOSY_OBS_COUNT("anosy_tape_compiles_total",
+                    "Queries compiled to interval-eval tapes", 1);
+    ANOSY_OBS_OBSERVE_SECONDS("anosy_tape_compile_seconds",
+                              "Wall time compiling queries to tapes",
+                              Us / 1e6);
+
+    std::lock_guard<std::mutex> Lock(M);
+    if (Size >= Cap) {
+      Entries.clear();
+      Size = 0;
+    }
+    Entries[H].emplace_back(E, T);
+    ++Size;
+    return T;
+  }
+
+private:
+  static constexpr size_t Cap = 256;
+  std::mutex M;
+  std::unordered_map<size_t, std::vector<std::pair<ExprRef, TapeRef>>> Entries;
+  size_t Size = 0;
+};
+
+TapeCache &cache() {
+  static TapeCache C;
+  return C;
+}
+
+} // namespace
+
+CompiledEvalMode anosy::compiledEvalMode() {
+  return modeSlot().load(std::memory_order_relaxed);
+}
+
+void anosy::setCompiledEvalMode(CompiledEvalMode M) {
+  modeSlot().store(M, std::memory_order_relaxed);
+}
+
+bool anosy::parseCompiledEvalMode(const std::string &Text,
+                                  CompiledEvalMode &M) {
+  if (Text == "off")
+    M = CompiledEvalMode::Off;
+  else if (Text == "on")
+    M = CompiledEvalMode::On;
+  else if (Text == "auto")
+    M = CompiledEvalMode::Auto;
+  else
+    return false;
+  return true;
+}
+
+const char *anosy::compiledEvalModeName(CompiledEvalMode M) {
+  switch (M) {
+  case CompiledEvalMode::Off:
+    return "off";
+  case CompiledEvalMode::On:
+    return "on";
+  case CompiledEvalMode::Auto:
+    return "auto";
+  }
+  return "?";
+}
+
+bool anosy::shouldCompileQuery(const Expr &E) {
+  switch (compiledEvalMode()) {
+  case CompiledEvalMode::Off:
+    return false;
+  case CompiledEvalMode::On:
+    return true;
+  case CompiledEvalMode::Auto:
+    return E.treeSize() >= AutoMinTreeSize;
+  }
+  return false;
+}
+
+TapeRef anosy::getOrCompileTape(const ExprRef &E) {
+  if (!E || !shouldCompileQuery(*E))
+    return nullptr;
+  return cache().getOrCompile(E);
+}

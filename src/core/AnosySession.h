@@ -43,6 +43,7 @@
 
 #include "analysis/LeakageAnalyzer.h"
 #include "analysis/SolverSeeds.h"
+#include "compile/CompiledEval.h"
 #include "core/ArtifactIO.h"
 #include "core/Degradation.h"
 #include "core/KnowledgeTracker.h"
@@ -683,6 +684,9 @@ private:
     Info.QueryExpr = Q.Body;
     Info.Ind = Art.Ind;
     Info.Kind = ApproxKind::Under;
+    // Compile once at registration; synthesis/verification already
+    // populated the process-wide tape cache, so this is a cache hit.
+    Info.CompiledQuery = getOrCompileTape(Info.QueryExpr);
     Tracker->registerQuery(std::move(Info));
     Stats.SolverNodes += Art.Stats.SolverNodes;
     Stats.SynthSeconds += Art.Stats.Seconds;

@@ -16,8 +16,10 @@
 #ifndef ANOSY_CORE_QUERYINFO_H
 #define ANOSY_CORE_QUERYINFO_H
 
+#include "compile/Tape.h"
 #include "domains/AbstractDomain.h"
 #include "expr/Eval.h"
+#include "solver/Predicate.h"
 #include "synth/ClassifierSynth.h"
 #include "synth/Synthesizer.h"
 
@@ -36,9 +38,19 @@ template <AbstractDomain D> struct QueryInfo {
   IndSets<D> Ind;
   /// Which approximation the ind. sets are (policy enforcement uses Under).
   ApproxKind Kind = ApproxKind::Under;
+  /// The query compiled to an interval-eval tape at registration (null
+  /// when the compiled-eval mode says tree-walk). Every later box probe
+  /// against this query goes through predicate() and reuses it.
+  TapeRef CompiledQuery;
 
   /// Runs the query on a concrete secret.
   bool run(const Point &Secret) const { return evalBool(*QueryExpr, Secret); }
+
+  /// The query as a solver predicate, backed by the registration-time
+  /// tape (tree-walk when none was compiled).
+  PredicateRef predicate() const {
+    return exprPredicate(QueryExpr, CompiledQuery);
+  }
 
   /// The synthesized approximation function: posterior pair for \p Prior
   /// (Fig. 4's underapprox/overapprox — a pairwise intersection, free at

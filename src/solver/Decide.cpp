@@ -261,7 +261,7 @@ ExistsResult findWitnessImpl(const Predicate &P, const Box &B, uint64_t Salt,
   P.splitHints(Hints);
   normalizeSplitHints(Hints);
 
-  if (!Par.enabled())
+  if (!Par.worthParallelizing(B))
     return existsSubtree(P, Hints, B, rootCode(Salt), Salt, Budget,
                          NoCancel{});
   return parallelExists(P, Hints, B, Salt, Budget, Par);
@@ -282,7 +282,7 @@ ForallResult anosy::checkForall(const Predicate &P, const Box &B,
   P.splitHints(Hints);
   normalizeSplitHints(Hints);
 
-  if (!Par.enabled())
+  if (!Par.worthParallelizing(B))
     return forallSubtree(P, Hints, B, Budget, NoCancel{});
   return parallelForall(P, Hints, B, Budget, Par);
 }

@@ -167,7 +167,26 @@ struct SolverParallel {
   /// so work stealing can balance uneven subtrees.
   unsigned TasksPerThread = 16;
 
+  /// Granularity gate: search trees rooted at boxes of at most this many
+  /// points run serially even when a pool is available — they finish
+  /// before the decomposition + task-spawn overhead pays for itself
+  /// (BENCH_parallel.json pins the break-even). Serial and parallel
+  /// searches are bit-identical, so the gate can only change wall time.
+  uint64_t MinParallelVolume = 1u << 20;
+
   bool enabled() const { return Pool != nullptr && Pool->threadCount() > 1; }
+
+  /// Whether a search rooted at \p B should be decomposed into pool
+  /// tasks: a usable pool *and* a root big enough to amortize spawning.
+  bool worthParallelizing(const Box &B) const {
+    if (!enabled())
+      return false;
+    const int64_t Min = MinParallelVolume > uint64_t(INT64_MAX)
+                            ? INT64_MAX
+                            : int64_t(MinParallelVolume);
+    return B.volume() > Min;
+  }
+
   size_t targetTasks() const {
     return enabled() ? size_t(Pool->threadCount()) * TasksPerThread : 1;
   }

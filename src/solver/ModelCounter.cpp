@@ -109,7 +109,7 @@ CountResult anosy::countSat(const Predicate &P, const Box &B,
   P.splitHints(Hints);
   normalizeSplitHints(Hints);
 
-  if (!Par.enabled())
+  if (!Par.worthParallelizing(B))
     return countSubtree(P, Hints, B, Budget);
   return parallelCount(P, Hints, B, Budget, Par);
 }

@@ -37,6 +37,8 @@ static Decomposition decomposeSearchImpl(const Predicate &P,
     return L.pending() && L.B.volume() > Cutoff;
   };
 
+  BoxBatch ChildBatch; // Reused across expansions; grow-only storage.
+
   while (D.Leaves.size() < MaxLeaves) {
     size_t PendingCount = 0;
     size_t Pick = D.Leaves.size();
@@ -66,8 +68,15 @@ static Decomposition decomposeSearchImpl(const Predicate &P,
     SearchLeaf L{std::move(Left), childCode(Cur.Code, true), Tribool::Unknown};
     SearchLeaf R{std::move(Right), childCode(Cur.Code, false),
                  Tribool::Unknown};
-    L.State = P.evalBox(L.B);
-    R.State = P.evalBox(R.B);
+    // Both children are always evaluated eagerly here, so probe them as
+    // one two-lane batch: with a compiled predicate that is a single tape
+    // pass instead of two tree walks.
+    const Box Pair[2] = {L.B, R.B};
+    Tribool PairState[2];
+    ChildBatch.assign(Pair, 2);
+    P.evalBoxBatch(ChildBatch, PairState);
+    L.State = PairState[0];
+    R.State = PairState[1];
 
     bool LeftFirst = Order == ExploreOrder::Salted
                          ? saltedLeftFirst(Salt, Cur.Code)

@@ -2,6 +2,7 @@
 
 #include "solver/Predicate.h"
 
+#include "compile/CompiledEval.h"
 #include "domains/BoxAlgebra.h"
 #include "expr/Eval.h"
 #include "solver/RangeEval.h"
@@ -10,14 +11,36 @@ using namespace anosy;
 
 namespace {
 
+/// Per-thread tape scratch, shared by every compiled predicate on the
+/// thread (the scratch is sized per run, so sharing is safe). Pool
+/// threads in the parallel solver each get their own.
+TapeScratch &tapeScratch() {
+  thread_local TapeScratch S;
+  return S;
+}
+
 class ExprPred final : public Predicate {
 public:
-  explicit ExprPred(ExprRef E) : E(std::move(E)) {
+  ExprPred(ExprRef E, TapeRef T) : E(std::move(E)), T(std::move(T)) {
     assert(this->E && this->E->isBoolSorted() &&
            "query predicates wrap boolean expressions");
   }
 
-  Tribool evalBox(const Box &B) const override { return evalTribool(*E, B); }
+  Tribool evalBox(const Box &B) const override {
+    if (T)
+      return T->run(B, tapeScratch());
+    return evalTribool(*E, B);
+  }
+  void evalBoxBatch(const BoxBatch &Batch, Tribool *Out) const override {
+    if (T) {
+      T->runBatch(Batch, tapeScratch(), Out);
+      return;
+    }
+    Predicate::evalBoxBatch(Batch, Out);
+  }
+  // Concrete evaluation stays on the AST: evalBool uses plain wrapping
+  // int64 arithmetic while the tape saturates, and points must keep the
+  // tree walk's exact concrete semantics.
   bool evalPoint(const Point &P) const override { return evalBool(*E, P); }
   void splitHints(SplitHints &Hints) const override {
     collectExprSplitHints(*E, Hints);
@@ -26,6 +49,7 @@ public:
 
 private:
   ExprRef E;
+  TapeRef T; ///< Null = tree-walk.
 };
 
 class ConstPred final : public Predicate {
@@ -47,6 +71,11 @@ public:
   Tribool evalBox(const Box &B) const override {
     return triNot(A->evalBox(B));
   }
+  void evalBoxBatch(const BoxBatch &Batch, Tribool *Out) const override {
+    A->evalBoxBatch(Batch, Out);
+    for (size_t I = 0, N = Batch.count(); I != N; ++I)
+      Out[I] = triNot(Out[I]);
+  }
   bool evalPoint(const Point &P) const override { return !A->evalPoint(P); }
   void splitHints(SplitHints &Hints) const override { A->splitHints(Hints); }
   std::string str() const override { return "!(" + A->str() + ")"; }
@@ -64,6 +93,13 @@ public:
     if (TA == Tribool::False)
       return Tribool::False;
     return triAnd(TA, B->evalBox(Bx));
+  }
+  void evalBoxBatch(const BoxBatch &Batch, Tribool *Out) const override {
+    A->evalBoxBatch(Batch, Out);
+    std::vector<Tribool> RHS(Batch.count());
+    B->evalBoxBatch(Batch, RHS.data());
+    for (size_t I = 0, N = Batch.count(); I != N; ++I)
+      Out[I] = triAnd(Out[I], RHS[I]);
   }
   bool evalPoint(const Point &P) const override {
     return A->evalPoint(P) && B->evalPoint(P);
@@ -89,6 +125,13 @@ public:
     if (TA == Tribool::True)
       return Tribool::True;
     return triOr(TA, B->evalBox(Bx));
+  }
+  void evalBoxBatch(const BoxBatch &Batch, Tribool *Out) const override {
+    A->evalBoxBatch(Batch, Out);
+    std::vector<Tribool> RHS(Batch.count());
+    B->evalBoxBatch(Batch, RHS.data());
+    for (size_t I = 0, N = Batch.count(); I != N; ++I)
+      Out[I] = triOr(Out[I], RHS[I]);
   }
   bool evalPoint(const Point &P) const override {
     return A->evalPoint(P) || B->evalPoint(P);
@@ -174,8 +217,18 @@ private:
 
 } // namespace
 
+void Predicate::evalBoxBatch(const BoxBatch &Batch, Tribool *Out) const {
+  for (size_t I = 0, N = Batch.count(); I != N; ++I)
+    Out[I] = evalBox(Batch.box(I));
+}
+
 PredicateRef anosy::exprPredicate(ExprRef E) {
-  return std::make_shared<ExprPred>(std::move(E));
+  TapeRef T = getOrCompileTape(E);
+  return std::make_shared<ExprPred>(std::move(E), std::move(T));
+}
+
+PredicateRef anosy::exprPredicate(ExprRef E, TapeRef Tape) {
+  return std::make_shared<ExprPred>(std::move(E), std::move(Tape));
 }
 
 PredicateRef anosy::constPredicate(bool Value) {

@@ -1,100 +1,18 @@
 //===- solver/RangeEval.cpp - Abstract interval evaluation ----------------===//
+//
+// The tree-walking reference evaluator. The scalar arithmetic lives in
+// domains/IntervalArith.h, shared with the compiled tape interpreter
+// (compile/Tape.cpp) so the two evaluators cannot drift apart; this walk
+// stays the differential oracle for the tape (tests/compile).
+//
+//===----------------------------------------------------------------------===//
 
 #include "solver/RangeEval.h"
 
-#include <algorithm>
+#include "domains/IntervalArith.h"
 
 using namespace anosy;
-
-namespace {
-
-/// Saturating int64 addition.
-int64_t satAdd(int64_t A, int64_t B) {
-  __int128 R = static_cast<__int128>(A) + B;
-  if (R > INT64_MAX)
-    return INT64_MAX;
-  if (R < INT64_MIN)
-    return INT64_MIN;
-  return static_cast<int64_t>(R);
-}
-
-/// Saturating int64 multiplication.
-int64_t satMul(int64_t A, int64_t B) {
-  __int128 R = static_cast<__int128>(A) * B;
-  if (R > INT64_MAX)
-    return INT64_MAX;
-  if (R < INT64_MIN)
-    return INT64_MIN;
-  return static_cast<int64_t>(R);
-}
-
-int64_t satNeg(int64_t A) { return A == INT64_MIN ? INT64_MAX : -A; }
-
-Interval rangeAdd(const Interval &A, const Interval &B) {
-  return {satAdd(A.Lo, B.Lo), satAdd(A.Hi, B.Hi)};
-}
-
-Interval rangeSub(const Interval &A, const Interval &B) {
-  return {satAdd(A.Lo, satNeg(B.Hi)), satAdd(A.Hi, satNeg(B.Lo))};
-}
-
-Interval rangeNeg(const Interval &A) { return {satNeg(A.Hi), satNeg(A.Lo)}; }
-
-Interval rangeMul(const Interval &A, const Interval &B) {
-  int64_t P1 = satMul(A.Lo, B.Lo), P2 = satMul(A.Lo, B.Hi);
-  int64_t P3 = satMul(A.Hi, B.Lo), P4 = satMul(A.Hi, B.Hi);
-  return {std::min(std::min(P1, P2), std::min(P3, P4)),
-          std::max(std::max(P1, P2), std::max(P3, P4))};
-}
-
-Interval rangeAbs(const Interval &A) {
-  if (A.Lo >= 0)
-    return A;
-  if (A.Hi <= 0)
-    return rangeNeg(A);
-  return {0, std::max(satNeg(A.Lo), A.Hi)};
-}
-
-Interval rangeMin(const Interval &A, const Interval &B) {
-  return {std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi)};
-}
-
-Interval rangeMax(const Interval &A, const Interval &B) {
-  return {std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
-}
-
-/// Three-valued comparison of two value intervals.
-Tribool rangeCmp(CmpOp Op, const Interval &L, const Interval &R) {
-  switch (Op) {
-  case CmpOp::LT:
-    if (L.Hi < R.Lo)
-      return Tribool::True;
-    if (L.Lo >= R.Hi)
-      return Tribool::False;
-    return Tribool::Unknown;
-  case CmpOp::LE:
-    if (L.Hi <= R.Lo)
-      return Tribool::True;
-    if (L.Lo > R.Hi)
-      return Tribool::False;
-    return Tribool::Unknown;
-  case CmpOp::GT:
-    return rangeCmp(CmpOp::LT, R, L);
-  case CmpOp::GE:
-    return rangeCmp(CmpOp::LE, R, L);
-  case CmpOp::EQ:
-    if (L.Lo == L.Hi && R.Lo == R.Hi && L.Lo == R.Lo)
-      return Tribool::True;
-    if (L.Hi < R.Lo || R.Hi < L.Lo)
-      return Tribool::False;
-    return Tribool::Unknown;
-  case CmpOp::NE:
-    return triNot(rangeCmp(CmpOp::EQ, L, R));
-  }
-  ANOSY_UNREACHABLE("unknown comparison operator");
-}
-
-} // namespace
+using namespace anosy::iarith;
 
 Interval anosy::evalRange(const Expr &E, const Box &B) {
   assert(!B.isEmpty() && "abstract evaluation over an empty box");

@@ -2,6 +2,8 @@
 
 #include "synth/Synthesizer.h"
 
+#include "compile/CompiledEval.h"
+
 #include "expr/Analysis.h"
 #include "expr/Simplify.h"
 #include "obs/Instrument.h"
@@ -25,7 +27,7 @@ void initBudget(SolverBudget &B, const SynthOptions &Options) {
 Synthesizer::Synthesizer(const Schema &InS, ExprRef InQuery,
                          SynthOptions InOptions)
     : S(InS), Query(std::move(InQuery)), Options(InOptions),
-      Bounds(Box::top(InS)) {}
+      Bounds(Box::top(InS)), QueryTape(getOrCompileTape(Query)) {}
 
 Result<Synthesizer> Synthesizer::create(const Schema &S, ExprRef Query,
                                         SynthOptions Options) {
@@ -117,7 +119,7 @@ Synthesizer::synthesizeInterval(ApproxKind Kind, SynthStats *Stats) const {
   SolverBudget Budget;
   initBudget(Budget, Options);
 
-  PredicateRef Q = exprPredicate(Query);
+  PredicateRef Q = exprPredicate(Query, QueryTape);
   PredicateRef NotQ = notPredicate(Q);
   ResponseSearch ST = makeSearch(Q, Options.TrueRegionSeed);
   ResponseSearch SF = makeSearch(NotQ, Options.FalseRegionSeed);
@@ -290,7 +292,7 @@ Synthesizer::synthesizePowerset(ApproxKind Kind, unsigned K,
   SolverBudget Budget;
   initBudget(Budget, Options);
 
-  PredicateRef Q = exprPredicate(Query);
+  PredicateRef Q = exprPredicate(Query, QueryTape);
   PredicateRef NotQ = notPredicate(Q);
   ResponseSearch ST = makeSearch(Q, Options.TrueRegionSeed);
   ResponseSearch SF = makeSearch(NotQ, Options.FalseRegionSeed);

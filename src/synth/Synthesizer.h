@@ -153,6 +153,10 @@ private:
   ExprRef Query;
   SynthOptions Options;
   Box Bounds; ///< The schema's full box.
+  /// The query compiled to an interval-eval tape under the compiled-eval
+  /// mode at construction (null = tree-walk). Both synthesis arms reuse
+  /// it, so one registration compiles the query exactly once.
+  TapeRef QueryTape;
 };
 
 } // namespace anosy

@@ -2,6 +2,8 @@
 
 #include "verify/RefinementChecker.h"
 
+#include "compile/CompiledEval.h"
+
 #include "obs/Instrument.h"
 
 using namespace anosy;
@@ -13,7 +15,8 @@ RefinementChecker::RefinementChecker(const Schema &InS, ExprRef InQuery,
                                      uint64_t InDeadlineMs)
     : S(InS), Query(std::move(InQuery)), Bounds(Box::top(InS)),
       MaxSolverNodes(MaxSolverNodes), Par(InPar),
-      SessionBudget(InSessionBudget), DeadlineMs(InDeadlineMs) {
+      SessionBudget(InSessionBudget), DeadlineMs(InDeadlineMs),
+      QueryTape(getOrCompileTape(this->Query)) {
   assert(this->Query && this->Query->isBoolSorted() &&
          "refinement checking needs a boolean query");
 }
@@ -64,7 +67,7 @@ CertificateBundle RefinementChecker::checkIndSets(const IndSets<D> &Sets,
                                                   ApproxKind Kind) const {
   ANOSY_OBS_SPAN(Span, "anosy.verify.indsets");
   uint64_t NodesBefore = NodesUsed;
-  PredicateRef Q = exprPredicate(Query);
+  PredicateRef Q = exprPredicate(Query, QueryTape);
   PredicateRef NotQ = notPredicate(Q);
   PredicateRef InT = memberPredicate(Sets.TrueSet);
   PredicateRef InF = memberPredicate(Sets.FalseSet);
@@ -108,7 +111,7 @@ CertificateBundle RefinementChecker::checkPosterior(const D &Prior,
                                                     const D &PostTrue,
                                                     const D &PostFalse,
                                                     ApproxKind Kind) const {
-  PredicateRef Q = exprPredicate(Query);
+  PredicateRef Q = exprPredicate(Query, QueryTape);
   PredicateRef NotQ = notPredicate(Q);
   PredicateRef InPrior = memberPredicate(Prior);
   PredicateRef InT = memberPredicate(PostTrue);

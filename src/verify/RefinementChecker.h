@@ -75,6 +75,9 @@ private:
   SolverParallel Par;
   SolverBudget *SessionBudget;
   uint64_t DeadlineMs;
+  /// The query compiled once at construction (null = tree-walk); every
+  /// obligation's predicates share it.
+  TapeRef QueryTape;
   mutable uint64_t NodesUsed = 0;
 };
 
