@@ -4,9 +4,9 @@
 // multi-tenant monitor daemon with admission control, bounded-queue
 // backpressure, deadlines, crash recovery, and graceful SIGTERM drain.
 //
-//   anosyd [--data-dir DIR] [--queue-capacity N] [--workers N]
-//          [--deadline-ms N] [--max-inflight N] [--max-kb-bytes N]
-//          [--metrics-out FILE] [--fault-inject SPEC]
+//   anosyd [--data-dir DIR] [--cache-dir DIR] [--queue-capacity N]
+//          [--workers N] [--deadline-ms N] [--max-inflight N]
+//          [--max-kb-bytes N] [--metrics-out FILE] [--fault-inject SPEC]
 //          [--relational off|auto|on]
 //       Serve mode: a line protocol on stdin, one JSON response per line
 //       on stdout:
@@ -65,7 +65,8 @@ void onStopSignal(int) { StopRequested = 1; }
 int usage() {
   std::fprintf(
       stderr,
-      "usage: anosyd [--data-dir DIR] [--queue-capacity N] [--workers N]\n"
+      "usage: anosyd [--data-dir DIR] [--cache-dir DIR]\n"
+      "              [--queue-capacity N] [--workers N]\n"
       "              [--deadline-ms N] [--max-inflight N]\n"
       "              [--max-kb-bytes N] [--metrics-out FILE]\n"
       "              [--compiled-eval off|on|auto]\n"
@@ -103,6 +104,9 @@ std::string statsJson(const DaemonStats &S) {
   Out += ",\"flushes\":" + std::to_string(S.Flushes);
   Out += ",\"flush_retries\":" + std::to_string(S.FlushRetries);
   Out += ",\"flush_failures\":" + std::to_string(S.FlushFailures);
+  Out += ",\"cache_hits\":" + std::to_string(S.CacheHits);
+  Out += ",\"cache_misses\":" + std::to_string(S.CacheMisses);
+  Out += ",\"cache_stores\":" + std::to_string(S.CacheStores);
   Out += '}';
   return Out;
 }
@@ -237,6 +241,8 @@ int main(int Argc, char **Argv) {
       SoakMode = true;
     else if (Arg == "--data-dir" && I + 1 < Argc)
       DOpt.DataDir = Argv[++I];
+    else if (Arg == "--cache-dir" && I + 1 < Argc)
+      DOpt.CacheDir = Argv[++I];
     else if (Arg == "--queue-capacity")
       DOpt.QueueCapacity = static_cast<size_t>(NextU64("--queue-capacity"));
     else if (Arg == "--workers")

@@ -1,0 +1,311 @@
+//===- cache/ArtifactCache.cpp - Cross-process synthesis cache ------------===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+
+#include "obs/Instrument.h"
+#include "support/Checksum.h"
+
+#include <cerrno>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace anosy;
+
+namespace {
+
+/// Bound on a family index: enough parents for any realistic sequential
+/// session, small enough that a scan stays trivial.
+constexpr size_t MaxFamilyEntries = 64;
+
+/// mkdir -p for the two-level cache layout; EEXIST is success.
+bool ensureDir(const std::string &Path) {
+  if (::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST)
+    return true;
+  return false;
+}
+
+/// Process-unique temp suffix so concurrent stores of the same key (from
+/// several threads or several processes) never share a temp file; the
+/// atomic rename then makes the last writer win with identical bytes.
+std::string uniqueTmpSuffix() {
+  static std::atomic<uint64_t> Seq{0};
+  return ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(Seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// The cached record's name: encodes the powerset size as a final
+/// collision guard (the domain tag already lives in the KB header).
+std::string recordName(const CanonicalQuery &Key) {
+  return "q" + std::to_string(Key.PowersetK);
+}
+
+/// Regions of \p D every point of which is certainly a member. For the
+/// interval domain that is the box itself.
+std::vector<Box> certainRegions(const Box &D) {
+  if (D.isEmpty())
+    return {};
+  return {D};
+}
+
+/// For powersets: include boxes that intersect no exclude box (points of
+/// an intersected include might be carved out, so only clean includes are
+/// certain).
+std::vector<Box> certainRegions(const PowerBox &P) {
+  std::vector<Box> Out;
+  for (const Box &I : P.includes()) {
+    if (I.isEmpty())
+      continue;
+    bool Clean = true;
+    for (const Box &E : P.excludes())
+      if (I.intersects(E)) {
+        Clean = false;
+        break;
+      }
+    if (Clean)
+      Out.push_back(I);
+  }
+  return Out;
+}
+
+/// Shrinks \p Region by every certainly-opposite box. Sound: a point of
+/// the target branch can never lie in a certain region of the opposite
+/// branch, so each subtraction keeps the whole branch (boxMinusOuter is
+/// an outer approximation of set difference).
+Box seedRegion(Box Region, const std::vector<Box> &OppositeCertain) {
+  for (const Box &C : OppositeCertain) {
+    Region = boxMinusOuter(Region, C);
+    if (Region.isEmpty())
+      break;
+  }
+  return Region;
+}
+
+/// Parses a family index into entry hashes (oldest first). Tolerant of
+/// anything malformed — a family index is a hint, not a contract.
+std::vector<uint64_t> readFamily(const std::string &Path) {
+  std::vector<uint64_t> Out;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("entry ", 0) != 0)
+      continue;
+    uint64_t H = 0;
+    if (parseChecksumHex(Line.substr(6), H))
+      Out.push_back(H);
+  }
+  return Out;
+}
+
+} // namespace
+
+template <AbstractDomain D>
+std::optional<IndSets<D>>
+ArtifactCache::loadEntry(uint64_t Hash, const CanonicalQuery &Key,
+                         bool RequireSamePrior, Box &PriorOut) {
+  const std::string Path = entryPath(Hash);
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return std::nullopt; // Plain miss: nothing published yet.
+
+  // Everything below is a *poisoned* miss when it fails: the entry exists
+  // but cannot be trusted. parseKnowledgeBase enforces the v2 record
+  // checksum and trailer, the domain tag, and box arities; the identity
+  // comparison catches FNV collisions and tampering the checksum cannot.
+  auto Fail = [this] {
+    Poisoned.fetch_add(1, std::memory_order_relaxed);
+    ANOSY_OBS_COUNT("anosy_cache_corrupt_total",
+                    "Cache entries rejected as corrupt or mismatched", 1);
+    return std::nullopt;
+  };
+  auto Text = readKnowledgeBaseFile(Path);
+  if (!Text)
+    return Fail();
+  auto KB = parseKnowledgeBase<D>(*Text);
+  if (!KB)
+    return Fail();
+  if (KB->Queries.size() != 1 ||
+      KB->S.arity() != Key.CanonSchema.arity())
+    return Fail();
+  const QueryInfo<D> &Rec = KB->Queries.front();
+  if (Rec.Name != recordName(Key) ||
+      Rec.QueryExpr->str() != Key.CanonBody->str())
+    return Fail();
+  if (RequireSamePrior) {
+    for (size_t I = 0; I != KB->S.arity(); ++I) {
+      const Field &Got = KB->S.field(I);
+      const Field &Want = Key.CanonSchema.field(I);
+      if (Got.Lo != Want.Lo || Got.Hi != Want.Hi)
+        return Fail();
+    }
+  }
+  PriorOut = Box::top(KB->S);
+  return Rec.Ind;
+}
+
+template <AbstractDomain D>
+std::optional<IndSets<D>> ArtifactCache::lookup(const CanonicalQuery &Key) {
+  ANOSY_OBS_SPAN(Span, "anosy.cache.lookup");
+  ANOSY_OBS_SPAN_ARG(Span, "key", checksumHex(Key.Hash));
+  Box Prior = Box::bottom(Key.CanonSchema.arity());
+  auto Canon = loadEntry<D>(Key.Hash, Key, /*RequireSamePrior=*/true, Prior);
+  if (!Canon) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    ANOSY_OBS_COUNT("anosy_cache_misses_total",
+                    "Artifact-cache lookups that missed", 1);
+    ANOSY_OBS_SPAN_ARG(Span, "outcome", "miss");
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  ANOSY_OBS_COUNT("anosy_cache_hits_total",
+                  "Artifact-cache lookups served from disk", 1);
+  ANOSY_OBS_SPAN_ARG(Span, "outcome", "hit");
+  return IndSets<D>{permuteFromCanonical(Canon->TrueSet, Key.FieldPerm),
+                    permuteFromCanonical(Canon->FalseSet, Key.FieldPerm)};
+}
+
+template <AbstractDomain D>
+Result<void> ArtifactCache::store(const CanonicalQuery &Key,
+                                  const IndSets<D> &Ind) {
+  ANOSY_OBS_SPAN(Span, "anosy.cache.store");
+  ANOSY_OBS_SPAN_ARG(Span, "key", checksumHex(Key.Hash));
+  auto Fail = [this](Error E) {
+    StoreFailures.fetch_add(1, std::memory_order_relaxed);
+    ANOSY_OBS_COUNT("anosy_cache_store_failures_total",
+                    "Artifact-cache stores that failed", 1);
+    return E;
+  };
+  const std::string Hex = checksumHex(Key.Hash);
+  if (!ensureDir(Root) || !ensureDir(Root + "/" + Hex.substr(0, 2)))
+    return Fail(Error(ErrorCode::Other,
+                      "cannot create cache directory under '" + Root + "'"));
+
+  QueryInfo<D> Rec;
+  Rec.Name = recordName(Key);
+  Rec.QueryExpr = Key.CanonBody;
+  Rec.Ind = IndSets<D>{permuteToCanonical(Ind.TrueSet, Key.FieldPerm),
+                       permuteToCanonical(Ind.FalseSet, Key.FieldPerm)};
+  Rec.Kind = ApproxKind::Under;
+  const std::string Text =
+      serializeKnowledgeBaseV2<D>(Key.CanonSchema, {Rec});
+  auto W = writeKnowledgeBaseFileAtomic(entryPath(Key.Hash), Text,
+                                        uniqueTmpSuffix());
+  if (!W)
+    return Fail(W.error());
+  Stores.fetch_add(1, std::memory_order_relaxed);
+  ANOSY_OBS_COUNT("anosy_cache_stores_total",
+                  "Artifacts published into the cache", 1);
+  linkFamily(Key);
+  return {};
+}
+
+template <AbstractDomain D>
+std::optional<CacheSeeds> ArtifactCache::lookupSeeds(const CanonicalQuery &Key) {
+  std::vector<uint64_t> Entries = readFamily(familyPath(familyHash(Key)));
+  const Box ChildPrior = Box::top(Key.CanonSchema);
+  // Newest first: later stores are likelier to be the immediate parent
+  // posterior of a sequential session, hence the tightest seeds.
+  for (auto It = Entries.rbegin(); It != Entries.rend(); ++It) {
+    if (*It == Key.Hash)
+      continue;
+    Box ParentPrior = Box::bottom(Key.CanonSchema.arity());
+    auto Parent =
+        loadEntry<D>(*It, Key, /*RequireSamePrior=*/false, ParentPrior);
+    if (!Parent)
+      continue;
+    // Only a parent whose prior covers ours is usable: its artifacts are
+    // statements about a superset of our secrets.
+    if (!ChildPrior.subsetOf(ParentPrior))
+      continue;
+    CacheSeeds Seeds;
+    Seeds.ParentHash = *It;
+    // The true branch over our prior avoids the parent's certainly-false
+    // region, and symmetrically; each seed over-approximates its branch
+    // as SynthOptions::{True,False}RegionSeed requires.
+    Box TrueCanon = seedRegion(ChildPrior, certainRegions(Parent->FalseSet));
+    Box FalseCanon = seedRegion(ChildPrior, certainRegions(Parent->TrueSet));
+    Seeds.TrueRegion = permuteFromCanonical(TrueCanon, Key.FieldPerm);
+    Seeds.FalseRegion = permuteFromCanonical(FalseCanon, Key.FieldPerm);
+    SeedHits.fetch_add(1, std::memory_order_relaxed);
+    ANOSY_OBS_COUNT("anosy_cache_seed_hits_total",
+                    "Misses seeded from a cached parent posterior", 1);
+    return Seeds;
+  }
+  return std::nullopt;
+}
+
+void ArtifactCache::notePoisoned() {
+  Poisoned.fetch_add(1, std::memory_order_relaxed);
+  ANOSY_OBS_COUNT("anosy_cache_corrupt_total",
+                  "Cache entries rejected as corrupt or mismatched", 1);
+}
+
+ArtifactCache::Counters ArtifactCache::counters() const {
+  Counters C;
+  C.Hits = Hits.load(std::memory_order_relaxed);
+  C.Misses = Misses.load(std::memory_order_relaxed);
+  C.Stores = Stores.load(std::memory_order_relaxed);
+  C.StoreFailures = StoreFailures.load(std::memory_order_relaxed);
+  C.Poisoned = Poisoned.load(std::memory_order_relaxed);
+  C.SeedHits = SeedHits.load(std::memory_order_relaxed);
+  return C;
+}
+
+std::string ArtifactCache::entryPath(uint64_t Hash) const {
+  const std::string Hex = checksumHex(Hash);
+  return Root + "/" + Hex.substr(0, 2) + "/" + Hex + ".akb";
+}
+
+std::string ArtifactCache::familyPath(uint64_t FamHash) const {
+  const std::string Hex = checksumHex(FamHash);
+  return Root + "/" + Hex.substr(0, 2) + "/" + Hex + ".fam";
+}
+
+void ArtifactCache::linkFamily(const CanonicalQuery &Key) {
+  const uint64_t Fam = familyHash(Key);
+  const std::string Hex = checksumHex(Key.Hash);
+  if (!ensureDir(Root + "/" + checksumHex(Fam).substr(0, 2)))
+    return;
+  const std::string Path = familyPath(Fam);
+  std::vector<std::string> Lines;
+  {
+    std::ifstream In(Path);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      if (Line.rfind("entry ", 0) != 0)
+        continue;
+      if (Line.substr(6) == Hex)
+        return; // Already linked.
+      Lines.push_back(Line);
+    }
+  }
+  Lines.push_back("entry " + Hex);
+  while (Lines.size() > MaxFamilyEntries)
+    Lines.erase(Lines.begin());
+  std::string Out = "anosy-cache-family v1\n";
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  // Last-writer-wins by design: a lost concurrent link only costs a
+  // future seeding opportunity, never correctness.
+  (void)writeKnowledgeBaseFileAtomic(Path, Out, uniqueTmpSuffix());
+}
+
+// Explicit instantiations for the two shipped domains.
+template std::optional<IndSets<Box>>
+ArtifactCache::lookup<Box>(const CanonicalQuery &);
+template std::optional<IndSets<PowerBox>>
+ArtifactCache::lookup<PowerBox>(const CanonicalQuery &);
+template Result<void> ArtifactCache::store<Box>(const CanonicalQuery &,
+                                                const IndSets<Box> &);
+template Result<void>
+ArtifactCache::store<PowerBox>(const CanonicalQuery &,
+                               const IndSets<PowerBox> &);
+template std::optional<CacheSeeds>
+ArtifactCache::lookupSeeds<Box>(const CanonicalQuery &);
+template std::optional<CacheSeeds>
+ArtifactCache::lookupSeeds<PowerBox>(const CanonicalQuery &);

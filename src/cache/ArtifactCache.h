@@ -1,0 +1,139 @@
+//===- cache/ArtifactCache.h - Cross-process synthesis cache ----*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed, cross-process cache of synthesized artifacts
+/// (DESIGN.md §12). The paper's economics are synthesize-once/use-forever
+/// (§6.1); this store carries that economy across processes and machines:
+/// a fleet of monitors sharing one cache directory synthesizes each
+/// distinct query exactly once.
+///
+/// Layout: `<root>/<hh>/<hhhhhhhhhhhhhhhh>.akb`, sharded by the first hash
+/// byte. Each entry is a single-record knowledge base in the crash-safe v2
+/// format (core/ArtifactIO) over the *canonical* schema of its key, so
+/// entries inherit the per-record checksum, the file trailer, and the
+/// atomic temp+fsync+rename publish — concurrent readers never observe a
+/// torn entry, and concurrent writers of the same key converge on
+/// identical bytes. Every store also updates a per-family index
+/// (`<hh>/<hhhhhhhhhhhhhhhh>.fam`, keyed by the prior-independent part of
+/// the identity) listing entry hashes of the same query under other
+/// priors; on a miss, a cached *parent* posterior found through the family
+/// yields sound BnB region seeds (SynthOptions::{True,False}RegionSeed).
+///
+/// Trust model: the cache is an accelerator, never an authority. Callers
+/// (AnosySession) re-verify every hit with the refinement checker, so a
+/// corrupt, stale, or hostile entry degrades to a miss — checksum failures
+/// are caught here, semantic poisoning by the re-verify pass upstream.
+/// All methods are safe to call concurrently from many threads and many
+/// processes over a shared directory (readers never lock; writers publish
+/// atomically with process-unique temp names).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_CACHE_ARTIFACTCACHE_H
+#define ANOSY_CACHE_ARTIFACTCACHE_H
+
+#include "cache/QueryKey.h"
+#include "core/ArtifactIO.h"
+#include "synth/Synthesizer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace anosy {
+
+/// Sound BnB region seeds derived from a cached parent posterior, in the
+/// *caller's* field order (ready for SynthOptions). Either region may be
+/// empty — an empty region proves that branch empty and synthesizes ⊥
+/// without any solver call (the PR 3 seeding contract).
+struct CacheSeeds {
+  Box TrueRegion;
+  Box FalseRegion;
+  /// The parent entry the seeds came from (diagnostics).
+  uint64_t ParentHash = 0;
+};
+
+class ArtifactCache {
+public:
+  /// Monotonic per-process counters (the cross-process truth lives in the
+  /// obs registry and the directory itself).
+  struct Counters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Stores = 0;
+    uint64_t StoreFailures = 0;
+    /// Entries rejected on load: checksum/parse failures, identity
+    /// mismatches (hash collision or tampering), and upstream re-verify
+    /// refutations reported back via notePoisoned().
+    uint64_t Poisoned = 0;
+    /// Misses that still found a parent posterior to seed from.
+    uint64_t SeedHits = 0;
+  };
+
+  /// \p Root is created lazily on first store; lookups against a missing
+  /// directory are cheap misses.
+  explicit ArtifactCache(std::string Root) : Root(std::move(Root)) {}
+
+  /// Probes the cache for \p Key. Returns the artifact in the caller's
+  /// field order on a hit; a missing, unreadable, corrupt, or
+  /// identity-mismatched entry is a miss (corrupt ones also count as
+  /// Poisoned). The caller must re-verify before trusting the result.
+  template <AbstractDomain D>
+  std::optional<IndSets<D>> lookup(const CanonicalQuery &Key);
+
+  /// Publishes \p Ind (caller's field order) under \p Key atomically and
+  /// links it into the family index. Failures are reported but never
+  /// fatal upstream — the cache is best-effort by design.
+  template <AbstractDomain D>
+  Result<void> store(const CanonicalQuery &Key, const IndSets<D> &Ind);
+
+  /// On a miss: scans \p Key's family for a cached posterior of the same
+  /// canonical query over a prior that *contains* \p Key's prior, and
+  /// derives sound region seeds from it (the parent's certainly-true /
+  /// certainly-false regions cannot re-enter the opposite branch of any
+  /// refinement). Returns nothing when no usable parent exists.
+  template <AbstractDomain D>
+  std::optional<CacheSeeds> lookupSeeds(const CanonicalQuery &Key);
+
+  /// Reports that an entry served by lookup() failed semantic re-verify
+  /// upstream; counted with the corrupt entries.
+  void notePoisoned();
+
+  Counters counters() const;
+
+  /// The on-disk location of \p Hash's entry (tests and tools).
+  std::string entryPath(uint64_t Hash) const;
+  /// The on-disk location of a family index (tests and tools).
+  std::string familyPath(uint64_t FamHash) const;
+  const std::string &root() const { return Root; }
+
+private:
+  /// Loads and validates one entry against \p Key. \p RequireSamePrior
+  /// distinguishes exact lookups from family scans (which accept any
+  /// prior). On success the artifact stays in *canonical* field order;
+  /// \p PriorOut receives the entry's prior as a canonical-order box.
+  template <AbstractDomain D>
+  std::optional<IndSets<D>> loadEntry(uint64_t Hash, const CanonicalQuery &Key,
+                                      bool RequireSamePrior, Box &PriorOut);
+
+  /// Appends \p Hash to \p Key's family index (bounded, last-writer-wins;
+  /// losing a concurrent update only costs a future seeding opportunity).
+  void linkFamily(const CanonicalQuery &Key);
+
+  std::string Root;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Stores{0};
+  std::atomic<uint64_t> StoreFailures{0};
+  std::atomic<uint64_t> Poisoned{0};
+  std::atomic<uint64_t> SeedHits{0};
+};
+
+} // namespace anosy
+
+#endif // ANOSY_CACHE_ARTIFACTCACHE_H

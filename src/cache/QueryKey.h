@@ -1,0 +1,102 @@
+//===- cache/QueryKey.h - Canonical cross-process query identity -*- C++ -*-===//
+//
+// Part of anosy-cpp (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The content-addressed identity of a synthesis problem (DESIGN.md §12).
+/// Two registrations may share one cached artifact exactly when they would
+/// synthesize the same ind. sets, so the key must capture everything the
+/// synthesizer's *output* depends on and nothing it does not:
+///
+///   - the query body in simplifier normal form (expr/Simplify — exact and
+///     idempotent, so `x + 0 > y` and `x > y` collapse),
+///   - alpha/field-index canonicalization: secret field *names* and the
+///     declaration order of fields the query does not distinguish are
+///     renamed away by renumbering fields in first-use order of the
+///     simplified body (ties — unused fields — keep declaration order),
+///   - the prior domain: each canonical field's [lo, hi] bounds,
+///   - the abstract domain kind and, for powersets, the size k.
+///
+/// Query *names*, tuning knobs (restarts, seeds, budgets) and verification
+/// settings are deliberately excluded: they do not change what a correct
+/// artifact is, only how long it takes to find (and every cache hit is
+/// re-verified on load anyway).
+///
+/// The hash is FNV-1a 64 over a *serialized* canonical form, not the
+/// in-memory Expr::structuralHash — the serialized text is byte-stable
+/// across processes, compilers and releases (pinned by golden tests), so a
+/// cache directory outlives any one process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANOSY_CACHE_QUERYKEY_H
+#define ANOSY_CACHE_QUERYKEY_H
+
+#include "domains/Box.h"
+#include "domains/PowerBox.h"
+#include "expr/Expr.h"
+#include "expr/Schema.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anosy {
+
+/// A query's canonical identity plus everything needed to translate
+/// artifacts between the caller's field order and the canonical one.
+struct CanonicalQuery {
+  /// fnv1a64(KeyText): the content address.
+  uint64_t Hash = 0;
+  /// The serialized canonical form (the hash preimage); human-auditable.
+  std::string KeyText;
+  /// Length of the prior-independent prefix of KeyText (the "family").
+  size_t FamilyLen = 0;
+  /// The simplified body over canonical field indices ($0, $1, ...).
+  ExprRef CanonBody;
+  /// Canonical schema: fields f0..f{n-1} carrying the permuted prior.
+  Schema CanonSchema{"", {}};
+  /// Canonical dimension -> original field index.
+  std::vector<unsigned> FieldPerm;
+  /// DomainTraits<D>::Name of the artifact domain.
+  std::string DomainTag;
+  /// Powerset size k (0 for the interval domain).
+  unsigned PowersetK = 0;
+};
+
+/// Builds the canonical identity of (\p S, \p Body) for artifacts of the
+/// domain named \p DomainTag with powerset size \p PowersetK.
+CanonicalQuery canonicalizeQuery(const Schema &S, const ExprRef &Body,
+                                 const std::string &DomainTag,
+                                 unsigned PowersetK);
+
+/// Hash of the prior-independent prefix of the key: same canonical query,
+/// domain, and arity — any prior. Groups a query's posteriors across
+/// sequential sessions so a parent artifact can seed a child synthesis.
+uint64_t familyHash(const CanonicalQuery &Key);
+
+/// Reorders \p B from the caller's field order into canonical order
+/// (dimension I of the result is dimension Perm[I] of the input).
+Box permuteToCanonical(const Box &B, const std::vector<unsigned> &Perm);
+
+/// Inverse of permuteToCanonical.
+Box permuteFromCanonical(const Box &B, const std::vector<unsigned> &Perm);
+
+PowerBox permuteToCanonical(const PowerBox &P,
+                            const std::vector<unsigned> &Perm);
+PowerBox permuteFromCanonical(const PowerBox &P,
+                              const std::vector<unsigned> &Perm);
+
+/// The smallest box containing A \ B (set difference). Used to derive
+/// sound BnB region seeds from a cached parent posterior: subtracting a
+/// certainly-false region from the prior over-approximates the true
+/// branch. Shrinks A along every dimension d where B covers A on all
+/// *other* dimensions (for such d, any point of A outside B must leave B
+/// along d itself, so the shrink loses no point of A \ B).
+Box boxMinusOuter(const Box &A, const Box &B);
+
+} // namespace anosy
+
+#endif // ANOSY_CACHE_QUERYKEY_H

@@ -21,7 +21,12 @@
 ///
 /// The cache keys tapes by structural hash + structural equality, so a
 /// query registered once and re-elaborated many times (sessions, refine
-/// chains, the corpus soak) compiles exactly once per distinct shape.
+/// chains, the corpus soak) compiles exactly once per distinct shape:
+/// racing compiles of the same shape re-probe under the insert lock and
+/// converge on a single tape. The cache is bounded; overflow runs a
+/// second-chance sweep (probe hits mark entries referenced; sweeps evict
+/// the unreferenced and demote the rest), so hot shapes survive a stream
+/// of cold one-shot shapes instead of being recompiled on every wrap.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,6 +60,13 @@ bool shouldCompileQuery(const Expr &E);
 /// compiled tape, or nullptr when the mode says tree-walk (or the
 /// expression exceeds the tape's register file). Thread-safe.
 TapeRef getOrCompileTape(const ExprRef &E);
+
+/// Test-only introspection of the process-wide tape cache: live entry
+/// count, full reset, and a side-effect-free membership probe (does not
+/// touch the second-chance referenced bits).
+size_t tapeCacheSizeForTest();
+void tapeCacheClearForTest();
+bool tapeCacheContainsForTest(const ExprRef &E);
 
 } // namespace anosy
 

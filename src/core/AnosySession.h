@@ -43,6 +43,7 @@
 
 #include "analysis/LeakageAnalyzer.h"
 #include "analysis/SolverSeeds.h"
+#include "cache/ArtifactCache.h"
 #include "compile/CompiledEval.h"
 #include "core/ArtifactIO.h"
 #include "core/Degradation.h"
@@ -72,6 +73,17 @@ template <AbstractDomain D> struct QueryArtifacts {
   unsigned Attempts = 1;
   /// Set when this query's artifacts are degraded (DESIGN.md §6).
   std::optional<QueryDegradation> Degradation;
+  /// Served from the cross-process cache (DESIGN.md §12): no synthesis
+  /// ran and Stats.SolverNodes is zero for this query.
+  bool FromCache = false;
+  /// The cache was probed and had no usable exact entry.
+  bool CacheMissed = false;
+  /// BnB was seeded from a cached parent posterior (miss path).
+  bool CacheSeeded = false;
+  /// Solver nodes spent re-verifying a cache hit. Detached from the
+  /// session budget and kept out of Stats.SolverNodes so warm sessions
+  /// report zero *synthesis* nodes while the verify cost stays visible.
+  uint64_t CacheVerifyNodes = 0;
 };
 
 /// Session options.
@@ -124,6 +136,18 @@ struct SessionOptions {
   /// NNF couples ≥ 2 secret fields in one atom; Off reproduces the
   /// box-only admission exactly.
   RelationalTier LintRelational = RelationalTier::Auto;
+  /// Cross-process artifact cache (DESIGN.md §12); borrowed, may be
+  /// shared by many sessions, threads, and processes over one directory.
+  /// When set, registration probes the cache by canonical query identity
+  /// before synthesizing: a hit is re-verified (when Verify) against a
+  /// detached budget and installed with zero synthesis cost; a refuted or
+  /// undecided hit is treated as a poisoned miss and resynthesized. On a
+  /// miss whose family has a cached parent posterior, BnB is seeded from
+  /// the parent's certain regions (SynthOptions region-seed contract).
+  /// Fully verified artifacts are published back after synthesis. Null
+  /// disables caching entirely (the default; sessions behave exactly as
+  /// before).
+  ArtifactCache *Cache = nullptr;
   /// External budget chained *above* the session budget (borrowed, never
   /// owned; may outlive nothing — the caller keeps it alive for the whole
   /// creation). The anosyd watchdog points this at a per-request abort
@@ -438,6 +462,19 @@ private:
     return B;
   }
 
+  /// Meets cache-derived region seeds into \p SOpt. Both the analyzer's
+  /// and the cache's regions are sound branch over-approximations, so
+  /// their intersection is too (and tighter than either).
+  static void applyCacheSeeds(const CacheSeeds &Seeds, SynthOptions &SOpt) {
+    SOpt.TrueRegionSeed = SOpt.TrueRegionSeed
+                              ? SOpt.TrueRegionSeed->intersect(Seeds.TrueRegion)
+                              : Seeds.TrueRegion;
+    SOpt.FalseRegionSeed =
+        SOpt.FalseRegionSeed
+            ? SOpt.FalseRegionSeed->intersect(Seeds.FalseRegion)
+            : Seeds.FalseRegion;
+  }
+
   /// The certificates of the ⊥ fallback: both ind. sets are empty, so the
   /// Fig. 4 under obligations hold vacuously — no solver involved, and
   /// re-checkable offline by anyone who distrusts the label.
@@ -536,7 +573,54 @@ private:
       }
     }
 
+    // Cross-process cache (DESIGN.md §12): probe by canonical identity
+    // before spending any solver node. The cache is never an authority —
+    // a hit is re-verified below (detached budget, so a warm registration
+    // consumes no session budget); a refuted or undecided hit is a
+    // poisoned miss and falls through to normal synthesis.
+    std::optional<CanonicalQuery> CacheKey;
+    std::optional<CacheSeeds> Seeds;
+    if (Options.Cache != nullptr) {
+      CacheKey = canonicalizeQuery(
+          S, Q.Body, DomainTraits<D>::Name,
+          std::is_same_v<D, PowerBox> ? Options.PowersetSize : 0u);
+      if (auto Cached = Options.Cache->template lookup<D>(*CacheKey)) {
+        CertificateBundle B;
+        uint64_t VerifyNodes = 0;
+        bool Usable = true;
+        if (Options.Verify) {
+          B = verifyArtifact(Q.Body, *Cached, Options.Synth.MaxSolverNodes,
+                             /*Chained=*/false, VerifyNodes);
+          Usable = B.valid();
+        }
+        if (Usable) {
+          QueryArtifacts<D> Hit;
+          Hit.Ind = std::move(*Cached);
+          if (Options.Verify)
+            Hit.Certificates = std::move(B);
+          Hit.Attempts = 0;
+          Hit.FromCache = true;
+          Hit.CacheVerifyNodes = VerifyNodes;
+          IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
+          Hit.SynthesizedSource =
+              Sketch.renderFilled(Hit.Ind.TrueSet, Hit.Ind.FalseSet);
+          ANOSY_OBS_SPAN_ARG(Span, "outcome", "cache-hit");
+          ANOSY_OBS_OBSERVE_SECONDS(
+              "anosy_query_build_seconds",
+              "Wall time to build one query's artifacts",
+              BuildTimer.seconds());
+          return Hit;
+        }
+        Options.Cache->notePoisoned();
+      }
+      // Miss: a cached *parent* posterior of the same family can still
+      // seed BnB with sound branch over-approximations.
+      Seeds = Options.Cache->template lookupSeeds<D>(*CacheKey);
+    }
+
     QueryArtifacts<D> Art;
+    Art.CacheMissed = CacheKey.has_value();
+    Art.CacheSeeded = Seeds.has_value();
     SynthStats Acc;
     unsigned Passes = 0;
     std::optional<Error> LastErr;
@@ -548,6 +632,8 @@ private:
       SOpt.MaxSolverNodes = attemptBudget(Attempt);
       if (QA != nullptr && Options.UseAnalysisSeeds)
         applyAnalysisSeeds(*QA, S, SOpt);
+      if (Seeds)
+        applyCacheSeeds(*Seeds, SOpt);
       IndSets<D> Ind;
       SynthStats Pass;
       ++Passes;
@@ -603,6 +689,8 @@ private:
       SOpt.KeepPartialOnExhaustion = true;
       if (QA != nullptr && Options.UseAnalysisSeeds)
         applyAnalysisSeeds(*QA, S, SOpt);
+      if (Seeds)
+        applyCacheSeeds(*Seeds, SOpt);
       IndSets<D> Ind;
       SynthStats Pass;
       ++Passes;
@@ -655,6 +743,13 @@ private:
           SessionBudget != nullptr && SessionBudget->deadlineExpired();
     }
 
+    // Publish only fully synthesized, (when enabled) fully verified
+    // artifacts; degraded rungs are session-local compromises, not
+    // reusable truths. Store failures are non-fatal: the cache is an
+    // accelerator, losing a write only costs a future hit.
+    if (Succeeded && CacheKey && !Art.Degradation)
+      (void)Options.Cache->template store<D>(*CacheKey, Art.Ind);
+
     Art.Stats = Acc;
     Art.Attempts = Passes;
     IndSetSketch Sketch(Q.Name, S, ApproxKind::Under);
@@ -691,6 +786,14 @@ private:
     Stats.SolverNodes += Art.Stats.SolverNodes;
     Stats.SynthSeconds += Art.Stats.Seconds;
     Stats.Attempts += Art.Attempts;
+    if (Art.FromCache) {
+      ++Stats.CacheHits;
+      Stats.CacheVerifyNodes += Art.CacheVerifyNodes;
+    } else if (Art.CacheMissed) {
+      ++Stats.CacheMisses;
+    }
+    if (Art.CacheSeeded)
+      ++Stats.CacheSeededQueries;
     ANOSY_OBS_COUNT("anosy_queries_registered_total",
                     "Queries registered into a session tracker", 1);
     if (Art.Degradation) {

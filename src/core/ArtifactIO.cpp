@@ -571,13 +571,14 @@ Result<std::string> anosy::readKnowledgeBaseFile(const std::string &Path) {
 }
 
 Result<void> anosy::writeKnowledgeBaseFileAtomic(const std::string &Path,
-                                                 const std::string &Text) {
+                                                 const std::string &Text,
+                                                 const std::string &TmpSuffix) {
   ANOSY_OBS_SPAN(Span, "anosy.kb.write");
   ANOSY_OBS_SPAN_ARG(Span, "path", Path);
   ANOSY_OBS_SPAN_ARG(Span, "bytes", Text.size());
   ANOSY_OBS_COUNT("anosy_kb_writes_total",
                   "Atomic knowledge-base writes attempted", 1);
-  std::string Tmp = Path + ".tmp";
+  std::string Tmp = Path + TmpSuffix;
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (Fd < 0)
     return Error(ErrorCode::Other, "cannot create '" + Tmp +
@@ -623,6 +624,35 @@ Result<void> anosy::writeKnowledgeBaseFileAtomic(const std::string &Path,
     return Error(ErrorCode::Other, "cannot rename '" + Tmp + "' to '" +
                                        Path + "': " + std::strerror(E));
   }
+  // The rename only lives in the page cache until the *directory* is
+  // fsynced; a crash before that can lose the new directory entry and
+  // silently resurface the previous file. Failing here is reported after
+  // the rename: the destination already holds the complete new content
+  // (never torn), so callers retry the write idempotently.
+  std::string Dir;
+  size_t Slash = Path.rfind('/');
+  if (Slash == std::string::npos)
+    Dir = ".";
+  else if (Slash == 0)
+    Dir = "/";
+  else
+    Dir = Path.substr(0, Slash);
+  bool DirInjected =
+      faults::armed() && faults::shouldFail(FaultSite::KbDirFsync);
+  int DirFd = DirInjected ? -1 : ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd < 0 || ::fsync(DirFd) != 0) {
+    int E = DirInjected ? EIO : errno;
+    if (DirFd >= 0)
+      ::close(DirFd);
+    return Error(ErrorCode::Other,
+                 DirInjected
+                     ? "injected kb-dir-fsync fault: rename durable only "
+                       "after directory fsync ('" +
+                           Dir + "')"
+                     : "cannot fsync directory '" + Dir +
+                           "' after rename: " + std::strerror(E));
+  }
+  ::close(DirFd);
   return {};
 }
 

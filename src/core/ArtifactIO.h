@@ -107,11 +107,21 @@ Result<RecoveredKnowledgeBase<D>> recoverKnowledgeBase(const std::string &Text);
 Result<std::string> readKnowledgeBaseFile(const std::string &Path);
 
 /// Atomically replaces \p Path with \p Text: write to a temp file in the
-/// same directory, fsync, rename over the destination. A crash (or an
-/// injected KbWrite fault, which truncates the temp file and skips the
-/// rename) leaves any previous file untouched and readable.
+/// same directory, fsync, rename over the destination, then fsync the
+/// parent directory so the rename itself is durable (without that last
+/// step a crash shortly after a successful return can lose the new
+/// directory entry and silently resurface the previous file). A crash (or
+/// an injected KbWrite fault, which truncates the temp file and skips the
+/// rename) leaves any previous file untouched and readable. A
+/// directory-fsync failure (or an injected KbDirFsync fault) returns an
+/// Error *after* the rename: the destination already holds the complete
+/// new content — never torn — so callers retry the whole write
+/// idempotently. \p TmpSuffix names the temp file (Path + TmpSuffix);
+/// concurrent writers of the same path must pass process-unique suffixes
+/// (the artifact cache does) or the temp file itself can tear.
 Result<void> writeKnowledgeBaseFileAtomic(const std::string &Path,
-                                          const std::string &Text);
+                                          const std::string &Text,
+                                          const std::string &TmpSuffix = ".tmp");
 
 } // namespace anosy
 

@@ -123,6 +123,14 @@ struct SessionStats {
   /// Synthesis attempts across all queries (>= number of queries).
   unsigned Attempts = 0;
   unsigned DegradedQueries = 0;
+  /// Cross-process cache traffic (DESIGN.md §12). A cache-hit query runs
+  /// zero synthesis — SolverNodes stays untouched; the (detached-budget)
+  /// re-verify cost of hits is tracked honestly in CacheVerifyNodes.
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  /// Misses whose BnB was seeded from a cached parent posterior.
+  unsigned CacheSeededQueries = 0;
+  uint64_t CacheVerifyNodes = 0;
 };
 
 /// The SessionStats → MetricsRegistry bridge (DESIGN.md §8): publishes the

@@ -157,6 +157,12 @@ DaemonStats MonitorDaemon::stats() const {
   Out.Flushes = Stat.Flushes.load(std::memory_order_relaxed);
   Out.FlushRetries = Stat.FlushRetries.load(std::memory_order_relaxed);
   Out.FlushFailures = Stat.FlushFailures.load(std::memory_order_relaxed);
+  if (Cache != nullptr) {
+    ArtifactCache::Counters C = Cache->counters();
+    Out.CacheHits = C.Hits;
+    Out.CacheMisses = C.Misses;
+    Out.CacheStores = C.Stores;
+  }
   return Out;
 }
 
@@ -165,6 +171,11 @@ Result<RecoveryReport> MonitorDaemon::start() {
     return Error(ErrorCode::Other, "daemon already started");
   ANOSY_OBS_SPAN(Span, "anosyd.recover");
   Stopwatch Timer;
+
+  if (!Options.CacheDir.empty()) {
+    makeDirs(Options.CacheDir);
+    Cache = std::make_unique<ArtifactCache>(Options.CacheDir);
+  }
 
   if (!Options.DataDir.empty()) {
     makeDirs(Options.DataDir);
@@ -186,6 +197,7 @@ Result<RecoveryReport> MonitorDaemon::start() {
       }
       SessionOptions SOpt = Options.Session;
       SOpt.GracefulDegradation = true;
+      SOpt.Cache = Cache.get();
       if (Options.Quotas.MaxSessionNodes != 0)
         SOpt.MaxSessionNodes = Options.Quotas.MaxSessionNodes;
       auto S = AnosySession<Box>::createFromKnowledgeBase(
@@ -506,6 +518,7 @@ ServiceResponse MonitorDaemon::executeRegister(const WorkItem &Item) {
 
   SessionOptions SOpt = Options.Session;
   SOpt.GracefulDegradation = true;
+  SOpt.Cache = Cache.get();
   // Front-door admission, step 2: anosy-lint policy admission on every
   // registration. A service-admit fault makes the analysis transiently
   // unavailable; lint is a sound optimization, so the tolerated response

@@ -51,6 +51,7 @@
 #ifndef ANOSY_SERVICE_DAEMON_H
 #define ANOSY_SERVICE_DAEMON_H
 
+#include "cache/ArtifactCache.h"
 #include "core/AnosySession.h"
 #include "domains/Box.h"
 #include "service/RequestQueue.h"
@@ -123,12 +124,22 @@ struct DaemonStats {
   uint64_t Flushes = 0;
   uint64_t FlushRetries = 0;
   uint64_t FlushFailures = 0;
+  /// Cross-process synthesis-cache traffic (snapshot of the shared
+  /// ArtifactCache counters; all zero when CacheDir is empty).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheStores = 0;
 };
 
 struct DaemonOptions {
   /// Knowledge-base persistence root; empty serves purely in memory.
   /// Created (with parents) at start().
   std::string DataDir;
+  /// Content-addressed synthesis-cache root (DESIGN.md §12); empty
+  /// disables caching. Created (with parents) at start(). Safe to share
+  /// between concurrently running daemons: entries publish atomically and
+  /// every hit is re-verified before it is trusted.
+  std::string CacheDir;
   /// Bounded-queue capacity; pushes beyond it shed.
   size_t QueueCapacity = 64;
   /// Worker threads. 0 = manual-pump mode (deterministic; see pump()).
@@ -245,6 +256,10 @@ private:
 
   DaemonOptions Options;
   RequestQueue Queue;
+
+  /// Process-wide synthesis cache shared by every tenant registration
+  /// (and, through CacheDir, by other processes); null when disabled.
+  std::unique_ptr<ArtifactCache> Cache;
 
   mutable std::mutex TenantsMu;
   std::map<std::string, std::shared_ptr<Shard>> Tenants;

@@ -12,7 +12,7 @@ const char *SiteNames[NumFaultSites] = {
     "solver-charge",  "grower-restart", "verifier-obligation",
     "kb-read",        "kb-write",       "pool-task",
     "service-accept", "service-admit",  "service-enqueue",
-    "service-flush",
+    "service-flush",  "kb-dir-fsync",
 };
 
 /// splitmix64: the standard 64-bit finalizer; good avalanche, no state.

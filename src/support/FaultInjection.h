@@ -79,9 +79,15 @@ enum class FaultSite : unsigned {
   /// keeps its previous valid contents and the flush is retried with
   /// backoff.
   ServiceFlush,
+  /// The parent-directory fsync after an atomic write's rename fails (the
+  /// machine "loses power" with the rename still only in the page cache).
+  /// The destination file already holds the complete new content — never
+  /// torn — but the write reports an Error so callers retry until the
+  /// rename is durable.
+  KbDirFsync,
 };
 
-inline constexpr unsigned NumFaultSites = 10;
+inline constexpr unsigned NumFaultSites = 11;
 
 /// Stable kebab-case name ("solver-charge", ...) used by spec strings.
 const char *faultSiteName(FaultSite Site);

@@ -1,0 +1,236 @@
+//===- tests/cache/QueryKeyTest.cpp - Canonical query identity tests ------===//
+//
+// The cross-process cache key (DESIGN.md §12) must identify queries by
+// *meaning*, not spelling: alpha-renamed fields, permuted field orders,
+// and simplifier-equal bodies hash identically, while semantically
+// distinct queries never collide (checked differentially against the
+// exhaustive oracle). The golden pins at the bottom freeze the serialized
+// form byte-for-byte — the hash is an on-disk address shared between
+// processes and releases, so any change to it is a cache-format break and
+// must be deliberate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/QueryKey.h"
+
+#include "baselines/Exhaustive.h"
+#include "expr/Eval.h"
+#include "gen/QueryGen.h"
+#include "support/Checksum.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace anosy;
+
+namespace {
+
+Schema xySchema() { return Schema("S", {{"x", 0, 24}, {"y", 0, 24}}); }
+
+/// q := y <= 5, written against \p FieldIndex for schemas that declare y
+/// at different positions.
+ExprRef leq5(unsigned FieldIndex) {
+  return cmp(CmpOp::LE, fieldRef(FieldIndex), intConst(5));
+}
+
+/// Semantic equality of two queries over \p S by enumeration.
+bool semanticallyEqual(const ExprRef &A, const ExprRef &B, const Schema &S) {
+  bool Equal = true;
+  forEachPoint(Box::top(S), [&](const Point &P) {
+    if (evalBool(*A, P) != evalBool(*B, P)) {
+      Equal = false;
+      return false;
+    }
+    return true;
+  });
+  return Equal;
+}
+
+} // namespace
+
+TEST(QueryKey, AlphaRenamedFieldsHashIdentically) {
+  // Field *names* never enter the identity — only bounds and use sites.
+  Schema A("Loc", {{"x", 0, 24}, {"y", 0, 24}});
+  Schema B("Somewhere", {{"lat", 0, 24}, {"lng", 0, 24}});
+  ExprRef Q = cmp(CmpOp::LE, add(fieldRef(0), fieldRef(1)), intConst(10));
+  CanonicalQuery KA = canonicalizeQuery(A, Q, "interval", 0);
+  CanonicalQuery KB = canonicalizeQuery(B, Q, "interval", 0);
+  EXPECT_EQ(KA.Hash, KB.Hash);
+  EXPECT_EQ(KA.KeyText, KB.KeyText);
+}
+
+TEST(QueryKey, PermutedFieldOrderHashesIdentically) {
+  // y declared second and referenced as $1 vs declared first and
+  // referenced as $0: both canonicalize to "first-used field is f0".
+  Schema A("S", {{"x", 0, 10}, {"y", 0, 20}});
+  Schema B("S", {{"y", 0, 20}, {"x", 0, 10}});
+  CanonicalQuery KA = canonicalizeQuery(A, leq5(1), "interval", 0);
+  CanonicalQuery KB = canonicalizeQuery(B, leq5(0), "interval", 0);
+  EXPECT_EQ(KA.Hash, KB.Hash);
+  EXPECT_EQ(KA.KeyText, KB.KeyText);
+  // The permutations differ — that is the point: each caller can map its
+  // own field order onto the shared canonical artifact.
+  EXPECT_EQ(KA.FieldPerm, (std::vector<unsigned>{1, 0}));
+  EXPECT_EQ(KB.FieldPerm, (std::vector<unsigned>{0, 1}));
+}
+
+TEST(QueryKey, SimplifierEqualBodiesHashIdentically) {
+  Schema S = xySchema();
+  // x + 0 <= 5  ≡  x <= 5 under the simplifier's normal form.
+  ExprRef Plain = leq5(0);
+  ExprRef Padded = cmp(CmpOp::LE, add(fieldRef(0), intConst(0)), intConst(5));
+  CanonicalQuery KA = canonicalizeQuery(S, Plain, "interval", 0);
+  CanonicalQuery KB = canonicalizeQuery(S, Padded, "interval", 0);
+  EXPECT_EQ(KA.Hash, KB.Hash);
+  // Tautological wrapping folds away too.
+  ExprRef Wrapped = andOf(Padded, boolConst(true));
+  EXPECT_EQ(canonicalizeQuery(S, Wrapped, "interval", 0).Hash, KA.Hash);
+}
+
+TEST(QueryKey, PriorChangesHashButNotFamily) {
+  Schema Wide("S", {{"x", 0, 24}, {"y", 0, 24}});
+  Schema Narrow("S", {{"x", 0, 9}, {"y", 0, 9}});
+  ExprRef Q = leq5(0);
+  CanonicalQuery KW = canonicalizeQuery(Wide, Q, "interval", 0);
+  CanonicalQuery KN = canonicalizeQuery(Narrow, Q, "interval", 0);
+  EXPECT_NE(KW.Hash, KN.Hash);
+  // Same prior-independent prefix: the family groups the same query
+  // under every prior, which is what parent-posterior seeding scans.
+  EXPECT_EQ(familyHash(KW), familyHash(KN));
+}
+
+TEST(QueryKey, DomainAndPowersetSizeSeparateEntries) {
+  Schema S = xySchema();
+  ExprRef Q = leq5(0);
+  uint64_t Interval = canonicalizeQuery(S, Q, "interval", 0).Hash;
+  uint64_t Power3 = canonicalizeQuery(S, Q, "powerset", 3).Hash;
+  uint64_t Power5 = canonicalizeQuery(S, Q, "powerset", 5).Hash;
+  EXPECT_NE(Interval, Power3);
+  EXPECT_NE(Power3, Power5);
+}
+
+TEST(QueryKey, CanonicalBodyPreservesSemantics) {
+  // The canonical body under the canonical schema must mean exactly what
+  // the original body means under the original schema, point for point.
+  Schema S = xySchema();
+  QueryGen Gen(0xC0FFEE);
+  for (int I = 0; I != 40; ++I) {
+    ExprRef Q = Gen.genQuery();
+    CanonicalQuery K = canonicalizeQuery(S, Q, "interval", 0);
+    forEachPoint(Box::top(Schema("S", {{"x", 0, 4}, {"y", 0, 4}})),
+                 [&](const Point &P) {
+                   Point CanonP(P.size());
+                   for (size_t C = 0; C != P.size(); ++C)
+                     CanonP[C] = P[K.FieldPerm[C]];
+                   EXPECT_EQ(evalBool(*Q, P), evalBool(*K.CanonBody, CanonP))
+                       << Q->str();
+                   return true;
+                 });
+  }
+}
+
+TEST(QueryKey, EqualHashesAreSemanticallyEqualDifferentially) {
+  // Collision hunt against the exhaustive oracle. Two queries share a
+  // hash iff they share a canonical form (modulo an FNV collision), and
+  // a shared canonical form is exactly what the cache may soundly serve
+  // across: the artifact comes back through each caller's own FieldPerm.
+  // So the property is two-layered — equal hash must mean (a) identical
+  // serialized key (no FNV collision observed) and (b) canonical bodies
+  // the oracle cannot tell apart on any point of the canonical prior.
+  Schema S("S", {{"x", 0, 6}, {"y", 0, 6}});
+  QueryGen Gen(0xD1FF);
+  std::map<uint64_t, CanonicalQuery> ByHash;
+  unsigned SameHashPairs = 0;
+  for (int I = 0; I != 300; ++I) {
+    ExprRef Q = Gen.genQuery();
+    CanonicalQuery K = canonicalizeQuery(S, Q, "interval", 0);
+    auto [It, Inserted] = ByHash.emplace(K.Hash, K);
+    if (!Inserted) {
+      ++SameHashPairs;
+      EXPECT_EQ(K.KeyText, It->second.KeyText)
+          << "FNV collision between distinct serialized keys";
+      EXPECT_TRUE(semanticallyEqual(K.CanonBody, It->second.CanonBody,
+                                    K.CanonSchema))
+          << "hash collision between semantically distinct queries:\n  "
+          << K.CanonBody->str() << "\n  " << It->second.CanonBody->str();
+    }
+  }
+  // The sweep must actually exercise the equal-hash path (duplicate
+  // shapes from a grammar this small are plentiful).
+  EXPECT_GT(SameHashPairs, 0u);
+}
+
+TEST(QueryKey, PermuteRoundTripsBoxAndPowerBox) {
+  Rng R(7);
+  for (int I = 0; I != 50; ++I) {
+    std::vector<unsigned> Perm{0, 1, 2};
+    for (size_t J = 2; J != 0; --J)
+      std::swap(Perm[J], Perm[static_cast<size_t>(R.range(0, int64_t(J)))]);
+    std::vector<Interval> Dims;
+    for (int D = 0; D != 3; ++D) {
+      // At least two points per dim so the exclude below is proper.
+      int64_t Lo = R.range(-10, 10);
+      Dims.push_back({Lo, R.range(Lo + 1, 12)});
+    }
+    Box B(Dims);
+    EXPECT_EQ(permuteFromCanonical(permuteToCanonical(B, Perm), Perm).str(),
+              B.str());
+    // Exclude a proper slab of the include so construction cannot
+    // canonicalize the include away.
+    Box Slab = B.withDim(0, Interval{B.dim(0).Lo, B.dim(0).Lo});
+    PowerBox P(3, {B}, {Slab});
+    EXPECT_EQ(permuteFromCanonical(permuteToCanonical(P, Perm), Perm).str(),
+              P.str());
+  }
+}
+
+TEST(QueryKey, BoxMinusOuterCoversDifferenceAndStaysInside) {
+  Schema S("S", {{"x", 0, 7}, {"y", 0, 7}});
+  Rng R(11);
+  auto RandomBox = [&] {
+    std::vector<Interval> Dims;
+    for (int D = 0; D != 2; ++D) {
+      int64_t Lo = R.range(0, 7);
+      Dims.push_back({Lo, R.range(Lo, 7)});
+    }
+    return Box(Dims);
+  };
+  for (int I = 0; I != 200; ++I) {
+    Box A = RandomBox(), B = RandomBox();
+    Box Out = boxMinusOuter(A, B);
+    EXPECT_TRUE(Out.subsetOf(A)) << A.str() << " \\ " << B.str();
+    forEachPoint(A, [&](const Point &P) {
+      if (!B.contains(P))
+        EXPECT_TRUE(Out.contains(P))
+            << A.str() << " \\ " << B.str() << " lost a point";
+      return true;
+    });
+  }
+}
+
+TEST(QueryKey, GoldenSerializedFormAndHashes) {
+  // Byte-stable pins: these exact strings are on-disk addresses shared
+  // across processes. Changing them silently orphans every existing
+  // cache directory — bump the "v1" version marker instead.
+  Schema S = xySchema();
+  CanonicalQuery K = canonicalizeQuery(S, leq5(0), "interval", 0);
+  EXPECT_EQ(K.KeyText, "anosy-cache-key v1\n"
+                       "domain interval k 0\n"
+                       "arity 2\n"
+                       "query $0 <= 5\n"
+                       "prior [0, 24] [0, 24]\n");
+  EXPECT_EQ(checksumHex(K.Hash), "70445d22410dd2ee");
+  EXPECT_EQ(checksumHex(familyHash(K)), "05f480eb2126f654");
+
+  CanonicalQuery KP = canonicalizeQuery(
+      S, andOf(leq5(1), cmp(CmpOp::GE, fieldRef(0), intConst(3))),
+      "powerset", 4);
+  EXPECT_EQ(KP.KeyText, "anosy-cache-key v1\n"
+                        "domain powerset k 4\n"
+                        "arity 2\n"
+                        "query ($0 <= 5) && ($1 >= 3)\n"
+                        "prior [0, 24] [0, 24]\n");
+  EXPECT_EQ(checksumHex(KP.Hash), "b0718eb6734a2b3b");
+}

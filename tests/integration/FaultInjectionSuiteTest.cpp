@@ -208,6 +208,41 @@ TEST(FaultSuite, TornWritesNeverCorruptTheDeployedKnowledgeBase) {
   std::remove((Path + ".tmp").c_str());
 }
 
+TEST(FaultSuite, DirFsyncFaultReportsErrorButNeverTearsTheDestination) {
+  // The kb-dir-fsync site models power loss with the rename still only in
+  // the parent directory's page cache. The contract is asymmetric to a
+  // torn write: the *destination* already holds the complete new content
+  // (rename happened), but the writer must report Error so callers retry
+  // until the rename is known durable. A retry is idempotent — same
+  // bytes, same path — so the recovery story is "call it again".
+  FaultScope Scope;
+  std::string Path = testing::TempDir() + "anosy_fault_suite_dirsync.akb";
+  const std::string Old = "previous state\n";
+  const std::string New = "next state\n";
+  ASSERT_TRUE(writeKnowledgeBaseFileAtomic(Path, Old).ok());
+
+  for (uint64_t Seed : Seeds) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    FaultConfig C;
+    C.Seed = Seed;
+    C.Sites[static_cast<unsigned>(FaultSite::KbDirFsync)] = {1, UINT64_MAX};
+    faults::configure(C);
+    auto W = writeKnowledgeBaseFileAtomic(Path, New);
+    ASSERT_FALSE(W.ok());
+    EXPECT_NE(W.error().message().find("kb-dir-fsync"), std::string::npos);
+    faults::reset();
+    // Never torn: the destination is the complete new content (the
+    // rename landed), not the old content and not a mix.
+    auto Back = readKnowledgeBaseFile(Path);
+    ASSERT_TRUE(Back.ok());
+    EXPECT_EQ(*Back, New);
+    // The idempotent retry under a healthy directory succeeds.
+    EXPECT_TRUE(writeKnowledgeBaseFileAtomic(Path, New).ok());
+    ASSERT_TRUE(writeKnowledgeBaseFileAtomic(Path, Old).ok());
+  }
+  std::remove(Path.c_str());
+}
+
 TEST(FaultSuite, BitRotOnReadIsDetectedAndRepairedBySalvage) {
   FaultScope Scope;
   auto S = AnosySession<Box>::create(nearbyModule(),
